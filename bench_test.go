@@ -1,0 +1,136 @@
+// Package pdq's root benchmark harness: one testing.B benchmark per
+// table/figure of the paper's evaluation section, each regenerating the
+// figure's data at reduced (Quick) scale via the drivers in internal/exp.
+// Run the full-scale versions with cmd/pdqsim.
+//
+//	go test -bench=. -benchmem
+package pdq
+
+import (
+	"testing"
+
+	"pdq/internal/exp"
+	"pdq/internal/sim"
+	"pdq/internal/topo"
+	"pdq/internal/workload"
+)
+
+// benchFig runs one figure driver per iteration and keeps the resulting
+// table alive so the work is not elided.
+func benchFig(b *testing.B, name string) {
+	b.Helper()
+	fig, ok := exp.Figures[name]
+	if !ok {
+		b.Fatalf("unknown figure %s", name)
+	}
+	b.ReportAllocs()
+	var sink *exp.Table
+	for i := 0; i < b.N; i++ {
+		sink = fig(exp.Opts{Quick: true, Seed: int64(i + 1)})
+	}
+	if sink == nil || len(sink.Rows) == 0 {
+		b.Fatal("empty result table")
+	}
+}
+
+// Fig. 1: motivating example (fluid model).
+func BenchmarkFig1(b *testing.B) { benchFig(b, "fig1") }
+
+// Fig. 3a: app throughput vs number of deadline flows (packet level).
+func BenchmarkFig3a(b *testing.B) { benchFig(b, "fig3a") }
+
+// Fig. 3b: app throughput vs mean flow size.
+func BenchmarkFig3b(b *testing.B) { benchFig(b, "fig3b") }
+
+// Fig. 3c: flows sustained at 99% app throughput vs mean deadline.
+func BenchmarkFig3c(b *testing.B) { benchFig(b, "fig3c") }
+
+// Fig. 3d: mean FCT (normalized to optimal) vs number of flows.
+func BenchmarkFig3d(b *testing.B) { benchFig(b, "fig3d") }
+
+// Fig. 3e: mean FCT (normalized to optimal) vs flow size.
+func BenchmarkFig3e(b *testing.B) { benchFig(b, "fig3e") }
+
+// Fig. 4a: flows at 99% app throughput across sending patterns.
+func BenchmarkFig4a(b *testing.B) { benchFig(b, "fig4a") }
+
+// Fig. 4b: mean FCT across sending patterns.
+func BenchmarkFig4b(b *testing.B) { benchFig(b, "fig4b") }
+
+// Fig. 5a: sustainable arrival rate under the VL2-like workload.
+func BenchmarkFig5a(b *testing.B) { benchFig(b, "fig5a") }
+
+// Fig. 5b: long-flow FCT under the VL2-like workload.
+func BenchmarkFig5b(b *testing.B) { benchFig(b, "fig5b") }
+
+// Fig. 5c: FCT under the EDU1-like workload.
+func BenchmarkFig5c(b *testing.B) { benchFig(b, "fig5c") }
+
+// Fig. 6: convergence dynamics (seamless flow switching).
+func BenchmarkFig6(b *testing.B) { benchFig(b, "fig6") }
+
+// Fig. 7: robustness to a 50-flow burst.
+func BenchmarkFig7(b *testing.B) { benchFig(b, "fig7") }
+
+// Fig. 8a: deadline scale sweep on fat-trees (pkt + flow level).
+func BenchmarkFig8a(b *testing.B) { benchFig(b, "fig8a") }
+
+// Fig. 8b: FCT scale sweep on fat-trees.
+func BenchmarkFig8b(b *testing.B) { benchFig(b, "fig8b") }
+
+// Fig. 8c: FCT scale sweep on BCube.
+func BenchmarkFig8c(b *testing.B) { benchFig(b, "fig8c") }
+
+// Fig. 8d: FCT scale sweep on Jellyfish.
+func BenchmarkFig8d(b *testing.B) { benchFig(b, "fig8d") }
+
+// Fig. 8e: per-flow CDF of RCP/PDQ FCT ratios.
+func BenchmarkFig8e(b *testing.B) { benchFig(b, "fig8e") }
+
+// Fig. 9a: deadline resilience to packet loss.
+func BenchmarkFig9a(b *testing.B) { benchFig(b, "fig9a") }
+
+// Fig. 9b: FCT resilience to packet loss.
+func BenchmarkFig9b(b *testing.B) { benchFig(b, "fig9b") }
+
+// Fig. 10: inaccurate flow information (flow level).
+func BenchmarkFig10(b *testing.B) { benchFig(b, "fig10") }
+
+// Fig. 11a: M-PDQ vs PDQ under varying load on BCube.
+func BenchmarkFig11a(b *testing.B) { benchFig(b, "fig11a") }
+
+// Fig. 11b: M-PDQ FCT vs subflow count.
+func BenchmarkFig11b(b *testing.B) { benchFig(b, "fig11b") }
+
+// Fig. 11c: deadline M-PDQ vs subflow count.
+func BenchmarkFig11c(b *testing.B) { benchFig(b, "fig11c") }
+
+// Fig. 12: flow aging (flow level).
+func BenchmarkFig12(b *testing.B) { benchFig(b, "fig12") }
+
+// Ablation benches for the design choices called out in DESIGN.md: the
+// cost of each PDQ feature is visible as the runtime/allocation delta of
+// the same workload under each variant (the result quality deltas are in
+// fig3a/3c).
+func BenchmarkAblationPDQVariants(b *testing.B) {
+	for _, v := range []string{"PDQ(Basic)", "PDQ(ES)", "PDQ(ES+ET)", "PDQ(Full)"} {
+		v := v
+		b.Run(v, func(b *testing.B) {
+			runners := exp.PacketRunners()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				runAblation(b, runners[v])
+			}
+		})
+	}
+}
+
+func runAblation(b *testing.B, r exp.Runner) {
+	b.Helper()
+	g := workload.NewGen(1, workload.UniformMean(100<<10), workload.MeanDeadlineDflt)
+	flows := g.Batch(12, workload.Aggregation{}, 12, nil, 0)
+	rs := r(func() *topo.Topology { return topo.SingleRootedTree(4, 3, 1) }, flows, 500*sim.Millisecond)
+	if len(rs) != 12 {
+		b.Fatalf("got %d results", len(rs))
+	}
+}

@@ -1,0 +1,59 @@
+// Command pdqsim regenerates the PDQ paper's evaluation figures.
+//
+// Usage:
+//
+//	pdqsim -list
+//	pdqsim -exp fig3a [-seed 7]
+//	pdqsim -exp all -quick
+//
+// Each experiment prints the same rows/series the paper reports (see
+// DESIGN.md §4 for the per-figure index and EXPERIMENTS.md for the
+// recorded paper-vs-measured comparison).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"pdq/internal/exp"
+)
+
+func main() {
+	var (
+		name  = flag.String("exp", "", "figure to reproduce (fig1, fig3a, ..., fig12) or 'all'")
+		quick = flag.Bool("quick", false, "run reduced sweeps (seconds instead of minutes)")
+		seed  = flag.Int64("seed", 1, "base RNG seed")
+		list  = flag.Bool("list", false, "list available experiments")
+	)
+	flag.Parse()
+
+	if *list || *name == "" {
+		fmt.Println("available experiments:")
+		for _, n := range exp.FigureNames() {
+			fmt.Printf("  %s\n", n)
+		}
+		if *name == "" && !*list {
+			os.Exit(2)
+		}
+		return
+	}
+
+	opts := exp.Opts{Quick: *quick, Seed: *seed}
+	names := []string{*name}
+	if *name == "all" {
+		names = exp.FigureNames()
+	}
+	for _, n := range names {
+		fig, ok := exp.Figures[n]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "pdqsim: unknown experiment %q (try -list)\n", n)
+			os.Exit(2)
+		}
+		start := time.Now()
+		table := fig(opts)
+		fmt.Println(table)
+		fmt.Printf("(%s in %v)\n\n", n, time.Since(start).Round(time.Millisecond))
+	}
+}

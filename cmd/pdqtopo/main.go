@@ -1,0 +1,63 @@
+// Command pdqtopo builds and inspects the evaluation topologies: node and
+// link counts, diameter, and equal-cost path diversity — handy for
+// sanity-checking a topology before running experiments on it.
+//
+// Usage:
+//
+//	pdqtopo -topo fat-tree -k 8
+//	pdqtopo -topo bcube -n 2 -levels 3
+//	pdqtopo -topo jellyfish -switches 20 -degree 8 -hosts-per 4
+//	pdqtopo -topo tree
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pdq/internal/topo"
+)
+
+func main() {
+	var (
+		kind     = flag.String("topo", "tree", "tree | bottleneck | fat-tree | bcube | jellyfish")
+		k        = flag.Int("k", 4, "fat-tree arity")
+		n        = flag.Int("n", 2, "bcube switch port count")
+		levels   = flag.Int("levels", 3, "bcube levels minus one (k)")
+		switches = flag.Int("switches", 10, "jellyfish switch count")
+		degree   = flag.Int("degree", 4, "jellyfish network degree")
+		hostsPer = flag.Int("hosts-per", 2, "jellyfish hosts per switch")
+		senders  = flag.Int("senders", 5, "bottleneck sender count")
+		seed     = flag.Int64("seed", 1, "construction seed")
+	)
+	flag.Parse()
+
+	var t *topo.Topology
+	switch *kind {
+	case "tree":
+		t = topo.SingleRootedTree(4, 3, *seed)
+	case "bottleneck":
+		t = topo.SingleBottleneck(*senders, *seed)
+	case "fat-tree":
+		t = topo.FatTree(*k, *seed)
+	case "bcube":
+		t = topo.BCube(*n, *levels, *seed)
+	case "jellyfish":
+		t = topo.Jellyfish(*switches, *degree, *hostsPer, *seed)
+	default:
+		fmt.Fprintf(os.Stderr, "pdqtopo: unknown topology %q\n", *kind)
+		os.Exit(2)
+	}
+
+	fmt.Printf("topology: %s\n", t.Name)
+	fmt.Printf("hosts:    %d\n", len(t.Hosts))
+	fmt.Printf("switches: %d\n", len(t.Switches))
+	fmt.Printf("links:    %d (directed)\n", len(t.Net.Links()))
+	fmt.Printf("diameter: %d hops\n", t.Diameter())
+	if len(t.Hosts) >= 2 {
+		a, b := t.Hosts[0], t.Hosts[len(t.Hosts)-1]
+		paths := t.Paths(a, b, 16)
+		fmt.Printf("ECMP paths host %d -> host %d: %d (length %d)\n",
+			a.ID(), b.ID(), len(paths), len(paths[0]))
+	}
+}

@@ -1,0 +1,60 @@
+// Quickstart: the paper's Fig. 1 motivating example, run both as a fluid
+// model and through the packet-level PDQ stack.
+//
+// Three flows (sizes 1, 2, 3 units; deadlines 1, 4, 6) compete for one
+// bottleneck. Fair sharing misses two deadlines; SJF/EDF — and PDQ, which
+// approximates them with distributed preemptive scheduling — meet all
+// three and cut mean completion time by ~29%.
+//
+// Run: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"pdq/internal/core"
+	"pdq/internal/fluid"
+	"pdq/internal/sim"
+	"pdq/internal/topo"
+	"pdq/internal/workload"
+)
+
+func main() {
+	// One "unit" scaled to ~1 ms at 1 Gbps so the packet simulation is
+	// instant: 125 KB. The paper's fluid deadlines (1, 4, 6 units) equal
+	// the service times exactly, which no real transport can meet once
+	// handshake latency and header overhead exist, so the packet-level
+	// run uses 50% slack (1.5, 5, 9 ms) — the qualitative outcome is the
+	// same: fair sharing misses fA and fB, SJF/EDF and PDQ meet all.
+	unit := int64(125 << 10)
+	ms := sim.Millisecond
+	flows := []workload.Flow{
+		{ID: 1, Src: 0, Dst: 3, Size: 1 * unit, Deadline: 1500 * sim.Microsecond},
+		{ID: 2, Src: 1, Dst: 3, Size: 2 * unit, Deadline: 5 * ms},
+		{ID: 3, Src: 2, Dst: 3, Size: 3 * unit, Deadline: 9 * ms},
+	}
+
+	fmt.Println("== fluid model ==")
+	fair := fluid.FairShare(flows, 1_000_000_000)
+	sjf := fluid.SRPT(flows, 1_000_000_000)
+	fmt.Printf("fair sharing: completions %v %v %v, mean FCT %.2f ms\n",
+		fair[1], fair[2], fair[3], fluid.MeanFCT(flows, fair)*1000)
+	fmt.Printf("SJF/EDF:      completions %v %v %v, mean FCT %.2f ms\n",
+		sjf[1], sjf[2], sjf[3], fluid.MeanFCT(flows, sjf)*1000)
+
+	fmt.Println("\n== packet-level PDQ ==")
+	tp := topo.SingleBottleneck(3, 1)
+	sys := core.Install(tp, core.Full())
+	for _, f := range flows {
+		sys.Start(f)
+	}
+	tp.Sim().RunUntil(100 * ms)
+	for _, r := range sys.Results() {
+		status := "MISSED"
+		if r.MetDeadline() {
+			status = "met"
+		}
+		fmt.Printf("flow %d (%3d KB, deadline %v): finished %v — deadline %s\n",
+			r.ID, r.Size>>10, r.Deadline, r.Finish, status)
+	}
+}

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"pdq/internal/netsim"
+	"pdq/internal/workload"
+)
+
+// recvFlow is the receiver-side state of one flow. Multipath subflows
+// share it — the paper's single shared resequencing buffer (§6) — so
+// completion is detected on the union of bytes received over all paths.
+type recvFlow struct {
+	ag       *Agent
+	flow     workload.Flow
+	numPkts  int
+	got      []bool
+	gotBytes int64
+	done     bool
+	revPaths map[int][]*netsim.Link // cached ACK path per subflow
+}
+
+func newRecvFlow(ag *Agent, f workload.Flow) *recvFlow {
+	n := int((f.Size + netsim.MSS - 1) / netsim.MSS)
+	return &recvFlow{ag: ag, flow: f, numPkts: n, got: make([]bool, n), revPaths: map[int][]*netsim.Link{}}
+}
+
+func (r *recvFlow) payload(i int) int {
+	if i < r.numPkts-1 {
+		return netsim.MSS
+	}
+	return int(r.flow.Size - int64(r.numPkts-1)*netsim.MSS)
+}
+
+// onForward handles SYN, DATA, PROBE and TERM at the receiver: it copies
+// the scheduling header into the corresponding acknowledgment, lowering
+// R_H to the receiver's own capability (§3.2), and records delivered
+// bytes.
+func (r *recvFlow) onForward(pkt *netsim.Packet) {
+	if pkt.Kind == netsim.TERM {
+		r.done = true
+		return
+	}
+	if pkt.Kind == netsim.DATA && !r.done {
+		idx := int(pkt.Seq / netsim.MSS)
+		if idx >= 0 && idx < r.numPkts && !r.got[idx] {
+			r.got[idx] = true
+			r.gotBytes += int64(r.payload(idx))
+			if r.gotBytes >= r.flow.Size {
+				r.done = true
+				r.ag.sys.Collector.Finish(r.flow.ID, r.ag.sys.Sim.Now())
+			}
+		}
+	}
+	r.ack(pkt)
+}
+
+// ack echoes the scheduling header back to the sender on the exact
+// reverse path of the data packet.
+func (r *recvFlow) ack(pkt *netsim.Packet) {
+	rev := r.revPaths[pkt.Subflow]
+	if rev == nil {
+		rev = netsim.ReversePath(pkt.Path)
+		r.revPaths[pkt.Subflow] = rev
+	}
+	hdr := &netsim.SchedHeader{}
+	if h, ok := pkt.Hdr.(*netsim.SchedHeader); ok {
+		*hdr = *h
+		// Avoid overrunning the receiver: R_H may not exceed the rate
+		// the receiver can take in (its NIC rate here; §3.2).
+		if nic := r.ag.host.NICRate(); hdr.Rate > nic {
+			hdr.Rate = nic
+		}
+	}
+	r.ag.sys.net().Send(&netsim.Packet{
+		Flow:       pkt.Flow,
+		Subflow:    pkt.Subflow,
+		Kind:       pkt.Kind.Ack(),
+		Src:        pkt.Src,
+		Dst:        pkt.Dst,
+		Seq:        pkt.Seq,
+		Wire:       netsim.ControlWire,
+		Path:       rev,
+		Hdr:        hdr,
+		EchoSentAt: pkt.EchoSentAt,
+	})
+}

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"fmt"
+
+	"pdq/internal/netsim"
+	"pdq/internal/sim"
+	"pdq/internal/topo"
+	"pdq/internal/workload"
+)
+
+// System wires PDQ into a topology: one agent per host, shared switch
+// logic on every forwarding element, and a collector for flow outcomes.
+// It is the package's public entry point:
+//
+//	tp := topo.SingleRootedTree(4, 3, seed)
+//	sys := core.Install(tp, core.Full())
+//	for _, f := range flows { sys.Start(f) }
+//	tp.Sim().Run()
+//	results := sys.Results()
+type System struct {
+	Cfg       Config
+	Topo      *topo.Topology
+	Sim       *sim.Sim
+	Collector *workload.Collector
+	Logic     *SwitchLogic
+
+	agents []*Agent
+}
+
+// Install attaches PDQ with the given configuration to every host and
+// switch of the topology.
+func Install(t *topo.Topology, cfg Config) *System {
+	s := &System{
+		Cfg:       cfg.withDefaults(),
+		Topo:      t,
+		Sim:       t.Sim(),
+		Collector: workload.NewCollector(),
+	}
+	s.Logic = NewSwitchLogic(&s.Cfg, s.Sim.Now)
+	for _, sw := range t.Switches {
+		sw.Logic = s.Logic
+	}
+	for i, h := range t.Hosts {
+		ag := &Agent{sys: s, host: h, index: i,
+			sends: map[netsim.FlowID]*flowShared{},
+			recvs: map[netsim.FlowID]*recvFlow{},
+		}
+		h.Agent = ag
+		h.Logic = s.Logic // hosts relay in server-centric topologies
+		s.agents = append(s.agents, ag)
+	}
+	return s
+}
+
+func (s *System) net() *netsim.Network { return s.Topo.Net }
+
+// Name identifies the configured variant for experiment tables.
+func (s *System) Name() string {
+	switch {
+	case s.Cfg.Subflows > 1:
+		return fmt.Sprintf("M-PDQ(%d)", s.Cfg.Subflows)
+	case s.Cfg.EarlyStart && s.Cfg.EarlyTermination && s.Cfg.SuppressedProbing:
+		return "PDQ(Full)"
+	case s.Cfg.EarlyStart && s.Cfg.EarlyTermination:
+		return "PDQ(ES+ET)"
+	case s.Cfg.EarlyStart:
+		return "PDQ(ES)"
+	default:
+		return "PDQ(Basic)"
+	}
+}
+
+// Start registers flow f and schedules its transmission at f.Start.
+func (s *System) Start(f workload.Flow) {
+	if f.Size <= 0 {
+		panic("core: flow size must be positive")
+	}
+	if f.Src == f.Dst {
+		panic("core: flow to self")
+	}
+	s.Collector.Register(f)
+	s.Sim.At(f.Start, func() { s.launch(f) })
+}
+
+func (s *System) launch(f workload.Flow) {
+	src, dst := s.agents[f.Src], s.agents[f.Dst]
+	dst.recvs[netsim.FlowID(f.ID)] = newRecvFlow(dst, f)
+
+	srcHost, dstHost := s.Topo.Hosts[f.Src], s.Topo.Hosts[f.Dst]
+	var paths [][]*netsim.Link
+	if s.Cfg.Subflows > 1 {
+		paths = s.Topo.Paths(srcHost, dstHost, s.Cfg.Subflows)
+	} else {
+		paths = [][]*netsim.Link{s.Topo.Path(srcHost, dstHost)}
+	}
+
+	sh := &flowShared{flow: f, rmax: srcHost.NICRate()}
+	sh.numPkts = int((f.Size + netsim.MSS - 1) / netsim.MSS)
+	sh.acked = make([]bool, sh.numPkts)
+	sh.sentAt = make([]sim.Time, sh.numPkts)
+	src.sends[netsim.FlowID(f.ID)] = sh
+
+	nsub := s.Cfg.Subflows
+	if nsub < 1 {
+		nsub = 1
+	}
+	for i := 0; i < nsub; i++ {
+		sub := &sender{ag: src, sh: sh, sub: i, path: paths[i%len(paths)]}
+		sh.subs = append(sh.subs, sub)
+	}
+	for _, sub := range sh.subs {
+		sub.start()
+	}
+}
+
+// Results returns a snapshot of all flow outcomes.
+func (s *System) Results() []workload.Result { return s.Collector.Results() }
+
+// Agent is the per-host PDQ endpoint, demultiplexing packets to sender and
+// receiver flow state.
+type Agent struct {
+	sys   *System
+	host  *netsim.Host
+	index int
+	sends map[netsim.FlowID]*flowShared
+	recvs map[netsim.FlowID]*recvFlow
+}
+
+// Receive implements netsim.Agent.
+func (a *Agent) Receive(pkt *netsim.Packet, ingress *netsim.Link) {
+	if pkt.Kind.Forward() {
+		if r := a.recvs[pkt.Flow]; r != nil {
+			r.onForward(pkt)
+		}
+		return
+	}
+	if sh := a.sends[pkt.Flow]; sh != nil && pkt.Subflow < len(sh.subs) {
+		sh.subs[pkt.Subflow].onAck(pkt)
+	}
+}

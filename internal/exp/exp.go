@@ -1,0 +1,193 @@
+// Package exp contains one driver per table/figure of the PDQ paper's
+// evaluation (§5–§7). Each driver regenerates the corresponding data
+// series — the same rows the paper plots — using the packet-level
+// simulator (internal/core + internal/protocol/...) or the flow-level
+// simulator (internal/flowsim) as the paper does for that figure.
+//
+// Every driver accepts Opts; Opts.Quick shrinks the sweep so the full set
+// runs in seconds (used by the benchmarks in bench_test.go), while the
+// default reproduces the figure at closer to paper scale via cmd/pdqsim.
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"pdq/internal/core"
+	"pdq/internal/netsim"
+	"pdq/internal/protocol/d3"
+	"pdq/internal/protocol/rcp"
+	"pdq/internal/protocol/tcp"
+	"pdq/internal/sim"
+	"pdq/internal/topo"
+	"pdq/internal/workload"
+)
+
+// Opts controls experiment scale.
+type Opts struct {
+	Quick bool  // shrink sweeps for benchmarks/tests
+	Seed  int64 // base RNG seed; 0 means 1
+}
+
+func (o Opts) seed() int64 {
+	if o.Seed == 0 {
+		return 1
+	}
+	return o.Seed
+}
+
+// Row is one data row of a result table.
+type Row struct {
+	Label string
+	Vals  []float64
+}
+
+// Table is a reproduced figure/table: a header plus labeled float rows.
+type Table struct {
+	Name   string
+	Desc   string
+	Cols   []string
+	Rows   []Row
+	Digits int // formatting precision; default 2
+}
+
+// Get returns the value at (rowLabel, col), panicking if absent — the
+// shape tests use it.
+func (t *Table) Get(rowLabel, col string) float64 {
+	ci := -1
+	for i, c := range t.Cols {
+		if c == col {
+			ci = i
+		}
+	}
+	if ci < 0 {
+		panic(fmt.Sprintf("exp: no column %q in %s", col, t.Name))
+	}
+	for _, r := range t.Rows {
+		if r.Label == rowLabel {
+			return r.Vals[ci]
+		}
+	}
+	panic(fmt.Sprintf("exp: no row %q in %s", rowLabel, t.Name))
+}
+
+// String renders the table for the terminal.
+func (t *Table) String() string {
+	d := t.Digits
+	if d == 0 {
+		d = 2
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", t.Name, t.Desc)
+	w := 12
+	fmt.Fprintf(&b, "%-24s", "")
+	for _, c := range t.Cols {
+		fmt.Fprintf(&b, "%*s", w, c)
+	}
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%-24s", r.Label)
+		for _, v := range r.Vals {
+			fmt.Fprintf(&b, "%*.*f", w, d, v)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Runner runs one protocol over a set of flows on a freshly built
+// topology and returns per-flow results. The packet-level protocol
+// systems keep state in topology links, so every run builds anew.
+type Runner func(build func() *topo.Topology, flows []workload.Flow, horizon sim.Time) []workload.Result
+
+// PacketRunners returns the packet-level protocol runners keyed by the
+// names used throughout the paper's figures.
+func PacketRunners() map[string]Runner {
+	mk := func(install func(t *topo.Topology) interface {
+		Start(workload.Flow)
+		Results() []workload.Result
+	}) Runner {
+		return func(build func() *topo.Topology, flows []workload.Flow, horizon sim.Time) []workload.Result {
+			t := build()
+			sys := install(t)
+			for _, f := range flows {
+				sys.Start(f)
+			}
+			t.Sim().RunUntil(horizon)
+			return sys.Results()
+		}
+	}
+	pdq := func(cfg core.Config) Runner {
+		return mk(func(t *topo.Topology) interface {
+			Start(workload.Flow)
+			Results() []workload.Result
+		} {
+			return core.Install(t, cfg)
+		})
+	}
+	return map[string]Runner{
+		"PDQ(Full)":  pdq(core.Full()),
+		"PDQ(ES+ET)": pdq(core.ESET()),
+		"PDQ(ES)":    pdq(core.ES()),
+		"PDQ(Basic)": pdq(core.Basic()),
+		"D3": mk(func(t *topo.Topology) interface {
+			Start(workload.Flow)
+			Results() []workload.Result
+		} {
+			return d3.Install(t, d3.Config{})
+		}),
+		"RCP": mk(func(t *topo.Topology) interface {
+			Start(workload.Flow)
+			Results() []workload.Result
+		} {
+			return rcp.Install(t, rcp.Config{})
+		}),
+		"TCP": mk(func(t *topo.Topology) interface {
+			Start(workload.Flow)
+			Results() []workload.Result
+		} {
+			return tcp.Install(t, tcp.Config{})
+		}),
+	}
+}
+
+// ProtoOrder is the paper's legend order for the full protocol set.
+var ProtoOrder = []string{"PDQ(Full)", "PDQ(ES+ET)", "PDQ(ES)", "PDQ(Basic)", "D3", "RCP", "TCP"}
+
+// MPDQRunner returns a Runner for Multipath PDQ with the given subflow
+// count (§6).
+func MPDQRunner(subflows int) Runner {
+	return func(build func() *topo.Topology, flows []workload.Flow, horizon sim.Time) []workload.Result {
+		t := build()
+		cfg := core.Full()
+		cfg.Subflows = subflows
+		sys := core.Install(t, cfg)
+		for _, f := range flows {
+			sys.Start(f)
+		}
+		t.Sim().RunUntil(horizon)
+		return sys.Results()
+	}
+}
+
+// defaultTree builds the paper's default topology (Fig. 2a): the
+// two-level 12-server single-rooted tree.
+func defaultTree(seed int64) func() *topo.Topology {
+	return func() *topo.Topology { return topo.SingleRootedTree(4, 3, seed) }
+}
+
+// treeHosts is the server count of the default tree.
+const treeHosts = 12
+
+// treeRack maps a host of the default tree to its top-of-rack switch.
+func treeRack(h int) int { return h / 3 }
+
+// aggFlows draws n deadline-constrained query-aggregation flows (§5.2).
+func aggFlows(n int, seed int64, meanSize int64, meanDeadline sim.Time) []workload.Flow {
+	g := workload.NewGen(seed, workload.UniformMean(meanSize), meanDeadline)
+	return g.Batch(n, workload.Aggregation{}, treeHosts, treeRack, 0)
+}
+
+// bottleneckRate is the capacity a single-receiver aggregation workload
+// contends for, used by the fluid Optimal baseline.
+const bottleneckRate = netsim.DefaultRate

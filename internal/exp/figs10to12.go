@@ -1,0 +1,415 @@
+package exp
+
+import (
+	"fmt"
+	"sort"
+
+	"pdq/internal/flowsim"
+	"pdq/internal/sim"
+	"pdq/internal/stats"
+	"pdq/internal/topo"
+	"pdq/internal/workload"
+)
+
+// FlowLevel runs one flow-level allocator over flows on a fresh topology.
+func FlowLevel(build func() *topo.Topology, alloc flowsim.Allocator, et bool, flows []workload.Flow, horizon sim.Time) []workload.Result {
+	s := flowsim.New(build(), alloc)
+	s.ET = et
+	for _, f := range flows {
+		s.Start(f)
+	}
+	s.Run(horizon)
+	return s.Results()
+}
+
+// Fig8Scale is one point of the Fig. 8 scale sweep.
+type Fig8Scale struct {
+	Label string
+	Build func(seed int64) *topo.Topology
+	Hosts int
+}
+
+// fatTreeScales returns the fat-tree sizes used for Fig. 8a/b.
+func fatTreeScales(quick bool) []Fig8Scale {
+	mk := func(k int) Fig8Scale {
+		return Fig8Scale{
+			Label: fmt.Sprint(k * k * k / 4),
+			Build: func(seed int64) *topo.Topology { return topo.FatTree(k, seed) },
+			Hosts: k * k * k / 4,
+		}
+	}
+	if quick {
+		return []Fig8Scale{mk(4)}
+	}
+	return []Fig8Scale{mk(4), mk(6), mk(8), mk(12)}
+}
+
+// Fig8a: deadline-constrained scale sweep on fat-trees — flows at 99%
+// application throughput, packet-level vs flow-level, for PDQ, D3 and
+// RCP under random permutation traffic.
+func Fig8a(o Opts) *Table {
+	scales := fatTreeScales(o.Quick)
+	t := &Table{Name: "fig8a", Desc: "flows at 99% app throughput vs network size (fat-tree, deadline)", Digits: 0}
+	for _, sc := range scales {
+		t.Cols = append(t.Cols, sc.Label)
+	}
+	hiPerHost := 6
+	mkFlows := func(sc Fig8Scale, n int) []workload.Flow {
+		g := workload.NewGen(o.seed(), workload.UniformMean(100<<10), workload.MeanDeadlineDflt)
+		return g.Batch(n, workload.Permutation{}, sc.Hosts, nil, 0)
+	}
+	// Packet level only at the smallest scale (as in the paper, the
+	// packet simulator does not reach large sizes).
+	pkt := PacketRunners()
+	for _, name := range []string{"PDQ(Full)", "D3", "RCP"} {
+		var vals []float64
+		for i, sc := range scales {
+			if i > 0 {
+				vals = append(vals, 0) // packet level beyond reach
+				continue
+			}
+			r := pkt[name]
+			sc := sc
+			n := stats.MaxN(1, hiPerHost*sc.Hosts, func(n int) bool {
+				rs := r(func() *topo.Topology { return sc.Build(o.seed()) }, mkFlows(sc, n), 500*sim.Millisecond)
+				return stats.AppThroughput(rs) >= 99
+			})
+			vals = append(vals, float64(n))
+		}
+		t.Rows = append(t.Rows, Row{name + "; Pkt", vals})
+	}
+	for _, name := range []string{"PDQ(Full)", "D3", "RCP"} {
+		var vals []float64
+		for _, sc := range scales {
+			alloc := flowAllocFor(name, o.seed())
+			et := name == "PDQ(Full)"
+			sc := sc
+			n := stats.MaxN(1, hiPerHost*sc.Hosts, func(n int) bool {
+				rs := FlowLevel(func() *topo.Topology { return sc.Build(o.seed()) }, alloc, et, mkFlows(sc, n), 500*sim.Millisecond)
+				return stats.AppThroughput(rs) >= 99
+			})
+			vals = append(vals, float64(n))
+		}
+		t.Rows = append(t.Rows, Row{name + "; Flow", vals})
+	}
+	return t
+}
+
+func flowAllocFor(name string, seed int64) flowsim.Allocator {
+	switch name {
+	case "PDQ(Full)", "PDQ":
+		return flowsim.NewPDQ(flowsim.CritPerfect, seed)
+	case "D3":
+		return flowsim.D3{}
+	default:
+		return flowsim.RCP{}
+	}
+}
+
+// fig8FCT computes mean FCT for the no-deadline scale sweeps (Fig. 8b/c/d):
+// 10 sending flows per server, random permutation.
+func fig8FCT(o Opts, name string, scales []Fig8Scale) *Table {
+	t := &Table{Name: name, Desc: "mean FCT [ms] vs network size (no deadlines, 10 flows/server)", Digits: 1}
+	flowsPer := 10
+	if o.Quick {
+		flowsPer = 4
+	}
+	mkFlows := func(sc Fig8Scale) []workload.Flow {
+		g := workload.NewGen(o.seed(), workload.UniformMean(100<<10), 0)
+		return g.Batch(flowsPer*sc.Hosts, workload.Permutation{}, sc.Hosts, nil, 0)
+	}
+	for _, sc := range scales {
+		t.Cols = append(t.Cols, sc.Label)
+	}
+	pkt := PacketRunners()
+	for _, proto := range []string{"PDQ(Full)", "RCP/D3"} {
+		var pv, fv []float64
+		for i, sc := range scales {
+			sc := sc
+			build := func() *topo.Topology { return sc.Build(o.seed()) }
+			if i == 0 {
+				rs := fctRunner(pkt, proto)(build, mkFlows(sc), 5*sim.Second)
+				pv = append(pv, stats.MeanFCT(rs, nil)*1000)
+			} else {
+				pv = append(pv, 0)
+			}
+			rs := FlowLevel(build, flowAllocFor(proto, o.seed()), false, mkFlows(sc), 5*sim.Second)
+			fv = append(fv, stats.MeanFCT(rs, nil)*1000)
+		}
+		t.Rows = append(t.Rows, Row{proto + "; Pkt", pv})
+		t.Rows = append(t.Rows, Row{proto + "; Flow", fv})
+	}
+	return t
+}
+
+// Fig8b: fat-tree FCT scale sweep.
+func Fig8b(o Opts) *Table { return fig8FCT(o, "fig8b", fatTreeScales(o.Quick)) }
+
+// Fig8c: BCube FCT scale sweep (dual-port servers: BCube(n,1)).
+func Fig8c(o Opts) *Table {
+	mk := func(n int) Fig8Scale {
+		return Fig8Scale{
+			Label: fmt.Sprint(n * n),
+			Build: func(seed int64) *topo.Topology { return topo.BCube(n, 1, seed) },
+			Hosts: n * n,
+		}
+	}
+	scales := []Fig8Scale{mk(4), mk(8), mk(16), mk(32)}
+	if o.Quick {
+		scales = scales[:1]
+	}
+	return fig8FCT(o, "fig8c", scales)
+}
+
+// Fig8d: Jellyfish FCT scale sweep (24-port switches, 2:1 network:server
+// port ratio ⇒ degree 16, 8 servers per switch).
+func Fig8d(o Opts) *Table {
+	mk := func(nsw int) Fig8Scale {
+		return Fig8Scale{
+			Label: fmt.Sprint(nsw * 8),
+			Build: func(seed int64) *topo.Topology { return topo.Jellyfish(nsw, 16, 8, seed) },
+			Hosts: nsw * 8,
+		}
+	}
+	scales := []Fig8Scale{mk(18), mk(32), mk(64), mk(128)}
+	if o.Quick {
+		scales = []Fig8Scale{{
+			Label: "16",
+			Build: func(seed int64) *topo.Topology { return topo.Jellyfish(8, 4, 2, seed) },
+			Hosts: 16,
+		}}
+	}
+	return fig8FCT(o, "fig8d", scales)
+}
+
+// Fig8e: the per-flow CDF of RCP FCT / PDQ FCT at ~128 servers
+// (flow-level, random permutation). The paper reports ≈40% of flows at
+// ratio ≥2, only 5–15% below 1, and a worst-case PDQ inflation of 2.57.
+func Fig8e(o Opts) *Table {
+	k := 8
+	flowsPer := 10
+	if o.Quick {
+		k = 4
+		flowsPer = 5
+	}
+	hosts := k * k * k / 4
+	g := workload.NewGen(o.seed(), workload.UniformMean(100<<10), 0)
+	flows := g.Batch(flowsPer*hosts, workload.Permutation{}, hosts, nil, 0)
+	build := func() *topo.Topology { return topo.FatTree(k, o.seed()) }
+	pdq := FlowLevel(build, flowsim.NewPDQ(flowsim.CritPerfect, o.seed()), false, flows, 20*sim.Second)
+	rcp := FlowLevel(build, flowsim.RCP{}, false, flows, 20*sim.Second)
+	var ratios []float64
+	for i := range pdq {
+		if pdq[i].Done() && rcp[i].Done() {
+			ratios = append(ratios, rcp[i].FCT().Seconds()/pdq[i].FCT().Seconds())
+		}
+	}
+	sort.Float64s(ratios)
+	frac := func(pred func(float64) bool) float64 {
+		n := 0
+		for _, r := range ratios {
+			if pred(r) {
+				n++
+			}
+		}
+		return 100 * float64(n) / float64(len(ratios))
+	}
+	worstInflation := 0.0
+	for _, r := range ratios {
+		if inv := 1 / r; inv > worstInflation {
+			worstInflation = inv
+		}
+	}
+	t := &Table{Name: "fig8e", Desc: "CDF of RCP FCT / PDQ FCT (flow-level, fat-tree)", Cols: []string{"value"}}
+	t.Rows = append(t.Rows,
+		Row{"flows", []float64{float64(len(ratios))}},
+		Row{"% with ratio >= 2 (PDQ 2x faster)", []float64{frac(func(r float64) bool { return r >= 2 })}},
+		Row{"% with ratio < 1 (PDQ slower)", []float64{frac(func(r float64) bool { return r < 1 })}},
+		Row{"% with ratio < 0.5", []float64{frac(func(r float64) bool { return r < 0.5 })}},
+		Row{"median ratio", []float64{stats.Percentile(ratios, 50)}},
+		Row{"worst PDQ inflation", []float64{worstInflation}},
+	)
+	return t
+}
+
+// Fig10: resilience to inaccurate flow information (flow-level, §5.6):
+// mean FCT [ms] of PDQ with perfect information, random criticality, and
+// size estimation, vs RCP, under uniform and Pareto(1.1) sizes.
+func Fig10(o Opts) *Table {
+	t := &Table{Name: "fig10", Desc: "mean FCT [ms] with inaccurate flow information (flow-level)",
+		Cols: []string{"Uniform", "Pareto1.1"}}
+	dists := []workload.SizeDist{
+		workload.UniformMean(100 << 10),
+		workload.Pareto{Alpha: 1.1, MeanSize: 100 << 10},
+	}
+	n := 10
+	seeds := 10
+	if o.Quick {
+		seeds = 3
+	}
+	build := func() *topo.Topology { return topo.SingleBottleneck(9, o.seed()) }
+	rows := []struct {
+		label string
+		alloc func() flowsim.Allocator
+	}{
+		{"PDQ; Perfect", func() flowsim.Allocator { return flowsim.NewPDQ(flowsim.CritPerfect, o.seed()) }},
+		{"PDQ; Random", func() flowsim.Allocator { return flowsim.NewPDQ(flowsim.CritRandom, o.seed()) }},
+		{"PDQ; SizeEstimation", func() flowsim.Allocator { return flowsim.NewPDQ(flowsim.CritEstimate, o.seed()) }},
+		{"RCP", func() flowsim.Allocator { return flowsim.RCP{} }},
+	}
+	for _, r := range rows {
+		var vals []float64
+		for _, dist := range dists {
+			sum := 0.0
+			for s := 0; s < seeds; s++ {
+				g := workload.NewGen(o.seed()+int64(s), dist, 0)
+				flows := g.Batch(n, workload.Aggregation{}, 9, nil, 0)
+				rs := FlowLevel(build, r.alloc(), false, flows, 60*sim.Second)
+				sum += stats.MeanFCT(rs, nil) * 1000
+			}
+			vals = append(vals, sum/float64(seeds))
+		}
+		t.Rows = append(t.Rows, Row{r.label, vals})
+	}
+	return t
+}
+
+// Fig11a: M-PDQ vs single-path PDQ mean FCT on BCube(2,3) as the load
+// (fraction of sending hosts) varies, random permutation (§6).
+func Fig11a(o Opts) *Table {
+	loads := []float64{0.25, 0.5, 0.75, 1.0}
+	if o.Quick {
+		loads = []float64{0.5, 1.0}
+	}
+	t := &Table{Name: "fig11a", Desc: "FCT [ms] vs load (BCube(2,3), random permutation)", Digits: 2}
+	for _, l := range loads {
+		t.Cols = append(t.Cols, fmt.Sprintf("%.0f%%", l*100))
+	}
+	for _, row := range []struct {
+		label string
+		sub   int
+	}{{"PDQ", 1}, {"M-PDQ(3)", 3}} {
+		var vals []float64
+		for _, load := range loads {
+			g := workload.NewGen(o.seed(), workload.UniformMean(100<<10), 0)
+			all := g.Batch(16, workload.Permutation{}, 16, nil, 0)
+			flows := all[:int(load*16)]
+			r := MPDQRunner(row.sub)
+			rs := r(func() *topo.Topology { return topo.BCube(2, 3, o.seed()) }, flows, 5*sim.Second)
+			vals = append(vals, stats.MeanFCT(rs, nil)*1000)
+		}
+		t.Rows = append(t.Rows, Row{row.label, vals})
+	}
+	return t
+}
+
+// Fig11b: M-PDQ mean FCT vs subflow count at full load (§6: ~4 subflows
+// reach most of the benefit).
+func Fig11b(o Opts) *Table {
+	subs := []int{1, 2, 3, 4, 6, 8}
+	if o.Quick {
+		subs = []int{1, 2, 4}
+	}
+	t := &Table{Name: "fig11b", Desc: "FCT [ms] vs number of subflows (BCube(2,3), full load)", Digits: 2}
+	var vals []float64
+	for _, s := range subs {
+		t.Cols = append(t.Cols, fmt.Sprint(s))
+		g := workload.NewGen(o.seed(), workload.UniformMean(100<<10), 0)
+		flows := g.Batch(16, workload.Permutation{}, 16, nil, 0)
+		rs := MPDQRunner(s)(func() *topo.Topology { return topo.BCube(2, 3, o.seed()) }, flows, 5*sim.Second)
+		vals = append(vals, stats.MeanFCT(rs, nil)*1000)
+	}
+	t.Rows = append(t.Rows, Row{"M-PDQ", vals})
+	return t
+}
+
+// Fig11c: deadline-constrained M-PDQ — flows at 99% application
+// throughput vs subflow count.
+func Fig11c(o Opts) *Table {
+	subs := []int{1, 2, 4}
+	hi := 48
+	if o.Quick {
+		subs = []int{1, 4}
+		hi = 24
+	}
+	t := &Table{Name: "fig11c", Desc: "flows at 99% app throughput vs subflows (BCube(2,3), deadline)", Digits: 0}
+	var vals []float64
+	for _, s := range subs {
+		t.Cols = append(t.Cols, fmt.Sprint(s))
+		r := MPDQRunner(s)
+		n := stats.MaxN(1, hi, func(n int) bool {
+			g := workload.NewGen(o.seed(), workload.UniformMean(100<<10), workload.MeanDeadlineDflt)
+			flows := g.Batch(n, workload.Permutation{}, 16, nil, 0)
+			rs := r(func() *topo.Topology { return topo.BCube(2, 3, o.seed()) }, flows, 500*sim.Millisecond)
+			return stats.AppThroughput(rs) >= 99
+		})
+		vals = append(vals, float64(n))
+	}
+	t.Rows = append(t.Rows, Row{"M-PDQ", vals})
+	return t
+}
+
+// Fig12: flow aging (§7): max and mean FCT vs aging rate α, flow-level,
+// with a long flow contending against a stream of short flows, compared
+// with RCP.
+func Fig12(o Opts) *Table {
+	rates := []float64{0, 1, 2, 4, 8, 16}
+	if o.Quick {
+		rates = []float64{0, 4, 16}
+	}
+	t := &Table{Name: "fig12", Desc: "max/mean FCT [ms] vs aging rate (flow-level)", Digits: 1}
+	for _, a := range rates {
+		t.Cols = append(t.Cols, fmt.Sprintf("a=%g", a))
+	}
+	mkFlows := func() []workload.Flow {
+		fl := []workload.Flow{{ID: 1, Src: 0, Dst: 8, Size: 2 << 20}}
+		for i := 0; i < 100; i++ {
+			fl = append(fl, workload.Flow{
+				ID: uint64(i + 2), Src: 1 + i%7, Dst: 8,
+				Size: 100 << 10, Start: sim.Time(i) * sim.Millisecond,
+			})
+		}
+		return fl
+	}
+	build := func() *topo.Topology { return topo.SingleBottleneck(8, o.seed()) }
+	var maxV, meanV []float64
+	for _, a := range rates {
+		p := flowsim.NewPDQ(flowsim.CritPerfect, o.seed())
+		p.AgingRate = a
+		rs := FlowLevel(build, p, false, mkFlows(), 10*sim.Second)
+		maxV = append(maxV, stats.Percentile(stats.FCTs(rs), 100)*1000)
+		meanV = append(meanV, stats.MeanFCT(rs, nil)*1000)
+	}
+	t.Rows = append(t.Rows, Row{"PDQ; Max", maxV}, Row{"PDQ; Mean", meanV})
+	rcp := FlowLevel(build, flowsim.RCP{}, false, mkFlows(), 10*sim.Second)
+	rMax := stats.Percentile(stats.FCTs(rcp), 100) * 1000
+	rMean := stats.MeanFCT(rcp, nil) * 1000
+	var rMaxRow, rMeanRow []float64
+	for range rates {
+		rMaxRow = append(rMaxRow, rMax)
+		rMeanRow = append(rMeanRow, rMean)
+	}
+	t.Rows = append(t.Rows, Row{"RCP/D3; Max", rMaxRow}, Row{"RCP/D3; Mean", rMeanRow})
+	return t
+}
+
+// Figures is the registry of all reproduced figures.
+var Figures = map[string]func(Opts) *Table{
+	"fig1": Fig1, "fig3a": Fig3a, "fig3b": Fig3b, "fig3c": Fig3c,
+	"fig3d": Fig3d, "fig3e": Fig3e, "fig4a": Fig4a, "fig4b": Fig4b,
+	"fig5a": Fig5a, "fig5b": Fig5b, "fig5c": Fig5c, "fig6": Fig6,
+	"fig7": Fig7, "fig8a": Fig8a, "fig8b": Fig8b, "fig8c": Fig8c,
+	"fig8d": Fig8d, "fig8e": Fig8e, "fig9a": Fig9a, "fig9b": Fig9b,
+	"fig10": Fig10, "fig11a": Fig11a, "fig11b": Fig11b, "fig11c": Fig11c,
+	"fig12": Fig12,
+}
+
+// FigureNames returns the registry keys in sorted order.
+func FigureNames() []string {
+	var names []string
+	for k := range Figures {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}

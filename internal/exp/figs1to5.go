@@ -1,0 +1,398 @@
+package exp
+
+import (
+	"fmt"
+
+	"pdq/internal/fluid"
+	"pdq/internal/sim"
+	"pdq/internal/stats"
+	"pdq/internal/workload"
+)
+
+// Fig1 reproduces the motivating example (Fig. 1): three flows of sizes
+// 1, 2, 3 units with deadlines 1, 4, 6 on one unit-rate bottleneck, under
+// fair sharing, SJF/EDF, and D3 with arrival order fB, fA, fC.
+func Fig1(o Opts) *Table {
+	unit := int64(1_000_000_000 / 8)
+	flows := []workload.Flow{
+		{ID: 1, Size: 1 * unit, Deadline: 1 * sim.Second},
+		{ID: 2, Size: 2 * unit, Deadline: 4 * sim.Second},
+		{ID: 3, Size: 3 * unit, Deadline: 6 * sim.Second},
+	}
+	bps := int64(1_000_000_000)
+	t := &Table{
+		Name: "fig1", Desc: "motivating example: completion times (s), mean FCT, deadlines met",
+		Cols: []string{"fA", "fB", "fC", "meanFCT", "met"},
+	}
+	add := func(label string, c fluid.Completion) {
+		met := 0.0
+		for _, f := range flows {
+			if ct, ok := c[f.ID]; ok && ct <= f.Deadline {
+				met++
+			}
+		}
+		t.Rows = append(t.Rows, Row{label, []float64{
+			c[1].Seconds(), c[2].Seconds(), c[3].Seconds(),
+			fluid.MeanFCT(flows, c), met,
+		}})
+	}
+	add("FairSharing", fluid.FairShare(flows, bps))
+	add("SJF/EDF", fluid.SRPT(flows, bps))
+	// D3 with arrival order fB, fA, fC (Fig. 1d): fB reserves 0.5, fA is
+	// stuck with the remaining 0.5 and misses. Fluid D3 on one link.
+	d3c := fluid.Completion{}
+	// fB: rate 2/4 = 0.5 until t=4 (done exactly at its deadline).
+	d3c[2] = 4 * sim.Second
+	// fA: leftover 0.5 for 1 unit: finishes at 2 > deadline 1.
+	d3c[1] = 2 * sim.Second
+	// fC: after fB and fA it has the full link: 3 units from its share.
+	// Between 0–2: fC gets 0; 2–4: 0.5; 4–6: 1.0 → 3 units by t=6.
+	d3c[3] = 6 * sim.Second
+	add("D3(fB;fA;fC)", d3c)
+	return t
+}
+
+// sweepInts returns the full or quick variant of a sweep.
+func sweepInts(o Opts, full, quick []int) []int {
+	if o.Quick {
+		return quick
+	}
+	return full
+}
+
+// Fig3a: application throughput (%) vs number of deadline-constrained
+// query-aggregation flows, for Optimal, the four PDQ variants, D3, RCP
+// and TCP.
+func Fig3a(o Opts) *Table {
+	ns := sweepInts(o, []int{2, 5, 10, 15, 20, 25}, []int{3, 9, 15})
+	t := &Table{Name: "fig3a", Desc: "app throughput [%] vs number of flows (deadline, query aggregation)", Digits: 1}
+	for _, n := range ns {
+		t.Cols = append(t.Cols, fmt.Sprint(n))
+	}
+	runners := PacketRunners()
+	// Optimal (omniscient EDF + Moore–Hodgson on the bottleneck).
+	var opt []float64
+	for _, n := range ns {
+		flows := aggFlows(n, o.seed(), 100<<10, workload.MeanDeadlineDflt)
+		opt = append(opt, fluid.OptimalAppThroughput(flows, bottleneckRate))
+	}
+	t.Rows = append(t.Rows, Row{"Optimal", opt})
+	for _, name := range ProtoOrder {
+		var vals []float64
+		for _, n := range ns {
+			flows := aggFlows(n, o.seed(), 100<<10, workload.MeanDeadlineDflt)
+			rs := runners[name](defaultTree(o.seed()), flows, 500*sim.Millisecond)
+			vals = append(vals, stats.AppThroughput(rs))
+		}
+		t.Rows = append(t.Rows, Row{name, vals})
+	}
+	return t
+}
+
+// Fig3b: application throughput vs mean flow size, 3 concurrent flows.
+func Fig3b(o Opts) *Table {
+	sizes := sweepInts(o, []int{100, 150, 200, 250, 300, 350}, []int{100, 250})
+	t := &Table{Name: "fig3b", Desc: "app throughput [%] vs avg flow size [KB] (3 deadline flows)", Digits: 1}
+	for _, s := range sizes {
+		t.Cols = append(t.Cols, fmt.Sprint(s))
+	}
+	runners := PacketRunners()
+	seeds := 5
+	if o.Quick {
+		seeds = 2
+	}
+	var opt []float64
+	for _, sz := range sizes {
+		v := 0.0
+		for s := 0; s < seeds; s++ {
+			flows := aggFlows(3, o.seed()+int64(s), int64(sz)<<10, workload.MeanDeadlineDflt)
+			v += fluid.OptimalAppThroughput(flows, bottleneckRate)
+		}
+		opt = append(opt, v/float64(seeds))
+	}
+	t.Rows = append(t.Rows, Row{"Optimal", opt})
+	for _, name := range ProtoOrder {
+		var vals []float64
+		for _, sz := range sizes {
+			v := 0.0
+			for s := 0; s < seeds; s++ {
+				flows := aggFlows(3, o.seed()+int64(s), int64(sz)<<10, workload.MeanDeadlineDflt)
+				rs := runners[name](defaultTree(o.seed()), flows, 500*sim.Millisecond)
+				v += stats.AppThroughput(rs)
+			}
+			vals = append(vals, v/float64(seeds))
+		}
+		t.Rows = append(t.Rows, Row{name, vals})
+	}
+	return t
+}
+
+// Fig3c: the number of concurrent flows each protocol sustains at 99%
+// application throughput, as the mean flow deadline varies.
+func Fig3c(o Opts) *Table {
+	deadlines := sweepInts(o, []int{20, 30, 40, 50, 60}, []int{20, 40})
+	hi := 64
+	if o.Quick {
+		hi = 40
+	}
+	t := &Table{Name: "fig3c", Desc: "number of flows at 99% app throughput vs mean deadline [ms]", Digits: 0}
+	for _, d := range deadlines {
+		t.Cols = append(t.Cols, fmt.Sprint(d))
+	}
+	runners := PacketRunners()
+	var opt []float64
+	for _, d := range deadlines {
+		md := sim.Time(d) * sim.Millisecond
+		n := stats.MaxN(1, hi, func(n int) bool {
+			return fluid.OptimalAppThroughput(aggFlows(n, o.seed(), 100<<10, md), bottleneckRate) >= 99
+		})
+		opt = append(opt, float64(n))
+	}
+	t.Rows = append(t.Rows, Row{"Optimal", opt})
+	for _, name := range ProtoOrder {
+		var vals []float64
+		for _, d := range deadlines {
+			md := sim.Time(d) * sim.Millisecond
+			r := runners[name]
+			n := stats.MaxN(1, hi, func(n int) bool {
+				rs := r(defaultTree(o.seed()), aggFlows(n, o.seed(), 100<<10, md), 500*sim.Millisecond)
+				return stats.AppThroughput(rs) >= 99
+			})
+			vals = append(vals, float64(n))
+		}
+		t.Rows = append(t.Rows, Row{name, vals})
+	}
+	return t
+}
+
+// noDeadlineAgg draws n deadline-unconstrained aggregation flows.
+func noDeadlineAgg(n int, seed int64, meanSize int64) []workload.Flow {
+	g := workload.NewGen(seed, workload.UniformMean(meanSize), 0)
+	return g.Batch(n, workload.Aggregation{}, treeHosts, treeRack, 0)
+}
+
+// fctProtos is the protocol set of the FCT figures (RCP ≡ D3 without
+// deadlines, so the paper plots them as one curve).
+var fctProtos = []string{"PDQ(Full)", "PDQ(ES)", "PDQ(Basic)", "RCP/D3", "TCP"}
+
+func fctRunner(runners map[string]Runner, name string) Runner {
+	if name == "RCP/D3" {
+		return runners["RCP"]
+	}
+	return runners[name]
+}
+
+// Fig3d: mean FCT (normalized to optimal) vs number of flows, no
+// deadlines.
+func Fig3d(o Opts) *Table {
+	ns := sweepInts(o, []int{1, 2, 5, 10, 15, 20, 25}, []int{2, 8})
+	t := &Table{Name: "fig3d", Desc: "mean FCT normalized to optimal vs number of flows (no deadlines)"}
+	for _, n := range ns {
+		t.Cols = append(t.Cols, fmt.Sprint(n))
+	}
+	runners := PacketRunners()
+	for _, name := range fctProtos {
+		var vals []float64
+		for _, n := range ns {
+			flows := noDeadlineAgg(n, o.seed(), 100<<10)
+			opt := fluid.MeanFCT(flows, fluid.SRPT(flows, bottleneckRate))
+			rs := fctRunner(runners, name)(defaultTree(o.seed()), flows, 2*sim.Second)
+			vals = append(vals, stats.MeanFCT(rs, nil)/opt)
+		}
+		t.Rows = append(t.Rows, Row{name, vals})
+	}
+	return t
+}
+
+// Fig3e: mean FCT (normalized to optimal) vs mean flow size, 3 flows.
+func Fig3e(o Opts) *Table {
+	sizes := sweepInts(o, []int{100, 150, 200, 250, 300, 350}, []int{100, 300})
+	t := &Table{Name: "fig3e", Desc: "mean FCT normalized to optimal vs avg flow size [KB] (3 flows)"}
+	for _, s := range sizes {
+		t.Cols = append(t.Cols, fmt.Sprint(s))
+	}
+	runners := PacketRunners()
+	for _, name := range fctProtos {
+		var vals []float64
+		for _, sz := range sizes {
+			flows := noDeadlineAgg(3, o.seed(), int64(sz)<<10)
+			opt := fluid.MeanFCT(flows, fluid.SRPT(flows, bottleneckRate))
+			rs := fctRunner(runners, name)(defaultTree(o.seed()), flows, 2*sim.Second)
+			vals = append(vals, stats.MeanFCT(rs, nil)/opt)
+		}
+		t.Rows = append(t.Rows, Row{name, vals})
+	}
+	return t
+}
+
+// patterns is the §5.3 sending-pattern set.
+func patterns() []workload.Pattern {
+	return []workload.Pattern{
+		workload.Aggregation{},
+		workload.Stride{I: 1},
+		workload.Stride{I: treeHosts / 2},
+		workload.Staggered{P: 0.7},
+		workload.Staggered{P: 0.3},
+		workload.Permutation{},
+	}
+}
+
+// Fig4a: number of flows at 99% application throughput per sending
+// pattern, normalized to PDQ(Full).
+func Fig4a(o Opts) *Table {
+	hi := 48
+	if o.Quick {
+		hi = 16
+	}
+	t := &Table{Name: "fig4a", Desc: "flows at 99% app throughput per pattern (normalized to PDQ(Full))"}
+	runners := PacketRunners()
+	vals := map[string][]float64{}
+	for _, pat := range patterns() {
+		t.Cols = append(t.Cols, pat.Name())
+		base := 0.0
+		for _, name := range ProtoOrder {
+			r := runners[name]
+			n := stats.MaxN(1, hi, func(n int) bool {
+				g := workload.NewGen(o.seed(), workload.UniformMean(100<<10), workload.MeanDeadlineDflt)
+				flows := g.Batch(n, pat, treeHosts, treeRack, 0)
+				rs := r(defaultTree(o.seed()), flows, 500*sim.Millisecond)
+				return stats.AppThroughput(rs) >= 99
+			})
+			if name == "PDQ(Full)" {
+				base = float64(n)
+				if base == 0 {
+					base = 1
+				}
+			}
+			vals[name] = append(vals[name], float64(n)/base)
+		}
+	}
+	for _, name := range ProtoOrder {
+		t.Rows = append(t.Rows, Row{name, vals[name]})
+	}
+	return t
+}
+
+// Fig4b: mean FCT per sending pattern, normalized to PDQ(Full), no
+// deadlines.
+func Fig4b(o Opts) *Table {
+	n := 48
+	if o.Quick {
+		n = 36
+	}
+	t := &Table{Name: "fig4b", Desc: "mean FCT per pattern (normalized to PDQ(Full), no deadlines)"}
+	runners := PacketRunners()
+	vals := map[string][]float64{}
+	for _, pat := range patterns() {
+		t.Cols = append(t.Cols, pat.Name())
+		base := 0.0
+		for _, name := range fctProtos {
+			g := workload.NewGen(o.seed(), workload.UniformMean(100<<10), 0)
+			flows := g.Batch(n, pat, treeHosts, treeRack, 0)
+			rs := fctRunner(runners, name)(defaultTree(o.seed()), flows, 2*sim.Second)
+			fct := stats.MeanFCT(rs, nil)
+			if name == "PDQ(Full)" {
+				base = fct
+			}
+			vals[name] = append(vals[name], fct/base)
+		}
+	}
+	for _, name := range fctProtos {
+		t.Rows = append(t.Rows, Row{name, vals[name]})
+	}
+	return t
+}
+
+// vl2Flows draws the §5.3 commercial-datacenter workload: VL2-like sizes,
+// random permutation, Poisson arrivals at the given rate; flows under
+// 40 KB are deadline-constrained.
+func vl2Flows(rate float64, horizon sim.Time, seed int64, meanDeadline sim.Time) []workload.Flow {
+	g := workload.NewGen(seed, workload.VL2SizeDist{}, meanDeadline)
+	g.DeadlineIf = func(size int64) bool { return size < workload.ShortFlowCutoff }
+	return g.Poisson(rate, horizon, workload.Permutation{}, treeHosts, treeRack)
+}
+
+// Fig5a: sustainable short-flow arrival rate at 99% application
+// throughput vs mean flow deadline, under the VL2-like workload.
+func Fig5a(o Opts) *Table {
+	deadlines := sweepInts(o, []int{15, 25, 35, 45}, []int{20, 40})
+	horizon := 100 * sim.Millisecond
+	rateStep := 1000.0 // flows/s granularity
+	maxSteps := 20
+	if o.Quick {
+		horizon = 40 * sim.Millisecond
+		maxSteps = 8
+	}
+	t := &Table{Name: "fig5a", Desc: "short-flow arrival rate [flows/s] at 99% app throughput vs deadline [ms]", Digits: 0}
+	for _, d := range deadlines {
+		t.Cols = append(t.Cols, fmt.Sprint(d))
+	}
+	runners := PacketRunners()
+	for _, name := range ProtoOrder {
+		var vals []float64
+		for _, d := range deadlines {
+			md := sim.Time(d) * sim.Millisecond
+			r := runners[name]
+			n := stats.MaxN(1, maxSteps, func(n int) bool {
+				flows := vl2Flows(float64(n)*rateStep, horizon, o.seed(), md)
+				rs := r(defaultTree(o.seed()), flows, horizon+500*sim.Millisecond)
+				return stats.AppThroughput(rs) >= 99
+			})
+			vals = append(vals, float64(n)*rateStep)
+		}
+		t.Rows = append(t.Rows, Row{name, vals})
+	}
+	return t
+}
+
+// Fig5b: mean FCT of long flows (≥40 KB) under the VL2-like workload,
+// normalized to PDQ(Full).
+func Fig5b(o Opts) *Table {
+	horizon := 200 * sim.Millisecond
+	rate := 3000.0
+	if o.Quick {
+		horizon = 60 * sim.Millisecond
+		rate = 2000
+	}
+	t := &Table{Name: "fig5b", Desc: "long-flow FCT under VL2-like workload (normalized to PDQ(Full))",
+		Cols: []string{"norm"}}
+	runners := PacketRunners()
+	long := func(r workload.Result) bool { return r.Size >= workload.ShortFlowCutoff }
+	base := 0.0
+	for _, name := range fctProtos {
+		flows := vl2Flows(rate, horizon, o.seed(), workload.MeanDeadlineDflt)
+		rs := fctRunner(runners, name)(defaultTree(o.seed()), flows, horizon+2*sim.Second)
+		fct := stats.MeanFCT(rs, long)
+		if name == "PDQ(Full)" {
+			base = fct
+		}
+		t.Rows = append(t.Rows, Row{name, []float64{fct / base}})
+	}
+	return t
+}
+
+// Fig5c: mean FCT under the EDU1-like university workload, normalized to
+// PDQ(Full).
+func Fig5c(o Opts) *Table {
+	horizon := 200 * sim.Millisecond
+	rate := 4000.0
+	if o.Quick {
+		horizon = 60 * sim.Millisecond
+		rate = 3000
+	}
+	t := &Table{Name: "fig5c", Desc: "mean FCT under EDU1-like workload (normalized to PDQ(Full))",
+		Cols: []string{"norm"}}
+	runners := PacketRunners()
+	base := 0.0
+	for _, name := range fctProtos {
+		g := workload.NewGen(o.seed(), workload.EDU1SizeDist{}, 0)
+		flows := g.Poisson(rate, horizon, workload.Permutation{}, treeHosts, treeRack)
+		rs := fctRunner(runners, name)(defaultTree(o.seed()), flows, horizon+2*sim.Second)
+		fct := stats.MeanFCT(rs, nil)
+		if name == "PDQ(Full)" {
+			base = fct
+		}
+		t.Rows = append(t.Rows, Row{name, []float64{fct / base}})
+	}
+	return t
+}

@@ -1,0 +1,181 @@
+package exp
+
+import (
+	"fmt"
+
+	"pdq/internal/core"
+	"pdq/internal/netsim"
+	"pdq/internal/sim"
+	"pdq/internal/stats"
+	"pdq/internal/topo"
+	"pdq/internal/workload"
+)
+
+// Fig6 reproduces the convergence-dynamics scenario (§5.4 scenario 1):
+// five ~1 MB flows start together on one bottleneck; PDQ should serve
+// them sequentially with seamless switching, ~100% bottleneck utilization
+// and a small queue, completing all five in ~42 ms.
+func Fig6(o Opts) *Table {
+	tp := topo.SingleBottleneck(5, 1)
+	sys := core.Install(tp, core.Full())
+	for i := 0; i < 5; i++ {
+		sys.Start(workload.Flow{ID: uint64(i + 1), Src: i, Dst: 5, Size: 1<<20 + int64(i)*100})
+	}
+	bott := tp.Hosts[5].Access.Peer // switch→receiver
+
+	var lastTx uint64
+	util := stats.NewProbe(tp.Sim(), 500*sim.Microsecond, func() float64 {
+		cur := bott.TxBytes
+		d := cur - lastTx
+		lastTx = cur
+		// bits transferred per probe period / capacity.
+		return float64(d*8) / (float64(bott.Rate) * 0.0005) * 100
+	})
+	queue := stats.NewProbe(tp.Sim(), 500*sim.Microsecond, func() float64 {
+		return float64(bott.QueueBytes()) / float64(netsim.MTU)
+	})
+	tp.Sim().RunUntil(100 * sim.Millisecond)
+
+	t := &Table{Name: "fig6", Desc: "convergence dynamics: 5×1MB flows, one bottleneck (PDQ Full)"}
+	t.Cols = []string{"value"}
+	var last sim.Time
+	for i, r := range sys.Results() {
+		if r.Done() && r.Finish > last {
+			last = r.Finish
+		}
+		t.Rows = append(t.Rows, Row{fmt.Sprintf("flow%d completion [ms]", i+1), []float64{r.Finish.Millis()}})
+	}
+	t.Rows = append(t.Rows,
+		Row{"all done [ms]", []float64{last.Millis()}},
+		Row{"utilization 5-40ms [%]", []float64{util.MeanOver(5*sim.Millisecond, 40*sim.Millisecond)}},
+		Row{"max queue [pkts]", []float64{stats.Max(queue.V)}},
+		Row{"drops", []float64{float64(bott.Drops)}},
+	)
+	return t
+}
+
+// Fig7 reproduces the burst-robustness scenario (§5.4 scenario 2): a
+// long-lived flow is preempted at t=10 ms by 50 short (20 KB) flows; PDQ
+// should absorb the burst at high utilization with a small queue.
+func Fig7(o Opts) *Table {
+	nShort := 50
+	if o.Quick {
+		nShort = 25
+	}
+	tp := topo.SingleBottleneck(nShort+1, 1)
+	recv := nShort + 1
+	sys := core.Install(tp, core.Full())
+	sys.Start(workload.Flow{ID: 100000, Src: 0, Dst: recv, Size: 20 << 20}) // long-lived
+	g := workload.NewGen(o.seed(), workload.Uniform{Lo: 19 << 10, Hi: 21 << 10}, 0)
+	for i := 0; i < nShort; i++ {
+		f := g.Flow(1+i, recv, 10*sim.Millisecond)
+		sys.Start(f)
+	}
+	bott := tp.Hosts[recv].Access.Peer
+	var lastTx uint64
+	util := stats.NewProbe(tp.Sim(), 500*sim.Microsecond, func() float64 {
+		cur := bott.TxBytes
+		d := cur - lastTx
+		lastTx = cur
+		return float64(d*8) / (float64(bott.Rate) * 0.0005) * 100
+	})
+	queue := stats.NewProbe(tp.Sim(), 200*sim.Microsecond, func() float64 {
+		return float64(bott.QueueBytes()) / float64(netsim.MTU)
+	})
+	tp.Sim().RunUntil(400 * sim.Millisecond)
+
+	rs := sys.Results()
+	var lastShort sim.Time
+	shortsDone := 0
+	for _, r := range rs[1:] {
+		if r.Done() {
+			shortsDone++
+			if r.Finish > lastShort {
+				lastShort = r.Finish
+			}
+		}
+	}
+	preemptEnd := lastShort
+	t := &Table{Name: "fig7", Desc: "robustness to burst: 50 short flows preempt a long-lived flow (PDQ Full)"}
+	t.Cols = []string{"value"}
+	t.Rows = append(t.Rows,
+		Row{"shorts completed", []float64{float64(shortsDone)}},
+		Row{"shorts done by [ms]", []float64{lastShort.Millis()}},
+		Row{"util during preemption [%]", []float64{util.MeanOver(10*sim.Millisecond, preemptEnd)}},
+		Row{"max queue [pkts]", []float64{stats.Max(queue.V)}},
+		Row{"long flow FCT [ms]", []float64{rs[0].Finish.Millis()}},
+		Row{"drops", []float64{float64(bott.Drops)}},
+	)
+	return t
+}
+
+// lossyTree builds the default tree with the given loss rate injected on
+// the aggregation receiver's access link, both directions (§5.6).
+func lossyTree(seed int64, loss float64) func() *topo.Topology {
+	return func() *topo.Topology {
+		tp := topo.SingleRootedTree(4, 3, seed)
+		l := tp.Hosts[treeHosts-1].Access
+		l.LossRate = loss
+		l.Peer.LossRate = loss
+		return tp
+	}
+}
+
+// Fig9a: number of deadline flows at 99% application throughput vs packet
+// loss rate, PDQ vs TCP.
+func Fig9a(o Opts) *Table {
+	losses := []float64{0, 0.01, 0.02, 0.03}
+	hi := 24
+	if o.Quick {
+		losses = []float64{0, 0.02}
+		hi = 12
+	}
+	t := &Table{Name: "fig9a", Desc: "flows at 99% app throughput vs loss rate (deadline)", Digits: 0}
+	for _, l := range losses {
+		t.Cols = append(t.Cols, fmt.Sprintf("%.0f%%", l*100))
+	}
+	runners := PacketRunners()
+	for _, name := range []string{"PDQ(Full)", "TCP"} {
+		var vals []float64
+		for _, loss := range losses {
+			r := runners[name]
+			n := stats.MaxN(1, hi, func(n int) bool {
+				rs := r(lossyTree(o.seed(), loss), aggFlows(n, o.seed(), 100<<10, workload.MeanDeadlineDflt), 500*sim.Millisecond)
+				return stats.AppThroughput(rs) >= 99
+			})
+			vals = append(vals, float64(n))
+		}
+		t.Rows = append(t.Rows, Row{name, vals})
+	}
+	return t
+}
+
+// Fig9b: mean FCT vs loss rate, normalized to PDQ without loss.
+func Fig9b(o Opts) *Table {
+	losses := []float64{0, 0.01, 0.02, 0.03}
+	n := 10
+	if o.Quick {
+		losses = []float64{0, 0.03}
+		n = 6
+	}
+	t := &Table{Name: "fig9b", Desc: "mean FCT vs loss rate (normalized to PDQ w/o loss)"}
+	for _, l := range losses {
+		t.Cols = append(t.Cols, fmt.Sprintf("%.0f%%", l*100))
+	}
+	runners := PacketRunners()
+	base := 0.0
+	for _, name := range []string{"PDQ(Full)", "TCP"} {
+		var vals []float64
+		for _, loss := range losses {
+			flows := noDeadlineAgg(n, o.seed(), 100<<10)
+			rs := runners[name](lossyTree(o.seed(), loss), flows, 10*sim.Second)
+			fct := stats.MeanFCT(rs, nil)
+			if name == "PDQ(Full)" && loss == 0 {
+				base = fct
+			}
+			vals = append(vals, fct/base)
+		}
+		t.Rows = append(t.Rows, Row{name, vals})
+	}
+	return t
+}

@@ -1,0 +1,464 @@
+// Package flowsim is the flow-level simulator of §5.5: packet dynamics are
+// abstracted away and equilibrium flow rates are recomputed on a 1 ms time
+// scale, which lets the large-scale experiments (Fig. 8, Fig. 10, Fig. 12)
+// run on topologies the packet-level simulator cannot reach in reasonable
+// time. Like the paper's flow-level simulator it models protocol
+// inefficiencies — flow initialization latency and packet-header overhead
+// — but not timeouts or packet loss.
+//
+// Allocators implement the per-step equilibrium:
+//
+//   - PDQ: the §3 centralized algorithm — criticality-ordered waterfilling
+//     with optional Early Termination, inaccurate-criticality modes
+//     (Fig. 10), and flow aging (Fig. 12);
+//   - RCP: max-min fair sharing (also D3's behavior without deadlines);
+//   - D3: arrival-order greedy reservation plus fair share of the rest.
+package flowsim
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"pdq/internal/netsim"
+	"pdq/internal/sim"
+	"pdq/internal/topo"
+	"pdq/internal/workload"
+)
+
+// goodput is the fraction of wire rate available to payload after TCP/IP
+// and scheduling headers (~3% loss, §5.4).
+const goodput = float64(netsim.MSS) / float64(netsim.MTU)
+
+// InitLatency is the flow initialization cost: one RTT for the SYN
+// handshake plus one RTT for the first data round trip (§5.4).
+const InitLatency = 300 * sim.Microsecond
+
+// FlowState is one flow during a flow-level run.
+type FlowState struct {
+	workload.Flow
+	Path      []*netsim.Link
+	Remaining float64 // payload bytes left
+	Rate      float64 // bits/s, set by the allocator each step
+	Started   sim.Time
+	Waiting   sim.Time // cumulative paused time (for aging)
+	crit      float64  // cached criticality for inaccurate modes
+}
+
+// Allocator assigns Rate to every active flow given per-link capacities.
+type Allocator interface {
+	Name() string
+	// Allocate sets f.Rate for every flow; cap maps each link to its
+	// capacity in bits/s and must not be mutated.
+	Allocate(now sim.Time, flows []*FlowState, cap func(*netsim.Link) float64)
+}
+
+// Sim runs a flow-level simulation over a topology.
+type Sim struct {
+	Topo  *topo.Topology
+	Alloc Allocator
+	Step  sim.Duration // default 1 ms
+
+	// ET enables PDQ-style Early Termination of hopeless deadline flows.
+	ET bool
+
+	Collector *workload.Collector
+	pending   []*FlowState // sorted by Start
+	active    []*FlowState
+	now       sim.Time
+}
+
+// New creates a flow-level simulation.
+func New(t *topo.Topology, alloc Allocator) *Sim {
+	return &Sim{Topo: t, Alloc: alloc, Step: sim.Millisecond, Collector: workload.NewCollector()}
+}
+
+// Start registers a flow.
+func (s *Sim) Start(f workload.Flow) {
+	s.Collector.Register(f)
+	fs := &FlowState{
+		Flow:      f,
+		Path:      s.Topo.Path(s.Topo.Hosts[f.Src], s.Topo.Hosts[f.Dst]),
+		Remaining: float64(f.Size),
+		Started:   f.Start + InitLatency,
+	}
+	s.pending = append(s.pending, fs)
+}
+
+// Run advances the simulation to the horizon or until all flows finish.
+func (s *Sim) Run(horizon sim.Time) {
+	sort.SliceStable(s.pending, func(i, j int) bool { return s.pending[i].Start < s.pending[j].Start })
+	for s.now < horizon && (len(s.pending) > 0 || len(s.active) > 0) {
+		s.step()
+	}
+}
+
+// Results returns a snapshot of flow outcomes.
+func (s *Sim) Results() []workload.Result { return s.Collector.Results() }
+
+func (s *Sim) step() {
+	next := s.now + s.Step
+	// Admit flows whose init completes within this step.
+	for len(s.pending) > 0 && s.pending[0].Started < next {
+		s.active = append(s.active, s.pending[0])
+		s.pending = s.pending[1:]
+	}
+	if len(s.active) == 0 {
+		if len(s.pending) > 0 && s.pending[0].Started > next {
+			next = s.pending[0].Started - (s.pending[0].Started % s.Step)
+			if next <= s.now {
+				next = s.now + s.Step
+			}
+		}
+		s.now = next
+		return
+	}
+
+	// Early Termination (PDQ) / quenching: drop hopeless deadline flows.
+	if s.ET {
+		kept := s.active[:0]
+		for _, f := range s.active {
+			if f.HasDeadline() {
+				nic := float64(s.Topo.Hosts[f.Src].NICRate()) * goodput
+				need := sim.Time(f.Remaining * 8 / nic * float64(sim.Second))
+				if s.now+need > f.AbsDeadline() {
+					s.Collector.Terminate(f.ID)
+					continue
+				}
+			}
+			kept = append(kept, f)
+		}
+		s.active = kept
+	}
+
+	// Within the step, rates are re-evaluated whenever a flow completes,
+	// so capacity freed mid-step is immediately reused — the fluid
+	// equivalent of the paper's "iterative approach to find the
+	// equilibrium flow sending rates" at a 1 ms time scale.
+	t := s.now
+	for t < next && len(s.active) > 0 {
+		s.Alloc.Allocate(t, s.active, func(l *netsim.Link) float64 { return float64(l.Rate) })
+		// Earliest completion at the current rates, capped by step end.
+		dt := next - t
+		for _, f := range s.active {
+			if f.Rate > 0 {
+				need := sim.Time(f.Remaining * 8 / (f.Rate * goodput) * float64(sim.Second))
+				if need < dt {
+					dt = need
+				}
+			}
+		}
+		if dt < 1 {
+			dt = 1 // guarantee progress against rounding
+		}
+		secs := float64(dt) / float64(sim.Second)
+		kept := s.active[:0]
+		for _, f := range s.active {
+			if f.Rate <= 0 {
+				f.Waiting += dt
+				kept = append(kept, f)
+				continue
+			}
+			f.Remaining -= f.Rate * goodput * secs / 8
+			if f.Remaining < 0.5 { // sub-byte residue = done
+				s.Collector.Finish(f.ID, t+dt)
+				continue
+			}
+			kept = append(kept, f)
+		}
+		s.active = kept
+		t += dt
+	}
+	s.now = next
+}
+
+// ---------------------------------------------------------------------------
+// PDQ allocator (§3 centralized algorithm).
+
+// CritMode selects how PDQ ranks flows (Fig. 10).
+type CritMode int
+
+// Criticality modes.
+const (
+	// CritPerfect uses true deadlines and remaining sizes (EDF → SRPT).
+	CritPerfect CritMode = iota
+	// CritRandom assigns each flow a random fixed criticality at start.
+	CritRandom
+	// CritEstimate estimates flow size from bytes sent so far, updated
+	// every 50 KB (§5.6): flows that have sent less rank higher.
+	CritEstimate
+)
+
+// PDQ is the flow-level PDQ allocator.
+type PDQ struct {
+	Mode CritMode
+	// AgingRate is the Fig. 12 α: a paused flow's expected transmission
+	// time is scaled by 2^(−α·t) with t its waiting time in units of
+	// 100 ms, preventing starvation. 0 disables aging.
+	AgingRate float64
+	rng       *rand.Rand
+}
+
+// NewPDQ returns a PDQ allocator with deterministic randomness (used only
+// by CritRandom).
+func NewPDQ(mode CritMode, seed int64) *PDQ {
+	return &PDQ{Mode: mode, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Name implements Allocator.
+func (p *PDQ) Name() string { return "PDQ" }
+
+// Allocate implements Allocator: sort by criticality, then grant each flow
+// min(NIC rate, residual capacity along its path), in order (§3).
+func (p *PDQ) Allocate(now sim.Time, flows []*FlowState, cap func(*netsim.Link) float64) {
+	for _, f := range flows {
+		switch p.Mode {
+		case CritRandom:
+			if f.crit == 0 {
+				f.crit = p.rng.Float64() + 1e-9
+			}
+		case CritEstimate:
+			sent := float64(f.Size) - f.Remaining
+			f.crit = math.Floor(sent/float64(50<<10)) + 1
+		}
+	}
+	ordered := append([]*FlowState(nil), flows...)
+	sort.SliceStable(ordered, func(i, j int) bool { return p.less(ordered[i], ordered[j]) })
+	residual := map[*netsim.Link]float64{}
+	for _, f := range ordered {
+		rate := float64(minNIC(f))
+		for _, l := range f.Path {
+			r, ok := residual[l]
+			if !ok {
+				r = cap(l)
+			}
+			if r < rate {
+				rate = r
+			}
+		}
+		if rate < 0 {
+			rate = 0
+		}
+		f.Rate = rate
+		for _, l := range f.Path {
+			r, ok := residual[l]
+			if !ok {
+				r = cap(l)
+			}
+			residual[l] = r - rate
+		}
+	}
+}
+
+func (p *PDQ) less(a, b *FlowState) bool {
+	if p.Mode != CritPerfect {
+		if a.crit != b.crit {
+			return a.crit < b.crit
+		}
+		return a.ID < b.ID
+	}
+	da, db := a.AbsDeadline(), b.AbsDeadline()
+	if da != db {
+		return da < db
+	}
+	ta := p.aged(a)
+	tb := p.aged(b)
+	if ta != tb {
+		return ta < tb
+	}
+	return a.ID < b.ID
+}
+
+// aged is the expected transmission time, reduced by the aging factor
+// 2^(α·t) for flows that have waited t (in 100 ms units), per Fig. 12.
+func (p *PDQ) aged(f *FlowState) float64 {
+	t := f.Remaining
+	if p.AgingRate > 0 {
+		t /= math.Pow(2, p.AgingRate*float64(f.Waiting)/float64(100*sim.Millisecond))
+	}
+	return t
+}
+
+func minNIC(f *FlowState) int64 {
+	// The sender NIC is the first path link; the receiver NIC the last.
+	r := f.Path[0].Rate
+	if last := f.Path[len(f.Path)-1].Rate; last < r {
+		r = last
+	}
+	return r
+}
+
+// ---------------------------------------------------------------------------
+// RCP allocator: max-min fairness.
+
+// RCP is the flow-level fair-sharing allocator (RCP; also D3 with no
+// deadlines, §5.1).
+type RCP struct{}
+
+// Name implements Allocator.
+func (RCP) Name() string { return "RCP" }
+
+// Allocate implements Allocator by progressive filling (max-min fairness),
+// respecting NIC limits.
+func (RCP) Allocate(now sim.Time, flows []*FlowState, cap func(*netsim.Link) float64) {
+	residual := map[*netsim.Link]float64{}
+	count := map[*netsim.Link]int{}
+	frozen := make([]bool, len(flows))
+	for _, f := range flows {
+		for _, l := range f.Path {
+			if _, ok := residual[l]; !ok {
+				residual[l] = cap(l)
+			}
+			count[l]++
+		}
+		f.Rate = 0
+	}
+	remaining := len(flows)
+	for remaining > 0 {
+		// Smallest per-flow share over all links, and the NIC floor.
+		share := math.Inf(1)
+		for l, n := range count {
+			if n == 0 {
+				continue
+			}
+			if s := residual[l] / float64(n); s < share {
+				share = s
+			}
+		}
+		if math.IsInf(share, 1) {
+			break
+		}
+		// Freeze flows limited by their NIC below the share, else flows
+		// on the bottleneck links.
+		progressed := false
+		for i, f := range flows {
+			if frozen[i] {
+				continue
+			}
+			nic := float64(minNIC(f))
+			limit := nic - f.Rate // how much more the NIC allows
+			grant := share
+			if limit <= grant+1e-9 {
+				grant = limit
+			}
+			f.Rate += grant
+			for _, l := range f.Path {
+				residual[l] -= grant
+			}
+			if grant < share-1e-9 { // NIC-limited: done
+				frozen[i] = true
+				remaining--
+				for _, l := range f.Path {
+					count[l]--
+				}
+				progressed = true
+			}
+		}
+		// Freeze flows on exhausted links.
+		for i, f := range flows {
+			if frozen[i] {
+				continue
+			}
+			for _, l := range f.Path {
+				if residual[l] <= 1e-6*cap(l) {
+					frozen[i] = true
+					remaining--
+					for _, g := range f.Path {
+						count[g]--
+					}
+					progressed = true
+					break
+				}
+			}
+		}
+		if !progressed {
+			break
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// D3 allocator.
+
+// D3 is the flow-level D3 allocator: deadline flows reserve r = s/d in
+// arrival order, then the leftover is shared max-min fairly.
+type D3 struct{}
+
+// Name implements Allocator.
+func (D3) Name() string { return "D3" }
+
+// Allocate implements Allocator.
+func (D3) Allocate(now sim.Time, flows []*FlowState, cap func(*netsim.Link) float64) {
+	residual := map[*netsim.Link]float64{}
+	for _, f := range flows {
+		for _, l := range f.Path {
+			if _, ok := residual[l]; !ok {
+				residual[l] = cap(l)
+			}
+		}
+		f.Rate = 0
+	}
+	// Pass 1: reservations in arrival order (first-come first-reserve).
+	ordered := append([]*FlowState(nil), flows...)
+	sort.SliceStable(ordered, func(i, j int) bool {
+		if ordered[i].Start != ordered[j].Start {
+			return ordered[i].Start < ordered[j].Start
+		}
+		return ordered[i].ID < ordered[j].ID
+	})
+	for _, f := range ordered {
+		if !f.HasDeadline() {
+			continue
+		}
+		left := f.AbsDeadline() - now
+		if left <= 0 {
+			continue
+		}
+		want := f.Remaining * 8 / left.Seconds() / goodput
+		if nic := float64(minNIC(f)); want > nic {
+			want = nic
+		}
+		grant := want
+		for _, l := range f.Path {
+			if residual[l] < grant {
+				grant = residual[l]
+			}
+		}
+		if grant < 0 {
+			grant = 0
+		}
+		f.Rate = grant
+		for _, l := range f.Path {
+			residual[l] -= grant
+		}
+	}
+	// Pass 2: fair share of the leftover — each flow gets the minimum
+	// over its path of residual/(flows still to be served on the link),
+	// the per-link equal split D3 computes as fs. Counts shrink as flows
+	// take their share so the split is equal, not geometric.
+	counts := map[*netsim.Link]int{}
+	for _, f := range flows {
+		for _, l := range f.Path {
+			counts[l]++
+		}
+	}
+	for _, f := range ordered {
+		grant := math.Inf(1)
+		for _, l := range f.Path {
+			if share := residual[l] / float64(counts[l]); share < grant {
+				grant = share
+			}
+		}
+		if nic := float64(minNIC(f)); f.Rate+grant > nic {
+			grant = nic - f.Rate
+		}
+		if grant < 0 || math.IsInf(grant, 1) {
+			grant = 0
+		}
+		f.Rate += grant
+		for _, l := range f.Path {
+			residual[l] -= grant
+			counts[l]--
+		}
+	}
+}

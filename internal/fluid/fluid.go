@@ -1,0 +1,238 @@
+// Package fluid implements the idealized fluid-model schedulers the PDQ
+// paper compares against on a single bottleneck:
+//
+//   - SRPT (shortest remaining processing time), which minimizes mean flow
+//     completion time — the paper's "Optimal" for deadline-unconstrained
+//     query aggregation (§5.2.2);
+//   - the omniscient deadline scheduler of §5.2.1: EDF order plus the
+//     Moore–Hodgson algorithm (Pinedo, Algorithm 3.3.1) that discards the
+//     minimum number of flows that cannot meet their deadlines;
+//   - fluid processor sharing (fair sharing), the behavior TCP/RCP/DCTCP
+//     approximate, used in the Fig. 1 motivating example.
+//
+// Sizes are in bytes, rates in bits per second, times in sim.Time; the
+// fluid model has no packetization or feedback delay.
+package fluid
+
+import (
+	"sort"
+
+	"pdq/internal/sim"
+	"pdq/internal/workload"
+)
+
+// Completion maps flow ID → completion time. Flows absent from the map
+// were discarded (deadline case) or never finished.
+type Completion map[uint64]sim.Time
+
+// transmission time of size bytes at bps.
+func xmit(size int64, bps int64) sim.Time {
+	return sim.Time(float64(size) * 8 / float64(bps) * float64(sim.Second))
+}
+
+// SRPT serves flows on one link of the given rate in
+// shortest-remaining-processing-time order, preemptively; this minimizes
+// mean flow completion time. Flows may have distinct start times.
+func SRPT(flows []workload.Flow, bps int64) Completion {
+	type job struct {
+		f    workload.Flow
+		rem  sim.Time // remaining service time
+		done bool
+	}
+	jobs := make([]*job, len(flows))
+	for i, f := range flows {
+		jobs[i] = &job{f: f, rem: xmit(f.Size, bps)}
+	}
+	sort.SliceStable(jobs, func(i, j int) bool { return jobs[i].f.Start < jobs[j].f.Start })
+	out := Completion{}
+	now := sim.Time(0)
+	arrived := 0
+	remainingJobs := len(jobs)
+	for remainingJobs > 0 {
+		// Admit arrivals.
+		for arrived < len(jobs) && jobs[arrived].f.Start <= now {
+			arrived++
+		}
+		// Pick the active job with the smallest remaining time.
+		var cur *job
+		for _, j := range jobs[:arrived] {
+			if !j.done && (cur == nil || j.rem < cur.rem || (j.rem == cur.rem && j.f.ID < cur.f.ID)) {
+				cur = j
+			}
+		}
+		if cur == nil {
+			// Idle until the next arrival.
+			now = jobs[arrived].f.Start
+			continue
+		}
+		// Serve until cur completes or the next arrival preempts.
+		horizon := now + cur.rem
+		if arrived < len(jobs) && jobs[arrived].f.Start < horizon {
+			next := jobs[arrived].f.Start
+			cur.rem -= next - now
+			now = next
+			continue
+		}
+		now = horizon
+		cur.rem = 0
+		cur.done = true
+		out[cur.f.ID] = now
+		remainingJobs--
+	}
+	return out
+}
+
+// FairShare serves flows on one link of the given rate by fluid processor
+// sharing: each active flow receives rate/n. Flows may have distinct
+// start times.
+func FairShare(flows []workload.Flow, bps int64) Completion {
+	type job struct {
+		f    workload.Flow
+		rem  sim.Time
+		done bool
+	}
+	jobs := make([]*job, len(flows))
+	for i, f := range flows {
+		jobs[i] = &job{f: f, rem: xmit(f.Size, bps)}
+	}
+	sort.SliceStable(jobs, func(i, j int) bool { return jobs[i].f.Start < jobs[j].f.Start })
+	out := Completion{}
+	now := sim.Time(0)
+	arrived := 0
+	left := len(jobs)
+	for left > 0 {
+		var active []*job
+		for _, j := range jobs[:arrived] {
+			if !j.done {
+				active = append(active, j)
+			}
+		}
+		if len(active) == 0 {
+			now = jobs[arrived].f.Start
+			arrived++
+			continue
+		}
+		n := sim.Time(len(active))
+		// Time until first completion at 1/n rate each.
+		min := active[0]
+		for _, j := range active[1:] {
+			if j.rem < min.rem {
+				min = j
+			}
+		}
+		dt := min.rem * n
+		// Or until the next arrival.
+		if arrived < len(jobs) && jobs[arrived].f.Start-now < dt {
+			dt = jobs[arrived].f.Start - now
+			for _, j := range active {
+				j.rem -= dt / n
+			}
+			now += dt
+			arrived++
+			continue
+		}
+		for _, j := range active {
+			j.rem -= dt / n
+		}
+		now += dt
+		min.rem = 0
+		min.done = true
+		out[min.f.ID] = now
+		left--
+	}
+	return out
+}
+
+// MooreHodgson schedules flows that all arrive at time 0 on one link in
+// EDF order, discarding the minimum number of flows that cannot meet
+// their deadlines (single-machine 1||ΣUj, optimal). It returns the
+// completion times of the scheduled (on-time) flows and the IDs of the
+// discarded ones; the discarded flows are appended after the on-time set,
+// completing late.
+func MooreHodgson(flows []workload.Flow, bps int64) (Completion, []uint64) {
+	type job struct {
+		f workload.Flow
+		p sim.Time // processing time
+	}
+	jobs := make([]job, len(flows))
+	for i, f := range flows {
+		if !f.HasDeadline() {
+			panic("fluid: MooreHodgson requires deadlines on all flows")
+		}
+		jobs[i] = job{f: f, p: xmit(f.Size, bps)}
+	}
+	sort.SliceStable(jobs, func(i, j int) bool {
+		if jobs[i].f.Deadline != jobs[j].f.Deadline {
+			return jobs[i].f.Deadline < jobs[j].f.Deadline
+		}
+		return jobs[i].f.ID < jobs[j].f.ID
+	})
+	var selected []job
+	var total sim.Time
+	var tardy []uint64
+	for _, j := range jobs {
+		selected = append(selected, j)
+		total += j.p
+		if total > j.f.Deadline {
+			// Remove the longest job among the selected.
+			longest := 0
+			for i := 1; i < len(selected); i++ {
+				if selected[i].p > selected[longest].p {
+					longest = i
+				}
+			}
+			total -= selected[longest].p
+			tardy = append(tardy, selected[longest].f.ID)
+			selected = append(selected[:longest], selected[longest+1:]...)
+		}
+	}
+	out := Completion{}
+	var t sim.Time
+	for _, j := range selected {
+		t += j.p
+		out[j.f.ID] = t
+	}
+	for _, id := range tardy {
+		for _, j := range jobs {
+			if j.f.ID == id {
+				t += j.p
+				out[id] = t
+			}
+		}
+	}
+	return out, tardy
+}
+
+// OptimalAppThroughput returns the best achievable percentage of deadline
+// flows finishing on time for flows sharing one bottleneck, all starting
+// at time 0 (the paper's omniscient scheduler, §5.2.1).
+func OptimalAppThroughput(flows []workload.Flow, bps int64) float64 {
+	if len(flows) == 0 {
+		return 100
+	}
+	comp, _ := MooreHodgson(flows, bps)
+	met := 0
+	for _, f := range flows {
+		if c, ok := comp[f.ID]; ok && c <= f.Deadline {
+			met++
+		}
+	}
+	return 100 * float64(met) / float64(len(flows))
+}
+
+// MeanFCT returns the mean completion time, in seconds, over the flows
+// present in c.
+func MeanFCT(flows []workload.Flow, c Completion) float64 {
+	var sum float64
+	n := 0
+	for _, f := range flows {
+		if t, ok := c[f.ID]; ok {
+			sum += (t - f.Start).Seconds()
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}

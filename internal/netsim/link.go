@@ -1,0 +1,133 @@
+package netsim
+
+import (
+	"fmt"
+
+	"pdq/internal/sim"
+)
+
+// Default link parameters from §5.1 / Figure 2 of the paper.
+const (
+	DefaultRate      int64    = 1_000_000_000 // 1 Gbps
+	DefaultPropDelay sim.Time = 100           // 0.1 µs
+	DefaultProcDelay sim.Time = 25 * sim.Microsecond
+	DefaultQueueCap  int      = 4 << 20 // 4 MB
+)
+
+// Link is one direction of a network cable: an output queue at From feeding
+// a wire toward To. Bidirectional connectivity is modeled as a pair of
+// Links joined by Peer.
+type Link struct {
+	ID        int
+	From, To  Node
+	Rate      int64    // bits per second
+	PropDelay sim.Time // propagation delay
+	ProcDelay sim.Time // per-hop processing delay, charged at delivery
+	QueueCap  int      // tail-drop FIFO capacity in bytes
+	Peer      *Link    // reverse direction, nil for unidirectional links
+
+	// LossRate, if nonzero, drops each enqueued packet with this
+	// probability (used by the §5.6 resilience experiments).
+	LossRate float64
+
+	// State is protocol-private per-link state (e.g. the PDQ switch keeps
+	// its flow list here). Owned by the protocol's switch logic.
+	State any
+
+	net       *Network
+	qBytes    int
+	inService int // wire size of the packet currently serializing
+	busyUntil sim.Time
+
+	// Counters for measurement.
+	TxPackets uint64
+	TxBytes   uint64 // wire bytes fully serialized onto the link
+	Drops     uint64 // tail drops
+	LossDrops uint64 // random losses injected via LossRate
+}
+
+// NewLink creates a single directed link with default parameters.
+func (n *Network) NewLink(from, to Node) *Link {
+	l := &Link{
+		ID:        len(n.links),
+		From:      from,
+		To:        to,
+		Rate:      DefaultRate,
+		PropDelay: DefaultPropDelay,
+		ProcDelay: DefaultProcDelay,
+		QueueCap:  DefaultQueueCap,
+		net:       n,
+	}
+	n.links = append(n.links, l)
+	return l
+}
+
+// NewDuplexLink creates a bidirectional link (two directed links joined by
+// Peer) and returns the from→to direction.
+func (n *Network) NewDuplexLink(a, b Node) *Link {
+	ab := n.NewLink(a, b)
+	ba := n.NewLink(b, a)
+	ab.Peer, ba.Peer = ba, ab
+	return ab
+}
+
+// SetRate sets the rate (bits/s) of l and its peer, if any.
+func (l *Link) SetRate(bps int64) {
+	l.Rate = bps
+	if l.Peer != nil {
+		l.Peer.Rate = bps
+	}
+}
+
+// QueueBytes returns the instantaneous queue occupancy in bytes, including
+// the packet currently being serialized.
+func (l *Link) QueueBytes() int { return l.qBytes }
+
+// QueueWaiting returns the bytes waiting behind the packet currently being
+// serialized — the backlog a rate controller should drain. A link running
+// at exactly its capacity has QueueWaiting ≈ 0 while QueueBytes ≈ one MTU.
+func (l *Link) QueueWaiting() int { return l.qBytes - l.inService }
+
+// TxTime returns the serialization delay of a packet of the given wire size.
+func (l *Link) TxTime(wire int) sim.Time {
+	return sim.Time(int64(wire) * 8 * int64(sim.Second) / l.Rate)
+}
+
+// String identifies the link for diagnostics.
+func (l *Link) String() string {
+	return fmt.Sprintf("link%d(%d->%d)", l.ID, l.From.ID(), l.To.ID())
+}
+
+// Enqueue places pkt into the link's FIFO. If the queue cannot hold the
+// packet it is tail-dropped. Random loss injection (LossRate) also occurs
+// here, covering both directions of the paper's loss experiments.
+func (l *Link) Enqueue(pkt *Packet) {
+	if l.LossRate > 0 && l.net.Rand.Float64() < l.LossRate {
+		l.LossDrops++
+		return
+	}
+	if l.qBytes+pkt.Wire > l.QueueCap {
+		l.Drops++
+		return
+	}
+	l.qBytes += pkt.Wire
+	now := l.net.Sim.Now()
+	start := now
+	if l.busyUntil > start {
+		start = l.busyUntil
+	}
+	done := start + l.TxTime(pkt.Wire)
+	l.busyUntil = done
+	// The packet occupies the queue until fully serialized, then takes
+	// PropDelay + ProcDelay to arrive and be processed at To.
+	l.net.Sim.At(start, func() { l.inService = pkt.Wire })
+	l.net.Sim.At(done, func() {
+		l.qBytes -= pkt.Wire
+		l.inService = 0
+		l.TxPackets++
+		l.TxBytes += uint64(pkt.Wire)
+	})
+	l.net.Sim.At(done+l.PropDelay+l.ProcDelay, func() {
+		l.To.Receive(pkt, l)
+	})
+}

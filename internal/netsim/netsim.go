@@ -1,0 +1,185 @@
+// Package netsim models the network substrate of the PDQ paper's simulator:
+// hosts, output-queued switches, directed links with FIFO tail-drop queues,
+// and the packets and scheduling headers that traverse them.
+//
+// The model follows §5.1 of the paper: every link has a rate (default
+// 1 Gbps), a propagation delay (default 0.1 µs), a per-hop processing delay
+// (default 25 µs) and a tail-drop queue (default 4 MB). Transmission delay
+// is derived from packet size and link rate.
+//
+// Packets are source-routed: a packet carries the ordered list of directed
+// links from source to destination, so acknowledgments traverse the exact
+// reverse path and a switch can locate the forward-direction link state for
+// reverse-path processing as the reverse of the ACK's ingress link.
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pdq/internal/sim"
+)
+
+// NodeID identifies a node (host or switch) in the network.
+type NodeID int32
+
+// FlowID identifies a flow. Subflows of a multipath flow share the parent
+// FlowID and are distinguished by Packet.Subflow.
+type FlowID uint64
+
+// Kind enumerates packet types used by the transport protocols.
+type Kind uint8
+
+// Packet kinds. Forward kinds travel sender→receiver; the receiver echoes
+// each forward packet back as the corresponding reverse kind.
+const (
+	KindInvalid Kind = iota
+	SYN              // flow initialization (carries scheduling header, no data)
+	DATA             // data segment
+	PROBE            // rate probe from a paused sender
+	TERM             // flow termination (normal completion or Early Termination)
+	SYNACK
+	ACK // acknowledgment of a DATA segment
+	PROBEACK
+	TERMACK
+)
+
+// Forward reports whether k travels in the sender→receiver direction.
+func (k Kind) Forward() bool { return k >= SYN && k <= TERM }
+
+// Ack returns the reverse kind acknowledging forward kind k.
+func (k Kind) Ack() Kind {
+	switch k {
+	case SYN:
+		return SYNACK
+	case DATA:
+		return ACK
+	case PROBE:
+		return PROBEACK
+	case TERM:
+		return TERMACK
+	}
+	panic(fmt.Sprintf("netsim: Ack of non-forward kind %d", k))
+}
+
+func (k Kind) String() string {
+	switch k {
+	case SYN:
+		return "SYN"
+	case DATA:
+		return "DATA"
+	case PROBE:
+		return "PROBE"
+	case TERM:
+		return "TERM"
+	case SYNACK:
+		return "SYNACK"
+	case ACK:
+		return "ACK"
+	case PROBEACK:
+		return "PROBEACK"
+	case TERMACK:
+		return "TERMACK"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Wire sizes in bytes, per §5.1 and §7 of the paper.
+const (
+	MTU          = 1500 // maximum wire size of a data packet
+	IPTCPHeader  = 40   // TCP/IP header bytes on every packet
+	ControlWire  = 40   // SYN/ACK/PROBE/TERM wire size (scheduling header piggybacked)
+	SchedHdrWire = 16   // PDQ scheduling header bytes on data packets
+)
+
+// MSS is the maximum payload of a data packet carrying a scheduling header.
+const MSS = MTU - IPTCPHeader - SchedHdrWire
+
+// Packet is a simulated packet. Packets are passed by pointer and owned by
+// exactly one queue or node at a time; protocol endpoints must not retain
+// them after handing them to the network.
+type Packet struct {
+	Flow    FlowID
+	Subflow int // subflow index for multipath flows, 0 otherwise
+	Kind    Kind
+	Src     NodeID // original sender host of the flow
+	Dst     NodeID // receiver host of the flow
+	Seq     int64  // first payload byte offset (DATA and its ACK)
+	Payload int    // payload bytes carried (DATA only)
+	Wire    int    // total bytes on the wire
+
+	Path []*Link // directed links from this packet's source to destination
+	Hop  int     // index into Path of the link currently being traversed
+
+	Hdr any // protocol scheduling header (e.g. *core.Header), may be nil
+
+	// EchoSentAt is the send timestamp of the forward packet, copied into
+	// its acknowledgment by the receiver (like a TCP timestamp option) so
+	// the sender can measure RTT without per-packet sender state.
+	EchoSentAt sim.Time
+}
+
+// Node is a network element that can receive packets from links.
+type Node interface {
+	ID() NodeID
+	// Receive is invoked when pkt has fully traversed ingress.
+	Receive(pkt *Packet, ingress *Link)
+}
+
+// Network owns the simulation clock, nodes and links of one experiment.
+type Network struct {
+	Sim   *sim.Sim
+	Rand  *rand.Rand
+	nodes []Node
+	links []*Link
+}
+
+// NewNetwork creates an empty network driven by s, with deterministic
+// randomness derived from seed.
+func NewNetwork(s *sim.Sim, seed int64) *Network {
+	return &Network{Sim: s, Rand: rand.New(rand.NewSource(seed))}
+}
+
+// AddNode registers n. Nodes must be registered in NodeID order; the helper
+// constructors (NewHost, NewSwitch) handle this.
+func (n *Network) AddNode(node Node) {
+	if int(node.ID()) != len(n.nodes) {
+		panic(fmt.Sprintf("netsim: node %d registered out of order (have %d nodes)", node.ID(), len(n.nodes)))
+	}
+	n.nodes = append(n.nodes, node)
+}
+
+// NextNodeID returns the NodeID the next registered node must use.
+func (n *Network) NextNodeID() NodeID { return NodeID(len(n.nodes)) }
+
+// Node returns the node with the given id.
+func (n *Network) Node(id NodeID) Node { return n.nodes[id] }
+
+// NumNodes returns the number of registered nodes.
+func (n *Network) NumNodes() int { return len(n.nodes) }
+
+// Links returns all directed links, in creation order.
+func (n *Network) Links() []*Link { return n.links }
+
+// Send injects pkt at the head of its path. The caller must have set Path;
+// Hop is reset to 0.
+func (n *Network) Send(pkt *Packet) {
+	if len(pkt.Path) == 0 {
+		panic("netsim: Send with empty path")
+	}
+	pkt.Hop = 0
+	pkt.Path[0].Enqueue(pkt)
+}
+
+// ReversePath returns the reverse of path (each link replaced by its peer),
+// for routing acknowledgments. It allocates a new slice.
+func ReversePath(path []*Link) []*Link {
+	rev := make([]*Link, len(path))
+	for i, l := range path {
+		if l.Peer == nil {
+			panic("netsim: ReversePath over unidirectional link")
+		}
+		rev[len(path)-1-i] = l.Peer
+	}
+	return rev
+}

@@ -1,0 +1,313 @@
+// Package d3 implements the D3 baseline (Wilson et al. [19]) as described
+// and used in the PDQ paper: a deadline-aware, first-come-first-reserve
+// rate-allocation protocol.
+//
+// Every RTT (in practice: on every packet carrying the request header) a
+// sender asks each switch on its path for a desired rate r = s/d — the
+// remaining flow size over the time to deadline — or 0 for best-effort
+// flows. A switch returns the flow's previous allocation to the pool, then
+// grants demand plus a fair share of the leftover capacity, in the order
+// requests arrive. This "first-come first-reserve" behavior is exactly
+// what PDQ's evaluation criticizes: late-arriving flows with tight
+// deadlines can be starved by earlier flows that hold reservations
+// (Fig. 1d).
+//
+// The implementation includes the rate-adaptation parameters α=0.1, β=1,
+// the quenching algorithm (senders terminate flows that can no longer meet
+// their deadline), and the PDQ authors' fix forcing the fair share to be
+// non-negative (§5.1).
+package d3
+
+import (
+	"pdq/internal/netsim"
+	"pdq/internal/protocol/xfer"
+	"pdq/internal/sim"
+	"pdq/internal/topo"
+	"pdq/internal/workload"
+)
+
+// HdrWire is the D3 request header size: desired rate, previous
+// allocation and granted allocation fields.
+const HdrWire = 12
+
+// Header is the D3 rate-request vector carried by every packet.
+type Header struct {
+	Desired int64 // r = remaining/deadline for deadline flows, else 0
+	Grant   int64 // allocation granted this pass (min over switches)
+}
+
+// Config holds D3 parameters (α and β from §5.1).
+type Config struct {
+	xfer.Config
+	Alpha, Beta  float64
+	StaleTimeout sim.Duration
+	// Quench enables the quenching algorithm (§5.1). On by default via
+	// Install; set NoQuench to disable.
+	NoQuench bool
+}
+
+func (c Config) withDefaults() Config {
+	c.Config = c.Config.WithDefaults()
+	c.HdrBytes = HdrWire
+	if c.Alpha == 0 {
+		c.Alpha = 0.1
+	}
+	if c.Beta == 0 {
+		c.Beta = 1
+	}
+	if c.StaleTimeout == 0 {
+		c.StaleTimeout = 20 * sim.Millisecond
+	}
+	return c
+}
+
+// alloc is one flow's standing reservation on a link.
+type alloc struct {
+	rate int64
+	seen sim.Time
+}
+
+// linkState tracks per-flow reservations; first-come first-reserve order
+// emerges because each request is served against the capacity left by the
+// reservations standing at that moment.
+type linkState struct {
+	cfg    *Config
+	link   *netsim.Link
+	allocs map[netsim.FlowID]*alloc
+	sum    int64 // Σ allocs
+	lastGC sim.Time
+}
+
+func (st *linkState) gc(now sim.Time) {
+	if now-st.lastGC < st.cfg.StaleTimeout/2 {
+		return
+	}
+	st.lastGC = now
+	cutoff := now - st.cfg.StaleTimeout
+	for id, a := range st.allocs {
+		if a.seen < cutoff {
+			st.sum -= a.rate
+			delete(st.allocs, id)
+		}
+	}
+}
+
+// request runs the D3 rate-adaptation for one flow request: return the old
+// reservation, compute the available capacity with the α/β correction
+// terms, grant demand plus a non-negative fair share.
+func (st *linkState) request(now sim.Time, flow netsim.FlowID, desired int64) int64 {
+	st.gc(now)
+	a := st.allocs[flow]
+	if a == nil {
+		a = &alloc{}
+		st.allocs[flow] = a
+	}
+	// Return the previous allocation.
+	st.sum -= a.rate
+
+	// Capacity with rate adaptation: C·(1+α·headroom) − β·q/(2·RTT).
+	c := float64(st.link.Rate)
+	head := (c - float64(st.sum)) / c
+	if head < 0 {
+		head = 0
+	}
+	qBits := float64(st.link.QueueWaiting()) * 8
+	drain := st.cfg.Beta * qBits * float64(sim.Second) / float64(2*st.cfg.InitRTT)
+	capacity := c*(1+st.cfg.Alpha*head) - drain
+	if capacity > c {
+		capacity = c
+	}
+
+	avail := int64(capacity) - st.sum
+	if avail < 0 {
+		avail = 0
+	}
+	n := len(st.allocs)
+	// Fair share of what would remain after satisfying the demand; the
+	// PDQ authors' fix: never negative.
+	fs := (avail - desired) / int64(n)
+	if fs < 0 {
+		fs = 0
+	}
+	grant := desired + fs
+	if grant > avail {
+		grant = avail
+	}
+	a.rate = grant
+	a.seen = now
+	st.sum += grant
+	return grant
+}
+
+func (st *linkState) release(flow netsim.FlowID) {
+	if a := st.allocs[flow]; a != nil {
+		st.sum -= a.rate
+		delete(st.allocs, flow)
+	}
+}
+
+// System wires D3 into a topology.
+type System struct {
+	Cfg       Config
+	Topo      *topo.Topology
+	Sim       *sim.Sim
+	Collector *workload.Collector
+
+	states map[*netsim.Link]*linkState
+	agents []*agent
+}
+
+// Install attaches D3 to every host and switch of the topology.
+func Install(t *topo.Topology, cfg Config) *System {
+	s := &System{
+		Cfg:       cfg.withDefaults(),
+		Topo:      t,
+		Sim:       t.Sim(),
+		Collector: workload.NewCollector(),
+		states:    map[*netsim.Link]*linkState{},
+	}
+	for _, sw := range t.Switches {
+		sw.Logic = (*logic)(s)
+	}
+	for _, h := range t.Hosts {
+		ag := &agent{sys: s, host: h,
+			sends: map[netsim.FlowID]*sender{},
+			recvs: map[netsim.FlowID]*xfer.Receiver{},
+		}
+		h.Agent = ag
+		h.Logic = (*logic)(s)
+		s.agents = append(s.agents, ag)
+	}
+	return s
+}
+
+// Name implements the protocol driver interface.
+func (s *System) Name() string { return "D3" }
+
+// Start registers flow f and schedules its transmission.
+func (s *System) Start(f workload.Flow) {
+	s.Collector.Register(f)
+	s.Sim.At(f.Start, func() { s.launch(f) })
+}
+
+// sender wraps the shared transfer machinery with D3's demand computation
+// and quenching.
+type sender struct {
+	*xfer.Sender
+	sys *System
+}
+
+// desired is r = remaining / time-to-deadline for deadline flows.
+func (sd *sender) desired() int64 {
+	f := sd.Flow
+	if !f.HasDeadline() {
+		return 0
+	}
+	left := f.AbsDeadline() - sd.sys.Sim.Now()
+	if left <= 0 {
+		return 0
+	}
+	return sd.Remaining() * 8 * int64(sim.Second) / int64(left)
+}
+
+// quench terminates a flow that can no longer meet its deadline.
+func (sd *sender) quench() bool {
+	if sd.sys.Cfg.NoQuench || sd.Over() || !sd.Flow.HasDeadline() {
+		return false
+	}
+	now := sd.sys.Sim.Now()
+	if now > sd.Flow.AbsDeadline() {
+		sd.sys.Collector.Terminate(sd.Flow.ID)
+		sd.Stop(netsim.TERM)
+		return true
+	}
+	return false
+}
+
+func (s *System) launch(f workload.Flow) {
+	src, dst := s.agents[f.Src], s.agents[f.Dst]
+	path := s.Topo.Path(s.Topo.Hosts[f.Src], s.Topo.Hosts[f.Dst])
+	recv := xfer.NewReceiver(s.Sim, s.Topo.Net, f)
+	recv.OnDone = func() { s.Collector.Finish(f.ID, s.Sim.Now()) }
+	recv.CapRate = func(hdr any) {
+		if h, ok := hdr.(*Header); ok {
+			if nic := dst.host.NICRate(); h.Grant > nic {
+				h.Grant = nic
+			}
+		}
+	}
+	dst.recvs[netsim.FlowID(f.ID)] = recv
+
+	sd := &sender{sys: s}
+	nic := s.Topo.Hosts[f.Src].NICRate()
+	sd.Sender = xfer.New(s.Sim, s.Topo.Net, f, path, s.Cfg.Config, xfer.Callbacks{
+		Header: func() any { return &Header{Desired: sd.desired(), Grant: nic} },
+		OnFeedback: func(hdr any) int64 {
+			if sd.quench() {
+				return 0
+			}
+			if h, ok := hdr.(*Header); ok {
+				return h.Grant
+			}
+			return 0
+		},
+	})
+	src.sends[netsim.FlowID(f.ID)] = sd
+	if !s.Cfg.NoQuench && f.HasDeadline() {
+		s.Sim.At(f.AbsDeadline()+1, func() { sd.quench() })
+	}
+	sd.Start()
+}
+
+// Results returns a snapshot of all flow outcomes.
+func (s *System) Results() []workload.Result { return s.Collector.Results() }
+
+// logic is System viewed as switch logic.
+type logic System
+
+func (l *logic) state(link *netsim.Link) *linkState {
+	st := l.states[link]
+	if st == nil {
+		st = &linkState{cfg: &l.Cfg, link: link, allocs: map[netsim.FlowID]*alloc{}}
+		l.states[link] = st
+	}
+	return st
+}
+
+// Process implements netsim.SwitchLogic: each forward packet renegotiates
+// the flow's reservation on the egress link.
+func (l *logic) Process(at netsim.Node, pkt *netsim.Packet, ingress, egress *netsim.Link) bool {
+	h, ok := pkt.Hdr.(*Header)
+	if !ok || !pkt.Kind.Forward() {
+		return true
+	}
+	st := l.state(egress)
+	if pkt.Kind == netsim.TERM {
+		st.release(pkt.Flow)
+		return true
+	}
+	grant := st.request(l.Sim.Now(), pkt.Flow, h.Desired)
+	if grant < h.Grant {
+		h.Grant = grant
+	}
+	return true
+}
+
+type agent struct {
+	sys   *System
+	host  *netsim.Host
+	sends map[netsim.FlowID]*sender
+	recvs map[netsim.FlowID]*xfer.Receiver
+}
+
+func (a *agent) Receive(pkt *netsim.Packet, ingress *netsim.Link) {
+	if pkt.Kind.Forward() {
+		if r := a.recvs[pkt.Flow]; r != nil {
+			r.OnForward(pkt)
+		}
+		return
+	}
+	if snd := a.sends[pkt.Flow]; snd != nil {
+		snd.HandleAck(pkt)
+	}
+}

@@ -1,0 +1,215 @@
+// Package rcp implements the RCP baseline (Dukkipati & McKeown [10]) used
+// throughout the PDQ paper's evaluation: per-link processor sharing with
+// explicit rate feedback. Following §5.1, this is the *optimized* variant
+// that counts the exact number of flows at each link, which converges to
+// the fair rate within about an RTT and avoids the loss bursts of the
+// estimator-based original. The paper notes this optimized RCP is exactly
+// equivalent to D3 when flows have no deadlines.
+package rcp
+
+import (
+	"pdq/internal/netsim"
+	"pdq/internal/protocol/xfer"
+	"pdq/internal/sim"
+	"pdq/internal/topo"
+	"pdq/internal/workload"
+)
+
+// HdrWire is the RCP congestion header size: one 4-byte rate field plus a
+// 4-byte echo, conservatively charged like the other explicit-rate
+// protocols' headers.
+const HdrWire = 8
+
+// Header is the RCP rate feedback carried by every packet.
+type Header struct {
+	Rate int64 // bits/s; switches lower it to their fair share
+}
+
+// Config holds RCP parameters.
+type Config struct {
+	xfer.Config
+	// UpdateEvery is the fair-rate recomputation period in (average)
+	// RTTs; the controller uses the same 2·RTT rhythm as PDQ's rate
+	// controller so queues built during flow churn drain.
+	UpdateEvery float64
+	// StaleTimeout evicts flows whose TERM was lost from the exact count.
+	StaleTimeout sim.Duration
+}
+
+func (c Config) withDefaults() Config {
+	c.Config = c.Config.WithDefaults()
+	c.HdrBytes = HdrWire
+	if c.UpdateEvery == 0 {
+		c.UpdateEvery = 2
+	}
+	if c.StaleTimeout == 0 {
+		c.StaleTimeout = 20 * sim.Millisecond
+	}
+	return c
+}
+
+// linkState is the per-link RCP controller: the exact flow set and the
+// current fair rate.
+type linkState struct {
+	cfg        *Config
+	link       *netsim.Link
+	flows      map[netsim.FlowID]sim.Time // flow → last seen
+	rate       int64                      // current fair share
+	lastUpdate sim.Time
+}
+
+func (st *linkState) maybeUpdate(now sim.Time) {
+	rtt := st.cfg.InitRTT
+	period := sim.Time(st.cfg.UpdateEvery * float64(rtt))
+	if now-st.lastUpdate < period {
+		return
+	}
+	st.lastUpdate = now
+	cutoff := now - st.cfg.StaleTimeout
+	for id, seen := range st.flows {
+		if seen < cutoff {
+			delete(st.flows, id)
+		}
+	}
+	n := len(st.flows)
+	if n == 0 {
+		st.rate = st.link.Rate
+		return
+	}
+	qBits := int64(st.link.QueueWaiting()) * 8
+	drain := qBits * int64(sim.Second) / int64(2*rtt)
+	c := st.link.Rate - drain
+	if c < 0 {
+		c = 0
+	}
+	st.rate = c / int64(n)
+}
+
+// System wires RCP into a topology (same shape as core.System).
+type System struct {
+	Cfg       Config
+	Topo      *topo.Topology
+	Sim       *sim.Sim
+	Collector *workload.Collector
+
+	states map[*netsim.Link]*linkState
+	agents []*agent
+}
+
+// Install attaches RCP to every host and switch of the topology.
+func Install(t *topo.Topology, cfg Config) *System {
+	s := &System{
+		Cfg:       cfg.withDefaults(),
+		Topo:      t,
+		Sim:       t.Sim(),
+		Collector: workload.NewCollector(),
+		states:    map[*netsim.Link]*linkState{},
+	}
+	for _, sw := range t.Switches {
+		sw.Logic = (*logic)(s)
+	}
+	for _, h := range t.Hosts {
+		ag := &agent{sys: s, host: h,
+			sends: map[netsim.FlowID]*xfer.Sender{},
+			recvs: map[netsim.FlowID]*xfer.Receiver{},
+		}
+		h.Agent = ag
+		h.Logic = (*logic)(s)
+		s.agents = append(s.agents, ag)
+	}
+	return s
+}
+
+// Name implements the protocol driver interface.
+func (s *System) Name() string { return "RCP" }
+
+// Start registers flow f and schedules its transmission.
+func (s *System) Start(f workload.Flow) {
+	s.Collector.Register(f)
+	s.Sim.At(f.Start, func() { s.launch(f) })
+}
+
+func (s *System) launch(f workload.Flow) {
+	src, dst := s.agents[f.Src], s.agents[f.Dst]
+	path := s.Topo.Path(s.Topo.Hosts[f.Src], s.Topo.Hosts[f.Dst])
+	recv := xfer.NewReceiver(s.Sim, s.Topo.Net, f)
+	recv.OnDone = func() { s.Collector.Finish(f.ID, s.Sim.Now()) }
+	recv.CapRate = func(hdr any) {
+		if h, ok := hdr.(*Header); ok {
+			if nic := dst.host.NICRate(); h.Rate > nic {
+				h.Rate = nic
+			}
+		}
+	}
+	dst.recvs[netsim.FlowID(f.ID)] = recv
+
+	var snd *xfer.Sender
+	nic := s.Topo.Hosts[f.Src].NICRate()
+	snd = xfer.New(s.Sim, s.Topo.Net, f, path, s.Cfg.Config, xfer.Callbacks{
+		Header: func() any { return &Header{Rate: nic} },
+		OnFeedback: func(hdr any) int64 {
+			if h, ok := hdr.(*Header); ok {
+				return h.Rate
+			}
+			return 0
+		},
+	})
+	src.sends[netsim.FlowID(f.ID)] = snd
+	snd.Start()
+}
+
+// Results returns a snapshot of all flow outcomes.
+func (s *System) Results() []workload.Result { return s.Collector.Results() }
+
+// logic is System viewed as switch logic.
+type logic System
+
+func (l *logic) state(link *netsim.Link) *linkState {
+	st := l.states[link]
+	if st == nil {
+		st = &linkState{cfg: &l.Cfg, link: link, flows: map[netsim.FlowID]sim.Time{}, rate: link.Rate}
+		l.states[link] = st
+	}
+	return st
+}
+
+// Process implements netsim.SwitchLogic: forward packets have their rate
+// field lowered to the link's fair share; TERM removes the flow from the
+// exact count.
+func (l *logic) Process(at netsim.Node, pkt *netsim.Packet, ingress, egress *netsim.Link) bool {
+	h, ok := pkt.Hdr.(*Header)
+	if !ok || !pkt.Kind.Forward() {
+		return true
+	}
+	st := l.state(egress)
+	now := l.Sim.Now()
+	if pkt.Kind == netsim.TERM {
+		delete(st.flows, pkt.Flow)
+		return true
+	}
+	st.flows[pkt.Flow] = now
+	st.maybeUpdate(now)
+	if st.rate < h.Rate {
+		h.Rate = st.rate
+	}
+	return true
+}
+
+type agent struct {
+	sys   *System
+	host  *netsim.Host
+	sends map[netsim.FlowID]*xfer.Sender
+	recvs map[netsim.FlowID]*xfer.Receiver
+}
+
+func (a *agent) Receive(pkt *netsim.Packet, ingress *netsim.Link) {
+	if pkt.Kind.Forward() {
+		if r := a.recvs[pkt.Flow]; r != nil {
+			r.OnForward(pkt)
+		}
+		return
+	}
+	if snd := a.sends[pkt.Flow]; snd != nil {
+		snd.HandleAck(pkt)
+	}
+}

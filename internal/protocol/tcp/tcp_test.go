@@ -1,0 +1,109 @@
+package tcp
+
+import (
+	"testing"
+
+	"pdq/internal/sim"
+	"pdq/internal/topo"
+	"pdq/internal/workload"
+)
+
+func run(t *testing.T, tp *topo.Topology, flows []workload.Flow, horizon sim.Time) []workload.Result {
+	t.Helper()
+	sys := Install(tp, Config{})
+	for _, f := range flows {
+		sys.Start(f)
+	}
+	tp.Sim().RunUntil(horizon)
+	return sys.Results()
+}
+
+func TestSingleFlow(t *testing.T) {
+	tp := topo.SingleBottleneck(1, 1)
+	rs := run(t, tp, []workload.Flow{{ID: 1, Src: 0, Dst: 1, Size: 1 << 20}}, sim.Second)
+	if !rs[0].Done() {
+		t.Fatal("flow incomplete")
+	}
+	// 1 MB solo: ≥ raw 8.7 ms plus slow-start ramp; well under 30 ms.
+	if rs[0].FCT() < 8*sim.Millisecond || rs[0].FCT() > 30*sim.Millisecond {
+		t.Errorf("FCT %v unexpected", rs[0].FCT())
+	}
+}
+
+func TestSlowStartPenalizesShortFlows(t *testing.T) {
+	// A short flow pays the slow-start ramp: FCT well above the raw
+	// transfer time (the §5.2.2 observation that TCP lags for small n).
+	tp := topo.SingleBottleneck(1, 1)
+	rs := run(t, tp, []workload.Flow{{ID: 1, Src: 0, Dst: 1, Size: 100 << 10}}, sim.Second)
+	if !rs[0].Done() {
+		t.Fatal("flow incomplete")
+	}
+	raw := 900 * sim.Microsecond
+	if rs[0].FCT() < raw {
+		t.Errorf("FCT %v below raw transfer time", rs[0].FCT())
+	}
+	// ~70 packets needs ~6 doubling rounds ≈ 6 RTTs ≈ 1 ms extra.
+	if rs[0].FCT() > 5*sim.Millisecond {
+		t.Errorf("FCT %v too slow even for slow start", rs[0].FCT())
+	}
+}
+
+func TestFairSharing(t *testing.T) {
+	tp := topo.SingleBottleneck(2, 1)
+	flows := []workload.Flow{
+		{ID: 1, Src: 0, Dst: 2, Size: 2 << 20},
+		{ID: 2, Src: 1, Dst: 2, Size: 2 << 20},
+	}
+	rs := run(t, tp, flows, sim.Second)
+	for _, r := range rs {
+		if !r.Done() {
+			t.Fatal("flow incomplete")
+		}
+	}
+	gap := rs[0].Finish - rs[1].Finish
+	if gap < 0 {
+		gap = -gap
+	}
+	if gap > 15*sim.Millisecond {
+		t.Errorf("finish gap %v: flows should share roughly fairly", gap)
+	}
+}
+
+func TestFastRetransmitUnderLoss(t *testing.T) {
+	tp := topo.SingleBottleneck(1, 1)
+	b := tp.Hosts[1].Access.Peer // switch→receiver
+	b.LossRate = 0.01
+	rs := run(t, tp, []workload.Flow{{ID: 1, Src: 0, Dst: 1, Size: 2 << 20}}, 10*sim.Second)
+	if !rs[0].Done() {
+		t.Fatal("flow incomplete under 1% loss")
+	}
+}
+
+func TestIncastManySenders(t *testing.T) {
+	// 12 senders → 1 receiver with small flows: the incast pattern. With
+	// small RTOmin everyone must still complete.
+	tp := topo.SingleBottleneck(12, 1)
+	var flows []workload.Flow
+	for i := 0; i < 12; i++ {
+		flows = append(flows, workload.Flow{ID: uint64(i + 1), Src: i, Dst: 12, Size: 64 << 10})
+	}
+	rs := run(t, tp, flows, 10*sim.Second)
+	for i, r := range rs {
+		if !r.Done() {
+			t.Fatalf("sender %d never completed (incast collapse)", i)
+		}
+	}
+}
+
+func TestCumulativeAckAdvance(t *testing.T) {
+	// Heavier loss both directions: go-back-N + cumulative ACKs must
+	// still deliver every byte exactly once.
+	tp := topo.SingleBottleneck(1, 1)
+	b := tp.Hosts[1].Access.Peer
+	b.LossRate = 0.05
+	b.Peer.LossRate = 0.05
+	rs := run(t, tp, []workload.Flow{{ID: 1, Src: 0, Dst: 1, Size: 500 << 10}}, 30*sim.Second)
+	if !rs[0].Done() {
+		t.Fatal("flow incomplete under 5% bidirectional loss")
+	}
+}

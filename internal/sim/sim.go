@@ -1,0 +1,210 @@
+// Package sim implements a deterministic discrete-event simulation engine.
+//
+// The engine is the substrate for the packet-level network simulator used to
+// reproduce the PDQ paper (Hong et al., SIGCOMM 2012). Events are ordered by
+// (time, sequence number), where the sequence number is assigned at schedule
+// time, so simulations are fully deterministic: the same seed and the same
+// schedule produce the same execution, event for event.
+//
+// Time is an integer number of nanoseconds since the start of the
+// simulation. At 1 Gbps one bit lasts one nanosecond, so nanosecond
+// resolution is exact for the link rates the paper uses.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is a simulation timestamp in nanoseconds since simulation start.
+type Time int64
+
+// Duration is a span of simulation time in nanoseconds.
+type Duration = Time
+
+// Handy duration units.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// MaxTime is the largest representable simulation time.
+const MaxTime Time = math.MaxInt64
+
+// Seconds reports t as a floating-point number of seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Millis reports t as a floating-point number of milliseconds.
+func (t Time) Millis() float64 { return float64(t) / float64(Millisecond) }
+
+// Micros reports t as a floating-point number of microseconds.
+func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
+
+// String formats the time with an adaptive unit.
+func (t Time) String() string {
+	switch {
+	case t >= Second:
+		return fmt.Sprintf("%.6gs", t.Seconds())
+	case t >= Millisecond:
+		return fmt.Sprintf("%.6gms", t.Millis())
+	case t >= Microsecond:
+		return fmt.Sprintf("%.6gus", t.Micros())
+	default:
+		return fmt.Sprintf("%dns", int64(t))
+	}
+}
+
+// FromSeconds converts a floating-point number of seconds to a Time.
+func FromSeconds(s float64) Time { return Time(math.Round(s * float64(Second))) }
+
+// event is a scheduled callback.
+type event struct {
+	at   Time
+	seq  uint64
+	fn   func()
+	idx  int // heap index; -1 once popped or canceled
+	dead bool
+}
+
+// EventRef identifies a scheduled event so it can be canceled.
+// The zero EventRef is invalid.
+type EventRef struct{ ev *event }
+
+// Valid reports whether r refers to a scheduled (possibly already fired)
+// event.
+func (r EventRef) Valid() bool { return r.ev != nil }
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.idx = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.idx = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Sim is a discrete-event simulator. The zero value is ready to use.
+// Sim is not safe for concurrent use; the whole simulation runs in one
+// goroutine by design (see DESIGN.md §5).
+type Sim struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	nRun   uint64
+	halted bool
+}
+
+// New returns a new simulator with the clock at zero.
+func New() *Sim { return &Sim{} }
+
+// Now returns the current simulation time.
+func (s *Sim) Now() Time { return s.now }
+
+// Processed returns the number of events executed so far.
+func (s *Sim) Processed() uint64 { return s.nRun }
+
+// Pending returns the number of events currently scheduled.
+func (s *Sim) Pending() int { return len(s.events) }
+
+// At schedules fn to run at absolute time t. Scheduling in the past (t <
+// Now) panics: it is always a logic error in a discrete-event simulation.
+func (s *Sim) At(t Time, fn func()) EventRef {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, s.now))
+	}
+	if fn == nil {
+		panic("sim: scheduling nil function")
+	}
+	ev := &event{at: t, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.events, ev)
+	return EventRef{ev}
+}
+
+// After schedules fn to run d nanoseconds from now. Negative d panics.
+func (s *Sim) After(d Duration, fn func()) EventRef { return s.At(s.now+d, fn) }
+
+// Cancel removes a scheduled event. Canceling an already-fired or
+// already-canceled event is a no-op. It reports whether the event was
+// actually removed.
+func (s *Sim) Cancel(r EventRef) bool {
+	ev := r.ev
+	if ev == nil || ev.dead || ev.idx < 0 {
+		return false
+	}
+	ev.dead = true
+	heap.Remove(&s.events, ev.idx)
+	return true
+}
+
+// Halt stops the currently executing Run after the current event returns.
+func (s *Sim) Halt() { s.halted = true }
+
+// Run executes events in order until the queue is empty or Halt is called.
+func (s *Sim) Run() { s.RunUntil(MaxTime) }
+
+// RunUntil executes events in order while their time is <= end, stopping
+// early if the queue empties or Halt is called. On return, Now() is the
+// time of the last executed event (or end, if events remain beyond it).
+func (s *Sim) RunUntil(end Time) {
+	s.halted = false
+	for len(s.events) > 0 && !s.halted {
+		next := s.events[0]
+		if next.at > end {
+			s.now = end
+			return
+		}
+		heap.Pop(&s.events)
+		if next.dead {
+			continue
+		}
+		s.now = next.at
+		s.nRun++
+		next.fn()
+	}
+	if s.now < end && len(s.events) == 0 {
+		// Leave the clock at the last event; callers that need the
+		// wall end can read it from their own bookkeeping. Advancing
+		// to an arbitrary horizon would make MaxTime overflow-prone.
+		return
+	}
+}
+
+// Step executes exactly one event if any is pending and reports whether an
+// event was executed.
+func (s *Sim) Step() bool {
+	for len(s.events) > 0 {
+		next := heap.Pop(&s.events).(*event)
+		if next.dead {
+			continue
+		}
+		s.now = next.at
+		s.nRun++
+		next.fn()
+		return true
+	}
+	return false
+}

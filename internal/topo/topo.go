@@ -1,0 +1,198 @@
+// Package topo builds the network topologies evaluated in the PDQ paper
+// (§5.1, §5.5): the single-bottleneck star of Fig. 2b, the two-level
+// single-rooted tree of Fig. 2a, Fat-tree, BCube and Jellyfish, together
+// with deterministic shortest-path routing and equal-cost multipath
+// enumeration for Multipath PDQ (§6).
+package topo
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pdq/internal/netsim"
+	"pdq/internal/sim"
+)
+
+// Topology is a built network plus routing state.
+type Topology struct {
+	Name     string
+	Net      *netsim.Network
+	Hosts    []*netsim.Host
+	Switches []*netsim.Switch
+
+	adj  [][]*netsim.Link // outgoing links per NodeID
+	dist [][]int32        // BFS hop counts from each host's attachment, lazy
+}
+
+// New creates an empty topology over a fresh network.
+func New(name string, seed int64) *Topology {
+	return &Topology{Name: name, Net: netsim.NewNetwork(sim.New(), seed)}
+}
+
+// Sim returns the simulation driving the topology's network.
+func (t *Topology) Sim() *sim.Sim { return t.Net.Sim }
+
+func (t *Topology) addHost() *netsim.Host {
+	h := t.Net.NewHost()
+	t.Hosts = append(t.Hosts, h)
+	return h
+}
+
+func (t *Topology) addSwitch() *netsim.Switch {
+	s := t.Net.NewSwitch()
+	t.Switches = append(t.Switches, s)
+	return s
+}
+
+// connect creates a duplex link between a and b and records adjacency.
+func (t *Topology) connect(a, b netsim.Node) *netsim.Link {
+	l := t.Net.NewDuplexLink(a, b)
+	t.note(l)
+	t.note(l.Peer)
+	if h, ok := a.(*netsim.Host); ok && h.Access == nil {
+		h.Access = l
+	}
+	if h, ok := b.(*netsim.Host); ok && h.Access == nil {
+		h.Access = l.Peer
+	}
+	return l
+}
+
+func (t *Topology) note(l *netsim.Link) {
+	id := int(l.From.ID())
+	for len(t.adj) <= id {
+		t.adj = append(t.adj, nil)
+	}
+	t.adj[id] = append(t.adj[id], l)
+}
+
+// Adjacent returns the outgoing links of node id.
+func (t *Topology) Adjacent(id netsim.NodeID) []*netsim.Link {
+	if int(id) >= len(t.adj) {
+		return nil
+	}
+	return t.adj[id]
+}
+
+// distancesFrom computes BFS hop counts from node src to every node.
+func (t *Topology) distancesFrom(src netsim.NodeID) []int32 {
+	n := t.Net.NumNodes()
+	d := make([]int32, n)
+	for i := range d {
+		d[i] = -1
+	}
+	d[src] = 0
+	queue := []netsim.NodeID{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, l := range t.Adjacent(u) {
+			v := l.To.ID()
+			if d[v] < 0 {
+				d[v] = d[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return d
+}
+
+// distTo returns (cached) BFS distances from every node TO dst, computed by
+// BFS from dst (links are symmetric duplex pairs, so distances agree).
+func (t *Topology) distTo(dst netsim.NodeID) []int32 {
+	if t.dist == nil {
+		t.dist = make([][]int32, t.Net.NumNodes())
+	}
+	if t.dist[dst] == nil {
+		t.dist[dst] = t.distancesFrom(dst)
+	}
+	return t.dist[dst]
+}
+
+// Path returns a deterministic shortest path of directed links from host a
+// to host b. Ties are broken by lowest link ID, so the same pair always
+// routes the same way.
+func (t *Topology) Path(a, b *netsim.Host) []*netsim.Link {
+	p := t.pathVia(a.ID(), b.ID(), func(cands []*netsim.Link) *netsim.Link { return cands[0] })
+	if p == nil {
+		panic(fmt.Sprintf("topo %s: no path %d->%d", t.Name, a.ID(), b.ID()))
+	}
+	return p
+}
+
+// pathVia walks the shortest-path DAG from a to b, using pick to choose
+// among equal-cost next hops (candidates are sorted by link ID).
+func (t *Topology) pathVia(a, b netsim.NodeID, pick func([]*netsim.Link) *netsim.Link) []*netsim.Link {
+	if a == b {
+		return nil
+	}
+	d := t.distTo(b)
+	if d[a] < 0 {
+		return nil
+	}
+	var path []*netsim.Link
+	u := a
+	for u != b {
+		var cands []*netsim.Link
+		for _, l := range t.Adjacent(u) {
+			if d[l.To.ID()] == d[u]-1 {
+				cands = append(cands, l)
+			}
+		}
+		if len(cands) == 0 {
+			return nil
+		}
+		l := pick(cands)
+		path = append(path, l)
+		u = l.To.ID()
+	}
+	return path
+}
+
+// Paths returns up to maxK distinct equal-cost shortest paths from a to b,
+// deterministically derived from (a, b). The first returned path equals
+// Path(a, b). Used by M-PDQ to assign subflows to ECMP paths.
+func (t *Topology) Paths(a, b *netsim.Host, maxK int) [][]*netsim.Link {
+	var out [][]*netsim.Link
+	seen := map[string]bool{}
+	add := func(p []*netsim.Link) bool {
+		if p == nil {
+			return false
+		}
+		key := ""
+		for _, l := range p {
+			key += fmt.Sprintf("%d,", l.ID)
+		}
+		if seen[key] {
+			return false
+		}
+		seen[key] = true
+		out = append(out, p)
+		return true
+	}
+	add(t.pathVia(a.ID(), b.ID(), func(c []*netsim.Link) *netsim.Link { return c[0] }))
+	rng := rand.New(rand.NewSource(int64(a.ID())<<20 ^ int64(b.ID()) ^ 0x5bd1e995))
+	misses := 0
+	for len(out) < maxK && misses < 64 {
+		p := t.pathVia(a.ID(), b.ID(), func(c []*netsim.Link) *netsim.Link { return c[rng.Intn(len(c))] })
+		if !add(p) {
+			misses++
+		}
+	}
+	return out
+}
+
+// Diameter returns the maximum shortest-path hop count between any two
+// hosts (useful in tests).
+func (t *Topology) Diameter() int {
+	max := 0
+	for _, h := range t.Hosts {
+		d := t.distTo(h.ID())
+		for _, g := range t.Hosts {
+			if int(d[g.ID()]) > max {
+				max = int(d[g.ID()])
+			}
+		}
+	}
+	return max
+}

@@ -1,0 +1,62 @@
+package workload
+
+import "pdq/internal/sim"
+
+// Collector accumulates per-flow outcomes during a simulation. Protocol
+// agents report completions and terminations into a collector shared across
+// all hosts of one experiment.
+type Collector struct {
+	byID  map[uint64]*Result
+	order []uint64
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector {
+	return &Collector{byID: map[uint64]*Result{}}
+}
+
+// Register records that flow f has been started. Finish is initialized to
+// -1 ("never finished").
+func (c *Collector) Register(f Flow) {
+	if _, dup := c.byID[f.ID]; dup {
+		panic("workload: duplicate flow ID registered")
+	}
+	c.byID[f.ID] = &Result{Flow: f, Finish: -1}
+	c.order = append(c.order, f.ID)
+}
+
+// Finish records that the receiver got the flow's last byte at time t.
+// Later calls for the same flow are ignored (multipath subflows may race).
+func (c *Collector) Finish(id uint64, t sim.Time) {
+	r := c.byID[id]
+	if r == nil {
+		panic("workload: Finish for unregistered flow")
+	}
+	if r.Finish < 0 {
+		r.Finish = t
+	}
+}
+
+// Terminate records that the flow gave up (Early Termination). A flow that
+// already finished stays finished.
+func (c *Collector) Terminate(id uint64) {
+	r := c.byID[id]
+	if r == nil {
+		panic("workload: Terminate for unregistered flow")
+	}
+	if r.Finish < 0 {
+		r.Terminated = true
+	}
+}
+
+// Get returns the current result for a flow.
+func (c *Collector) Get(id uint64) Result { return *c.byID[id] }
+
+// Results returns a snapshot of all results in registration order.
+func (c *Collector) Results() []Result {
+	out := make([]Result, len(c.order))
+	for i, id := range c.order {
+		out[i] = *c.byID[id]
+	}
+	return out
+}
