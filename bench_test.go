@@ -108,6 +108,28 @@ func BenchmarkFig11c(b *testing.B) { benchFig(b, "fig11c") }
 // Fig. 12: flow aging (flow level).
 func BenchmarkFig12(b *testing.B) { benchFig(b, "fig12") }
 
+// Parallel-vs-serial benches for the sweep executor (internal/exp/sweep.go):
+// the same figure grid at 1 worker and at one worker per core. The ratio
+// is the executor's wall-clock win on that figure's trial grid.
+func BenchmarkSweepExecutor(b *testing.B) {
+	for _, fig := range []string{"fig3a", "fig3c", "fig8b"} {
+		for _, mode := range []struct {
+			name    string
+			workers int
+		}{{"serial", 1}, {"parallel", 0}} {
+			b.Run(fig+"/"+mode.name, func(b *testing.B) {
+				var sink *exp.Table
+				for i := 0; i < b.N; i++ {
+					sink = exp.Figures[fig](exp.Opts{Quick: true, Seed: 1, Parallel: mode.workers})
+				}
+				if sink == nil || len(sink.Rows) == 0 {
+					b.Fatal("empty result table")
+				}
+			})
+		}
+	}
+}
+
 // Ablation benches for the design choices called out in DESIGN.md: the
 // cost of each PDQ feature is visible as the runtime/allocation delta of
 // the same workload under each variant (the result quality deltas are in

@@ -5,13 +5,18 @@
 //	pdqsim -list
 //	pdqsim -exp fig3a [-seed 7]
 //	pdqsim -exp all -quick
+//	pdqsim -exp all -quick -parallel 8 -trials 5 -json
 //
 // Each experiment prints the same rows/series the paper reports (see
 // DESIGN.md §4 for the per-figure index and EXPERIMENTS.md for the
-// recorded paper-vs-measured comparison).
+// recorded paper-vs-measured comparison). Sweeps fan out across
+// -parallel workers; -trials replicates every sweep point across that
+// many seeds and reports mean ± stderr; -json emits machine-readable
+// tables for downstream tooling.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -22,10 +27,13 @@ import (
 
 func main() {
 	var (
-		name  = flag.String("exp", "", "figure to reproduce (fig1, fig3a, ..., fig12) or 'all'")
-		quick = flag.Bool("quick", false, "run reduced sweeps (seconds instead of minutes)")
-		seed  = flag.Int64("seed", 1, "base RNG seed")
-		list  = flag.Bool("list", false, "list available experiments")
+		name     = flag.String("exp", "", "figure to reproduce (fig1, fig3a, ..., fig12) or 'all'")
+		quick    = flag.Bool("quick", false, "run reduced sweeps (seconds instead of minutes)")
+		seed     = flag.Int64("seed", 1, "base RNG seed")
+		parallel = flag.Int("parallel", 0, "sweep worker count (0 = one per core, 1 = serial)")
+		trials   = flag.Int("trials", 1, "replicates per sweep point (reports mean ± stderr)")
+		jsonOut  = flag.Bool("json", false, "emit tables as JSON instead of text")
+		list     = flag.Bool("list", false, "list available experiments")
 	)
 	flag.Parse()
 
@@ -40,11 +48,12 @@ func main() {
 		return
 	}
 
-	opts := exp.Opts{Quick: *quick, Seed: *seed}
+	opts := exp.Opts{Quick: *quick, Seed: *seed, Parallel: *parallel, Trials: *trials}
 	names := []string{*name}
 	if *name == "all" {
 		names = exp.FigureNames()
 	}
+	var tables []*exp.Table
 	for _, n := range names {
 		fig, ok := exp.Figures[n]
 		if !ok {
@@ -53,7 +62,19 @@ func main() {
 		}
 		start := time.Now()
 		table := fig(opts)
+		if *jsonOut {
+			tables = append(tables, table)
+			continue
+		}
 		fmt.Println(table)
 		fmt.Printf("(%s in %v)\n\n", n, time.Since(start).Round(time.Millisecond))
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(tables); err != nil {
+			fmt.Fprintf(os.Stderr, "pdqsim: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -29,6 +30,7 @@ func main() {
 		hostsPer = flag.Int("hosts-per", 2, "jellyfish hosts per switch")
 		senders  = flag.Int("senders", 5, "bottleneck sender count")
 		seed     = flag.Int64("seed", 1, "construction seed")
+		jsonOut  = flag.Bool("json", false, "emit the summary as JSON")
 	)
 	flag.Parse()
 
@@ -49,15 +51,39 @@ func main() {
 		os.Exit(2)
 	}
 
+	ecmp, pathLen := 0, 0
+	if len(t.Hosts) >= 2 {
+		a, b := t.Hosts[0], t.Hosts[len(t.Hosts)-1]
+		paths := t.Paths(a, b, 16)
+		ecmp = len(paths)
+		if len(paths) > 0 {
+			pathLen = len(paths[0])
+		}
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(map[string]any{
+			"topology": t.Name,
+			"hosts":    len(t.Hosts),
+			"switches": len(t.Switches),
+			"links":    len(t.Net.Links()),
+			"diameter": t.Diameter(),
+			"ecmp":     ecmp,
+			"pathLen":  pathLen,
+		}); err != nil {
+			fmt.Fprintf(os.Stderr, "pdqtopo: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	fmt.Printf("topology: %s\n", t.Name)
 	fmt.Printf("hosts:    %d\n", len(t.Hosts))
 	fmt.Printf("switches: %d\n", len(t.Switches))
 	fmt.Printf("links:    %d (directed)\n", len(t.Net.Links()))
 	fmt.Printf("diameter: %d hops\n", t.Diameter())
 	if len(t.Hosts) >= 2 {
-		a, b := t.Hosts[0], t.Hosts[len(t.Hosts)-1]
-		paths := t.Paths(a, b, 16)
 		fmt.Printf("ECMP paths host %d -> host %d: %d (length %d)\n",
-			a.ID(), b.ID(), len(paths), len(paths[0]))
+			t.Hosts[0].ID(), t.Hosts[len(t.Hosts)-1].ID(), ecmp, pathLen)
 	}
 }

@@ -1,0 +1,3 @@
+module pdq
+
+go 1.24

@@ -23,10 +23,12 @@ import (
 	"pdq/internal/workload"
 )
 
-// Opts controls experiment scale.
+// Opts controls experiment scale and sweep execution.
 type Opts struct {
-	Quick bool  // shrink sweeps for benchmarks/tests
-	Seed  int64 // base RNG seed; 0 means 1
+	Quick    bool  // shrink sweeps for benchmarks/tests
+	Seed     int64 // base RNG seed; 0 means 1
+	Parallel int   // sweep worker count; 0 means GOMAXPROCS, 1 means serial
+	Trials   int   // replicates per sweep point (mean ± stderr); <=1 means one
 }
 
 func (o Opts) seed() int64 {
@@ -38,27 +40,35 @@ func (o Opts) seed() int64 {
 
 // Row is one data row of a result table.
 type Row struct {
-	Label string
-	Vals  []float64
+	Label string    `json:"label"`
+	Vals  []float64 `json:"vals"`
+	// Errs holds the standard error of each value when the sweep ran with
+	// Opts.Trials > 1; nil for single-trial runs.
+	Errs []float64 `json:"errs,omitempty"`
 }
 
 // Table is a reproduced figure/table: a header plus labeled float rows.
 type Table struct {
-	Name   string
-	Desc   string
-	Cols   []string
-	Rows   []Row
-	Digits int // formatting precision; default 2
+	Name   string   `json:"name"`
+	Desc   string   `json:"desc"`
+	Cols   []string `json:"cols"`
+	Rows   []Row    `json:"rows"`
+	Digits int      `json:"-"` // formatting precision; default 2
 }
 
 // Get returns the value at (rowLabel, col), panicking if absent — the
-// shape tests use it.
+// shape tests use it. It stops at the first matching column and panics on
+// duplicate column names so malformed tables fail fast.
 func (t *Table) Get(rowLabel, col string) float64 {
 	ci := -1
 	for i, c := range t.Cols {
-		if c == col {
-			ci = i
+		if c != col {
+			continue
 		}
+		if ci >= 0 {
+			panic(fmt.Sprintf("exp: duplicate column %q in %s", col, t.Name))
+		}
+		ci = i
 	}
 	if ci < 0 {
 		panic(fmt.Sprintf("exp: no column %q in %s", col, t.Name))
@@ -80,6 +90,12 @@ func (t *Table) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s — %s\n", t.Name, t.Desc)
 	w := 12
+	for _, r := range t.Rows {
+		if r.Errs != nil {
+			w = 20 // room for "mean±stderr"
+			break
+		}
+	}
 	fmt.Fprintf(&b, "%-24s", "")
 	for _, c := range t.Cols {
 		fmt.Fprintf(&b, "%*s", w, c)
@@ -87,8 +103,12 @@ func (t *Table) String() string {
 	b.WriteByte('\n')
 	for _, r := range t.Rows {
 		fmt.Fprintf(&b, "%-24s", r.Label)
-		for _, v := range r.Vals {
-			fmt.Fprintf(&b, "%*.*f", w, d, v)
+		for i, v := range r.Vals {
+			if r.Errs != nil {
+				fmt.Fprintf(&b, "%*s", w, fmt.Sprintf("%.*f±%.*f", d, v, d, r.Errs[i]))
+			} else {
+				fmt.Fprintf(&b, "%*.*f", w, d, v)
+			}
 		}
 		b.WriteByte('\n')
 	}

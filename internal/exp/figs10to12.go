@@ -54,44 +54,40 @@ func Fig8a(o Opts) *Table {
 		t.Cols = append(t.Cols, sc.Label)
 	}
 	hiPerHost := 6
-	mkFlows := func(sc Fig8Scale, n int) []workload.Flow {
-		g := workload.NewGen(o.seed(), workload.UniformMean(100<<10), workload.MeanDeadlineDflt)
+	mkFlows := func(sc Fig8Scale, n int, seed int64) []workload.Flow {
+		g := workload.NewGen(seed, workload.UniformMean(100<<10), workload.MeanDeadlineDflt)
 		return g.Batch(n, workload.Permutation{}, sc.Hosts, nil, 0)
 	}
 	// Packet level only at the smallest scale (as in the paper, the
 	// packet simulator does not reach large sizes).
 	pkt := PacketRunners()
+	var rows []gridRow
 	for _, name := range []string{"PDQ(Full)", "D3", "RCP"} {
-		var vals []float64
-		for i, sc := range scales {
-			if i > 0 {
-				vals = append(vals, 0) // packet level beyond reach
-				continue
+		r := pkt[name]
+		rows = append(rows, gridRow{name + "; Pkt", func(c int, seed int64) float64 {
+			if c > 0 {
+				return 0 // packet level beyond reach
 			}
-			r := pkt[name]
-			sc := sc
-			n := stats.MaxN(1, hiPerHost*sc.Hosts, func(n int) bool {
-				rs := r(func() *topo.Topology { return sc.Build(o.seed()) }, mkFlows(sc, n), 500*sim.Millisecond)
+			sc := scales[c]
+			return float64(stats.MaxN(1, hiPerHost*sc.Hosts, func(n int) bool {
+				rs := r(func() *topo.Topology { return sc.Build(seed) }, mkFlows(sc, n, seed), 500*sim.Millisecond)
 				return stats.AppThroughput(rs) >= 99
-			})
-			vals = append(vals, float64(n))
-		}
-		t.Rows = append(t.Rows, Row{name + "; Pkt", vals})
+			}))
+		}})
 	}
 	for _, name := range []string{"PDQ(Full)", "D3", "RCP"} {
-		var vals []float64
-		for _, sc := range scales {
-			alloc := flowAllocFor(name, o.seed())
+		name := name
+		rows = append(rows, gridRow{name + "; Flow", func(c int, seed int64) float64 {
+			sc := scales[c]
+			alloc := flowAllocFor(name, seed)
 			et := name == "PDQ(Full)"
-			sc := sc
-			n := stats.MaxN(1, hiPerHost*sc.Hosts, func(n int) bool {
-				rs := FlowLevel(func() *topo.Topology { return sc.Build(o.seed()) }, alloc, et, mkFlows(sc, n), 500*sim.Millisecond)
+			return float64(stats.MaxN(1, hiPerHost*sc.Hosts, func(n int) bool {
+				rs := FlowLevel(func() *topo.Topology { return sc.Build(seed) }, alloc, et, mkFlows(sc, n, seed), 500*sim.Millisecond)
 				return stats.AppThroughput(rs) >= 99
-			})
-			vals = append(vals, float64(n))
-		}
-		t.Rows = append(t.Rows, Row{name + "; Flow", vals})
+			}))
+		}})
 	}
+	fillGrid(t, o, len(scales), rows)
 	return t
 }
 
@@ -114,31 +110,35 @@ func fig8FCT(o Opts, name string, scales []Fig8Scale) *Table {
 	if o.Quick {
 		flowsPer = 4
 	}
-	mkFlows := func(sc Fig8Scale) []workload.Flow {
-		g := workload.NewGen(o.seed(), workload.UniformMean(100<<10), 0)
+	mkFlows := func(sc Fig8Scale, seed int64) []workload.Flow {
+		g := workload.NewGen(seed, workload.UniformMean(100<<10), 0)
 		return g.Batch(flowsPer*sc.Hosts, workload.Permutation{}, sc.Hosts, nil, 0)
 	}
 	for _, sc := range scales {
 		t.Cols = append(t.Cols, sc.Label)
 	}
 	pkt := PacketRunners()
+	var rows []gridRow
 	for _, proto := range []string{"PDQ(Full)", "RCP/D3"} {
-		var pv, fv []float64
-		for i, sc := range scales {
-			sc := sc
-			build := func() *topo.Topology { return sc.Build(o.seed()) }
-			if i == 0 {
-				rs := fctRunner(pkt, proto)(build, mkFlows(sc), 5*sim.Second)
-				pv = append(pv, stats.MeanFCT(rs, nil)*1000)
-			} else {
-				pv = append(pv, 0)
-			}
-			rs := FlowLevel(build, flowAllocFor(proto, o.seed()), false, mkFlows(sc), 5*sim.Second)
-			fv = append(fv, stats.MeanFCT(rs, nil)*1000)
-		}
-		t.Rows = append(t.Rows, Row{proto + "; Pkt", pv})
-		t.Rows = append(t.Rows, Row{proto + "; Flow", fv})
+		proto := proto
+		rows = append(rows,
+			gridRow{proto + "; Pkt", func(c int, seed int64) float64 {
+				if c > 0 {
+					return 0 // packet level beyond reach
+				}
+				sc := scales[c]
+				build := func() *topo.Topology { return sc.Build(seed) }
+				rs := fctRunner(pkt, proto)(build, mkFlows(sc, seed), 5*sim.Second)
+				return stats.MeanFCT(rs, nil) * 1000
+			}},
+			gridRow{proto + "; Flow", func(c int, seed int64) float64 {
+				sc := scales[c]
+				build := func() *topo.Topology { return sc.Build(seed) }
+				rs := FlowLevel(build, flowAllocFor(proto, seed), false, mkFlows(sc, seed), 5*sim.Second)
+				return stats.MeanFCT(rs, nil) * 1000
+			}})
 	}
+	fillGrid(t, o, len(scales), rows)
 	return t
 }
 
@@ -193,42 +193,75 @@ func Fig8e(o Opts) *Table {
 		flowsPer = 5
 	}
 	hosts := k * k * k / 4
-	g := workload.NewGen(o.seed(), workload.UniformMean(100<<10), 0)
-	flows := g.Batch(flowsPer*hosts, workload.Permutation{}, hosts, nil, 0)
-	build := func() *topo.Topology { return topo.FatTree(k, o.seed()) }
-	pdq := FlowLevel(build, flowsim.NewPDQ(flowsim.CritPerfect, o.seed()), false, flows, 20*sim.Second)
-	rcp := FlowLevel(build, flowsim.RCP{}, false, flows, 20*sim.Second)
-	var ratios []float64
-	for i := range pdq {
-		if pdq[i].Done() && rcp[i].Done() {
-			ratios = append(ratios, rcp[i].FCT().Seconds()/pdq[i].FCT().Seconds())
-		}
+	// Each replicate is one paired PDQ/RCP run over the same flow set;
+	// the pairs fan out over Gather and Opts.Trials is honored by
+	// summarizing the per-replicate CDF statistics.
+	kTrials := o.trials()
+	fns := make([]func() []workload.Result, 0, 2*kTrials)
+	for r := 0; r < kTrials; r++ {
+		seed := o.seed() + int64(r)*trialSeedStride
+		g := workload.NewGen(seed, workload.UniformMean(100<<10), 0)
+		flows := g.Batch(flowsPer*hosts, workload.Permutation{}, hosts, nil, 0)
+		build := func() *topo.Topology { return topo.FatTree(k, seed) }
+		fns = append(fns,
+			func() []workload.Result {
+				return FlowLevel(build, flowsim.NewPDQ(flowsim.CritPerfect, seed), false, flows, 20*sim.Second)
+			},
+			func() []workload.Result {
+				return FlowLevel(build, flowsim.RCP{}, false, flows, 20*sim.Second)
+			})
 	}
-	sort.Float64s(ratios)
-	frac := func(pred func(float64) bool) float64 {
-		n := 0
-		for _, r := range ratios {
-			if pred(r) {
-				n++
+	runs := Gather(o.workers(), fns)
+	labels := []string{
+		"flows",
+		"% with ratio >= 2 (PDQ 2x faster)",
+		"% with ratio < 1 (PDQ slower)",
+		"% with ratio < 0.5",
+		"median ratio",
+		"worst PDQ inflation",
+	}
+	summaries := make([][]float64, kTrials)
+	for rep := 0; rep < kTrials; rep++ {
+		pdq, rcp := runs[2*rep], runs[2*rep+1]
+		var ratios []float64
+		for i := range pdq {
+			if pdq[i].Done() && rcp[i].Done() {
+				ratios = append(ratios, rcp[i].FCT().Seconds()/pdq[i].FCT().Seconds())
 			}
 		}
-		return 100 * float64(n) / float64(len(ratios))
-	}
-	worstInflation := 0.0
-	for _, r := range ratios {
-		if inv := 1 / r; inv > worstInflation {
-			worstInflation = inv
+		sort.Float64s(ratios)
+		frac := func(pred func(float64) bool) float64 {
+			n := 0
+			for _, r := range ratios {
+				if pred(r) {
+					n++
+				}
+			}
+			return 100 * float64(n) / float64(len(ratios))
+		}
+		worstInflation := 0.0
+		for _, r := range ratios {
+			if inv := 1 / r; inv > worstInflation {
+				worstInflation = inv
+			}
+		}
+		summaries[rep] = []float64{
+			float64(len(ratios)),
+			frac(func(r float64) bool { return r >= 2 }),
+			frac(func(r float64) bool { return r < 1 }),
+			frac(func(r float64) bool { return r < 0.5 }),
+			stats.PercentileSorted(ratios, 50),
+			worstInflation,
 		}
 	}
 	t := &Table{Name: "fig8e", Desc: "CDF of RCP FCT / PDQ FCT (flow-level, fat-tree)", Cols: []string{"value"}}
-	t.Rows = append(t.Rows,
-		Row{"flows", []float64{float64(len(ratios))}},
-		Row{"% with ratio >= 2 (PDQ 2x faster)", []float64{frac(func(r float64) bool { return r >= 2 })}},
-		Row{"% with ratio < 1 (PDQ slower)", []float64{frac(func(r float64) bool { return r < 1 })}},
-		Row{"% with ratio < 0.5", []float64{frac(func(r float64) bool { return r < 0.5 })}},
-		Row{"median ratio", []float64{stats.Percentile(ratios, 50)}},
-		Row{"worst PDQ inflation", []float64{worstInflation}},
-	)
+	for i, label := range labels {
+		xs := make([]float64, kTrials)
+		for rep := range summaries {
+			xs[rep] = summaries[rep][i]
+		}
+		t.Rows = append(t.Rows, statRow(label, []Stat{summarize(xs)}, o))
+	}
 	return t
 }
 
@@ -247,30 +280,31 @@ func Fig10(o Opts) *Table {
 	if o.Quick {
 		seeds = 3
 	}
-	build := func() *topo.Topology { return topo.SingleBottleneck(9, o.seed()) }
-	rows := []struct {
+	allocs := []struct {
 		label string
-		alloc func() flowsim.Allocator
+		alloc func(seed int64) flowsim.Allocator
 	}{
-		{"PDQ; Perfect", func() flowsim.Allocator { return flowsim.NewPDQ(flowsim.CritPerfect, o.seed()) }},
-		{"PDQ; Random", func() flowsim.Allocator { return flowsim.NewPDQ(flowsim.CritRandom, o.seed()) }},
-		{"PDQ; SizeEstimation", func() flowsim.Allocator { return flowsim.NewPDQ(flowsim.CritEstimate, o.seed()) }},
-		{"RCP", func() flowsim.Allocator { return flowsim.RCP{} }},
+		{"PDQ; Perfect", func(seed int64) flowsim.Allocator { return flowsim.NewPDQ(flowsim.CritPerfect, seed) }},
+		{"PDQ; Random", func(seed int64) flowsim.Allocator { return flowsim.NewPDQ(flowsim.CritRandom, seed) }},
+		{"PDQ; SizeEstimation", func(seed int64) flowsim.Allocator { return flowsim.NewPDQ(flowsim.CritEstimate, seed) }},
+		{"RCP", func(seed int64) flowsim.Allocator { return flowsim.RCP{} }},
 	}
-	for _, r := range rows {
-		var vals []float64
-		for _, dist := range dists {
+	var rows []gridRow
+	for _, a := range allocs {
+		a := a
+		rows = append(rows, gridRow{a.label, func(c int, seed int64) float64 {
+			build := func() *topo.Topology { return topo.SingleBottleneck(9, seed) }
 			sum := 0.0
 			for s := 0; s < seeds; s++ {
-				g := workload.NewGen(o.seed()+int64(s), dist, 0)
+				g := workload.NewGen(seed+int64(s), dists[c], 0)
 				flows := g.Batch(n, workload.Aggregation{}, 9, nil, 0)
-				rs := FlowLevel(build, r.alloc(), false, flows, 60*sim.Second)
+				rs := FlowLevel(build, a.alloc(seed), false, flows, 60*sim.Second)
 				sum += stats.MeanFCT(rs, nil) * 1000
 			}
-			vals = append(vals, sum/float64(seeds))
-		}
-		t.Rows = append(t.Rows, Row{r.label, vals})
+			return sum / float64(seeds)
+		}})
 	}
+	fillGrid(t, o, len(dists), rows)
 	return t
 }
 
@@ -285,21 +319,21 @@ func Fig11a(o Opts) *Table {
 	for _, l := range loads {
 		t.Cols = append(t.Cols, fmt.Sprintf("%.0f%%", l*100))
 	}
-	for _, row := range []struct {
+	var rows []gridRow
+	for _, rr := range []struct {
 		label string
 		sub   int
 	}{{"PDQ", 1}, {"M-PDQ(3)", 3}} {
-		var vals []float64
-		for _, load := range loads {
-			g := workload.NewGen(o.seed(), workload.UniformMean(100<<10), 0)
+		sub := rr.sub
+		rows = append(rows, gridRow{rr.label, func(c int, seed int64) float64 {
+			g := workload.NewGen(seed, workload.UniformMean(100<<10), 0)
 			all := g.Batch(16, workload.Permutation{}, 16, nil, 0)
-			flows := all[:int(load*16)]
-			r := MPDQRunner(row.sub)
-			rs := r(func() *topo.Topology { return topo.BCube(2, 3, o.seed()) }, flows, 5*sim.Second)
-			vals = append(vals, stats.MeanFCT(rs, nil)*1000)
-		}
-		t.Rows = append(t.Rows, Row{row.label, vals})
+			flows := all[:int(loads[c]*16)]
+			rs := MPDQRunner(sub)(func() *topo.Topology { return topo.BCube(2, 3, seed) }, flows, 5*sim.Second)
+			return stats.MeanFCT(rs, nil) * 1000
+		}})
 	}
+	fillGrid(t, o, len(loads), rows)
 	return t
 }
 
@@ -311,15 +345,15 @@ func Fig11b(o Opts) *Table {
 		subs = []int{1, 2, 4}
 	}
 	t := &Table{Name: "fig11b", Desc: "FCT [ms] vs number of subflows (BCube(2,3), full load)", Digits: 2}
-	var vals []float64
 	for _, s := range subs {
 		t.Cols = append(t.Cols, fmt.Sprint(s))
-		g := workload.NewGen(o.seed(), workload.UniformMean(100<<10), 0)
-		flows := g.Batch(16, workload.Permutation{}, 16, nil, 0)
-		rs := MPDQRunner(s)(func() *topo.Topology { return topo.BCube(2, 3, o.seed()) }, flows, 5*sim.Second)
-		vals = append(vals, stats.MeanFCT(rs, nil)*1000)
 	}
-	t.Rows = append(t.Rows, Row{"M-PDQ", vals})
+	fillGrid(t, o, len(subs), []gridRow{{"M-PDQ", func(c int, seed int64) float64 {
+		g := workload.NewGen(seed, workload.UniformMean(100<<10), 0)
+		flows := g.Batch(16, workload.Permutation{}, 16, nil, 0)
+		rs := MPDQRunner(subs[c])(func() *topo.Topology { return topo.BCube(2, 3, seed) }, flows, 5*sim.Second)
+		return stats.MeanFCT(rs, nil) * 1000
+	}}})
 	return t
 }
 
@@ -333,19 +367,18 @@ func Fig11c(o Opts) *Table {
 		hi = 24
 	}
 	t := &Table{Name: "fig11c", Desc: "flows at 99% app throughput vs subflows (BCube(2,3), deadline)", Digits: 0}
-	var vals []float64
 	for _, s := range subs {
 		t.Cols = append(t.Cols, fmt.Sprint(s))
-		r := MPDQRunner(s)
-		n := stats.MaxN(1, hi, func(n int) bool {
-			g := workload.NewGen(o.seed(), workload.UniformMean(100<<10), workload.MeanDeadlineDflt)
-			flows := g.Batch(n, workload.Permutation{}, 16, nil, 0)
-			rs := r(func() *topo.Topology { return topo.BCube(2, 3, o.seed()) }, flows, 500*sim.Millisecond)
-			return stats.AppThroughput(rs) >= 99
-		})
-		vals = append(vals, float64(n))
 	}
-	t.Rows = append(t.Rows, Row{"M-PDQ", vals})
+	fillGrid(t, o, len(subs), []gridRow{{"M-PDQ", func(c int, seed int64) float64 {
+		r := MPDQRunner(subs[c])
+		return float64(stats.MaxN(1, hi, func(n int) bool {
+			g := workload.NewGen(seed, workload.UniformMean(100<<10), workload.MeanDeadlineDflt)
+			flows := g.Batch(n, workload.Permutation{}, 16, nil, 0)
+			rs := r(func() *topo.Topology { return topo.BCube(2, 3, seed) }, flows, 500*sim.Millisecond)
+			return stats.AppThroughput(rs) >= 99
+		}))
+	}}})
 	return t
 }
 
@@ -371,25 +404,61 @@ func Fig12(o Opts) *Table {
 		}
 		return fl
 	}
-	build := func() *topo.Topology { return topo.SingleBottleneck(8, o.seed()) }
-	var maxV, meanV []float64
-	for _, a := range rates {
-		p := flowsim.NewPDQ(flowsim.CritPerfect, o.seed())
-		p.AgingRate = a
-		rs := FlowLevel(build, p, false, mkFlows(), 10*sim.Second)
-		maxV = append(maxV, stats.Percentile(stats.FCTs(rs), 100)*1000)
-		meanV = append(meanV, stats.MeanFCT(rs, nil)*1000)
+	// Each run yields both the max and the mean FCT, so the sweep fans
+	// out over Gather (one closure per aging rate × replicate, plus the
+	// RCP baseline) rather than the scalar-cell grid; Opts.Trials is
+	// honored by replicating each point and summarizing both scalars.
+	type maxMean struct{ max, mean float64 }
+	summ := func(rs []workload.Result) maxMean {
+		return maxMean{
+			max:  stats.Percentile(stats.FCTs(rs), 100) * 1000,
+			mean: stats.MeanFCT(rs, nil) * 1000,
+		}
 	}
-	t.Rows = append(t.Rows, Row{"PDQ; Max", maxV}, Row{"PDQ; Mean", meanV})
-	rcp := FlowLevel(build, flowsim.RCP{}, false, mkFlows(), 10*sim.Second)
-	rMax := stats.Percentile(stats.FCTs(rcp), 100) * 1000
-	rMean := stats.MeanFCT(rcp, nil) * 1000
-	var rMaxRow, rMeanRow []float64
-	for range rates {
-		rMaxRow = append(rMaxRow, rMax)
-		rMeanRow = append(rMeanRow, rMean)
+	k := o.trials()
+	npts := len(rates) + 1 // aging rates, then the RCP baseline
+	fns := make([]func() maxMean, 0, npts*k)
+	for i := 0; i < npts; i++ {
+		for r := 0; r < k; r++ {
+			i, seed := i, o.seed()+int64(r)*trialSeedStride
+			fns = append(fns, func() maxMean {
+				build := func() *topo.Topology { return topo.SingleBottleneck(8, seed) }
+				var alloc flowsim.Allocator = flowsim.RCP{}
+				if i < len(rates) {
+					p := flowsim.NewPDQ(flowsim.CritPerfect, seed)
+					p.AgingRate = rates[i]
+					alloc = p
+				}
+				return summ(FlowLevel(build, alloc, false, mkFlows(), 10*sim.Second))
+			})
+		}
 	}
-	t.Rows = append(t.Rows, Row{"RCP/D3; Max", rMaxRow}, Row{"RCP/D3; Mean", rMeanRow})
+	res := Gather(o.workers(), fns)
+	point := func(i int) (mx, mn Stat) {
+		var maxes, means []float64
+		for r := 0; r < k; r++ {
+			maxes = append(maxes, res[i*k+r].max)
+			means = append(means, res[i*k+r].mean)
+		}
+		return summarize(maxes), summarize(means)
+	}
+	var maxSt, meanSt []Stat
+	for i := range rates {
+		mx, mn := point(i)
+		maxSt = append(maxSt, mx)
+		meanSt = append(meanSt, mn)
+	}
+	rcpMax, rcpMean := point(len(rates))
+	repeat := func(s Stat) []Stat {
+		out := make([]Stat, len(rates))
+		for i := range out {
+			out[i] = s
+		}
+		return out
+	}
+	t.Rows = append(t.Rows,
+		statRow("PDQ; Max", maxSt, o), statRow("PDQ; Mean", meanSt, o),
+		statRow("RCP/D3; Max", repeat(rcpMax), o), statRow("RCP/D3; Mean", repeat(rcpMean), o))
 	return t
 }
 

@@ -31,7 +31,7 @@ func Fig1(o Opts) *Table {
 				met++
 			}
 		}
-		t.Rows = append(t.Rows, Row{label, []float64{
+		t.Rows = append(t.Rows, Row{Label: label, Vals: []float64{
 			c[1].Seconds(), c[2].Seconds(), c[3].Seconds(),
 			fluid.MeanFCT(flows, c), met,
 		}})
@@ -71,21 +71,18 @@ func Fig3a(o Opts) *Table {
 	}
 	runners := PacketRunners()
 	// Optimal (omniscient EDF + Moore–Hodgson on the bottleneck).
-	var opt []float64
-	for _, n := range ns {
-		flows := aggFlows(n, o.seed(), 100<<10, workload.MeanDeadlineDflt)
-		opt = append(opt, fluid.OptimalAppThroughput(flows, bottleneckRate))
-	}
-	t.Rows = append(t.Rows, Row{"Optimal", opt})
+	rows := []gridRow{{"Optimal", func(c int, seed int64) float64 {
+		flows := aggFlows(ns[c], seed, 100<<10, workload.MeanDeadlineDflt)
+		return fluid.OptimalAppThroughput(flows, bottleneckRate)
+	}}}
 	for _, name := range ProtoOrder {
-		var vals []float64
-		for _, n := range ns {
-			flows := aggFlows(n, o.seed(), 100<<10, workload.MeanDeadlineDflt)
-			rs := runners[name](defaultTree(o.seed()), flows, 500*sim.Millisecond)
-			vals = append(vals, stats.AppThroughput(rs))
-		}
-		t.Rows = append(t.Rows, Row{name, vals})
+		r := runners[name]
+		rows = append(rows, gridRow{name, func(c int, seed int64) float64 {
+			flows := aggFlows(ns[c], seed, 100<<10, workload.MeanDeadlineDflt)
+			return stats.AppThroughput(r(defaultTree(seed), flows, 500*sim.Millisecond))
+		}})
 	}
+	fillGrid(t, o, len(ns), rows)
 	return t
 }
 
@@ -101,29 +98,26 @@ func Fig3b(o Opts) *Table {
 	if o.Quick {
 		seeds = 2
 	}
-	var opt []float64
-	for _, sz := range sizes {
+	rows := []gridRow{{"Optimal", func(c int, seed int64) float64 {
 		v := 0.0
 		for s := 0; s < seeds; s++ {
-			flows := aggFlows(3, o.seed()+int64(s), int64(sz)<<10, workload.MeanDeadlineDflt)
+			flows := aggFlows(3, seed+int64(s), int64(sizes[c])<<10, workload.MeanDeadlineDflt)
 			v += fluid.OptimalAppThroughput(flows, bottleneckRate)
 		}
-		opt = append(opt, v/float64(seeds))
-	}
-	t.Rows = append(t.Rows, Row{"Optimal", opt})
+		return v / float64(seeds)
+	}}}
 	for _, name := range ProtoOrder {
-		var vals []float64
-		for _, sz := range sizes {
+		r := runners[name]
+		rows = append(rows, gridRow{name, func(c int, seed int64) float64 {
 			v := 0.0
 			for s := 0; s < seeds; s++ {
-				flows := aggFlows(3, o.seed()+int64(s), int64(sz)<<10, workload.MeanDeadlineDflt)
-				rs := runners[name](defaultTree(o.seed()), flows, 500*sim.Millisecond)
-				v += stats.AppThroughput(rs)
+				flows := aggFlows(3, seed+int64(s), int64(sizes[c])<<10, workload.MeanDeadlineDflt)
+				v += stats.AppThroughput(r(defaultTree(seed), flows, 500*sim.Millisecond))
 			}
-			vals = append(vals, v/float64(seeds))
-		}
-		t.Rows = append(t.Rows, Row{name, vals})
+			return v / float64(seeds)
+		}})
 	}
+	fillGrid(t, o, len(sizes), rows)
 	return t
 }
 
@@ -140,28 +134,23 @@ func Fig3c(o Opts) *Table {
 		t.Cols = append(t.Cols, fmt.Sprint(d))
 	}
 	runners := PacketRunners()
-	var opt []float64
-	for _, d := range deadlines {
-		md := sim.Time(d) * sim.Millisecond
-		n := stats.MaxN(1, hi, func(n int) bool {
-			return fluid.OptimalAppThroughput(aggFlows(n, o.seed(), 100<<10, md), bottleneckRate) >= 99
-		})
-		opt = append(opt, float64(n))
-	}
-	t.Rows = append(t.Rows, Row{"Optimal", opt})
+	rows := []gridRow{{"Optimal", func(c int, seed int64) float64 {
+		md := sim.Time(deadlines[c]) * sim.Millisecond
+		return float64(stats.MaxN(1, hi, func(n int) bool {
+			return fluid.OptimalAppThroughput(aggFlows(n, seed, 100<<10, md), bottleneckRate) >= 99
+		}))
+	}}}
 	for _, name := range ProtoOrder {
-		var vals []float64
-		for _, d := range deadlines {
-			md := sim.Time(d) * sim.Millisecond
-			r := runners[name]
-			n := stats.MaxN(1, hi, func(n int) bool {
-				rs := r(defaultTree(o.seed()), aggFlows(n, o.seed(), 100<<10, md), 500*sim.Millisecond)
+		r := runners[name]
+		rows = append(rows, gridRow{name, func(c int, seed int64) float64 {
+			md := sim.Time(deadlines[c]) * sim.Millisecond
+			return float64(stats.MaxN(1, hi, func(n int) bool {
+				rs := r(defaultTree(seed), aggFlows(n, seed, 100<<10, md), 500*sim.Millisecond)
 				return stats.AppThroughput(rs) >= 99
-			})
-			vals = append(vals, float64(n))
-		}
-		t.Rows = append(t.Rows, Row{name, vals})
+			}))
+		}})
 	}
+	fillGrid(t, o, len(deadlines), rows)
 	return t
 }
 
@@ -191,16 +180,17 @@ func Fig3d(o Opts) *Table {
 		t.Cols = append(t.Cols, fmt.Sprint(n))
 	}
 	runners := PacketRunners()
+	var rows []gridRow
 	for _, name := range fctProtos {
-		var vals []float64
-		for _, n := range ns {
-			flows := noDeadlineAgg(n, o.seed(), 100<<10)
+		r := fctRunner(runners, name)
+		rows = append(rows, gridRow{name, func(c int, seed int64) float64 {
+			flows := noDeadlineAgg(ns[c], seed, 100<<10)
 			opt := fluid.MeanFCT(flows, fluid.SRPT(flows, bottleneckRate))
-			rs := fctRunner(runners, name)(defaultTree(o.seed()), flows, 2*sim.Second)
-			vals = append(vals, stats.MeanFCT(rs, nil)/opt)
-		}
-		t.Rows = append(t.Rows, Row{name, vals})
+			rs := r(defaultTree(seed), flows, 2*sim.Second)
+			return stats.MeanFCT(rs, nil) / opt
+		}})
 	}
+	fillGrid(t, o, len(ns), rows)
 	return t
 }
 
@@ -212,16 +202,17 @@ func Fig3e(o Opts) *Table {
 		t.Cols = append(t.Cols, fmt.Sprint(s))
 	}
 	runners := PacketRunners()
+	var rows []gridRow
 	for _, name := range fctProtos {
-		var vals []float64
-		for _, sz := range sizes {
-			flows := noDeadlineAgg(3, o.seed(), int64(sz)<<10)
+		r := fctRunner(runners, name)
+		rows = append(rows, gridRow{name, func(c int, seed int64) float64 {
+			flows := noDeadlineAgg(3, seed, int64(sizes[c])<<10)
 			opt := fluid.MeanFCT(flows, fluid.SRPT(flows, bottleneckRate))
-			rs := fctRunner(runners, name)(defaultTree(o.seed()), flows, 2*sim.Second)
-			vals = append(vals, stats.MeanFCT(rs, nil)/opt)
-		}
-		t.Rows = append(t.Rows, Row{name, vals})
+			rs := r(defaultTree(seed), flows, 2*sim.Second)
+			return stats.MeanFCT(rs, nil) / opt
+		}})
 	}
+	fillGrid(t, o, len(sizes), rows)
 	return t
 }
 
@@ -246,31 +237,44 @@ func Fig4a(o Opts) *Table {
 	}
 	t := &Table{Name: "fig4a", Desc: "flows at 99% app throughput per pattern (normalized to PDQ(Full))"}
 	runners := PacketRunners()
-	vals := map[string][]float64{}
-	for _, pat := range patterns() {
+	pats := patterns()
+	for _, pat := range pats {
 		t.Cols = append(t.Cols, pat.Name())
-		base := 0.0
-		for _, name := range ProtoOrder {
-			r := runners[name]
-			n := stats.MaxN(1, hi, func(n int) bool {
-				g := workload.NewGen(o.seed(), workload.UniformMean(100<<10), workload.MeanDeadlineDflt)
-				flows := g.Batch(n, pat, treeHosts, treeRack, 0)
-				rs := r(defaultTree(o.seed()), flows, 500*sim.Millisecond)
-				return stats.AppThroughput(rs) >= 99
-			})
-			if name == "PDQ(Full)" {
-				base = float64(n)
-				if base == 0 {
-					base = 1
-				}
-			}
-			vals[name] = append(vals[name], float64(n)/base)
-		}
 	}
-	for _, name := range ProtoOrder {
-		t.Rows = append(t.Rows, Row{name, vals[name]})
-	}
+	// Raw cells in parallel; normalize to the PDQ(Full) row afterwards
+	// (ProtoOrder[0] is PDQ(Full)).
+	raw := runGrid(o, len(ProtoOrder), len(pats), func(r, c int, seed int64) float64 {
+		run := runners[ProtoOrder[r]]
+		return float64(stats.MaxN(1, hi, func(n int) bool {
+			g := workload.NewGen(seed, workload.UniformMean(100<<10), workload.MeanDeadlineDflt)
+			flows := g.Batch(n, pats[c], treeHosts, treeRack, 0)
+			rs := run(defaultTree(seed), flows, 500*sim.Millisecond)
+			return stats.AppThroughput(rs) >= 99
+		}))
+	})
+	appendNormalized(t, o, raw, ProtoOrder, len(pats), 0)
 	return t
+}
+
+// appendNormalized appends the row-major raw grid to t with every column
+// normalized to the base row's value in that column (zero bases count as
+// one so empty baselines do not divide by zero).
+func appendNormalized(t *Table, o Opts, raw []Stat, rowLabels []string, nCols, baseRow int) {
+	for ri, name := range rowLabels {
+		row := Row{Label: name}
+		for c := 0; c < nCols; c++ {
+			base := raw[baseRow*nCols+c].Mean
+			if base == 0 {
+				base = 1
+			}
+			s := raw[ri*nCols+c]
+			row.Vals = append(row.Vals, s.Mean/base)
+			if o.trials() > 1 {
+				row.Errs = append(row.Errs, s.Stderr/base)
+			}
+		}
+		t.Rows = append(t.Rows, row)
+	}
 }
 
 // Fig4b: mean FCT per sending pattern, normalized to PDQ(Full), no
@@ -282,24 +286,17 @@ func Fig4b(o Opts) *Table {
 	}
 	t := &Table{Name: "fig4b", Desc: "mean FCT per pattern (normalized to PDQ(Full), no deadlines)"}
 	runners := PacketRunners()
-	vals := map[string][]float64{}
-	for _, pat := range patterns() {
+	pats := patterns()
+	for _, pat := range pats {
 		t.Cols = append(t.Cols, pat.Name())
-		base := 0.0
-		for _, name := range fctProtos {
-			g := workload.NewGen(o.seed(), workload.UniformMean(100<<10), 0)
-			flows := g.Batch(n, pat, treeHosts, treeRack, 0)
-			rs := fctRunner(runners, name)(defaultTree(o.seed()), flows, 2*sim.Second)
-			fct := stats.MeanFCT(rs, nil)
-			if name == "PDQ(Full)" {
-				base = fct
-			}
-			vals[name] = append(vals[name], fct/base)
-		}
 	}
-	for _, name := range fctProtos {
-		t.Rows = append(t.Rows, Row{name, vals[name]})
-	}
+	raw := runGrid(o, len(fctProtos), len(pats), func(r, c int, seed int64) float64 {
+		g := workload.NewGen(seed, workload.UniformMean(100<<10), 0)
+		flows := g.Batch(n, pats[c], treeHosts, treeRack, 0)
+		rs := fctRunner(runners, fctProtos[r])(defaultTree(seed), flows, 2*sim.Second)
+		return stats.MeanFCT(rs, nil)
+	})
+	appendNormalized(t, o, raw, fctProtos, len(pats), 0)
 	return t
 }
 
@@ -328,20 +325,20 @@ func Fig5a(o Opts) *Table {
 		t.Cols = append(t.Cols, fmt.Sprint(d))
 	}
 	runners := PacketRunners()
+	var rows []gridRow
 	for _, name := range ProtoOrder {
-		var vals []float64
-		for _, d := range deadlines {
-			md := sim.Time(d) * sim.Millisecond
-			r := runners[name]
+		r := runners[name]
+		rows = append(rows, gridRow{name, func(c int, seed int64) float64 {
+			md := sim.Time(deadlines[c]) * sim.Millisecond
 			n := stats.MaxN(1, maxSteps, func(n int) bool {
-				flows := vl2Flows(float64(n)*rateStep, horizon, o.seed(), md)
-				rs := r(defaultTree(o.seed()), flows, horizon+500*sim.Millisecond)
+				flows := vl2Flows(float64(n)*rateStep, horizon, seed, md)
+				rs := r(defaultTree(seed), flows, horizon+500*sim.Millisecond)
 				return stats.AppThroughput(rs) >= 99
 			})
-			vals = append(vals, float64(n)*rateStep)
-		}
-		t.Rows = append(t.Rows, Row{name, vals})
+			return float64(n) * rateStep
+		}})
 	}
+	fillGrid(t, o, len(deadlines), rows)
 	return t
 }
 
@@ -358,16 +355,12 @@ func Fig5b(o Opts) *Table {
 		Cols: []string{"norm"}}
 	runners := PacketRunners()
 	long := func(r workload.Result) bool { return r.Size >= workload.ShortFlowCutoff }
-	base := 0.0
-	for _, name := range fctProtos {
-		flows := vl2Flows(rate, horizon, o.seed(), workload.MeanDeadlineDflt)
-		rs := fctRunner(runners, name)(defaultTree(o.seed()), flows, horizon+2*sim.Second)
-		fct := stats.MeanFCT(rs, long)
-		if name == "PDQ(Full)" {
-			base = fct
-		}
-		t.Rows = append(t.Rows, Row{name, []float64{fct / base}})
-	}
+	raw := runGrid(o, len(fctProtos), 1, func(r, c int, seed int64) float64 {
+		flows := vl2Flows(rate, horizon, seed, workload.MeanDeadlineDflt)
+		rs := fctRunner(runners, fctProtos[r])(defaultTree(seed), flows, horizon+2*sim.Second)
+		return stats.MeanFCT(rs, long)
+	})
+	appendNormalized(t, o, raw, fctProtos, 1, 0)
 	return t
 }
 
@@ -383,16 +376,12 @@ func Fig5c(o Opts) *Table {
 	t := &Table{Name: "fig5c", Desc: "mean FCT under EDU1-like workload (normalized to PDQ(Full))",
 		Cols: []string{"norm"}}
 	runners := PacketRunners()
-	base := 0.0
-	for _, name := range fctProtos {
-		g := workload.NewGen(o.seed(), workload.EDU1SizeDist{}, 0)
+	raw := runGrid(o, len(fctProtos), 1, func(r, c int, seed int64) float64 {
+		g := workload.NewGen(seed, workload.EDU1SizeDist{}, 0)
 		flows := g.Poisson(rate, horizon, workload.Permutation{}, treeHosts, treeRack)
-		rs := fctRunner(runners, name)(defaultTree(o.seed()), flows, horizon+2*sim.Second)
-		fct := stats.MeanFCT(rs, nil)
-		if name == "PDQ(Full)" {
-			base = fct
-		}
-		t.Rows = append(t.Rows, Row{name, []float64{fct / base}})
-	}
+		rs := fctRunner(runners, fctProtos[r])(defaultTree(seed), flows, horizon+2*sim.Second)
+		return stats.MeanFCT(rs, nil)
+	})
+	appendNormalized(t, o, raw, fctProtos, 1, 0)
 	return t
 }

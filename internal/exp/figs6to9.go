@@ -43,13 +43,13 @@ func Fig6(o Opts) *Table {
 		if r.Done() && r.Finish > last {
 			last = r.Finish
 		}
-		t.Rows = append(t.Rows, Row{fmt.Sprintf("flow%d completion [ms]", i+1), []float64{r.Finish.Millis()}})
+		t.Rows = append(t.Rows, Row{Label: fmt.Sprintf("flow%d completion [ms]", i+1), Vals: []float64{r.Finish.Millis()}})
 	}
 	t.Rows = append(t.Rows,
-		Row{"all done [ms]", []float64{last.Millis()}},
-		Row{"utilization 5-40ms [%]", []float64{util.MeanOver(5*sim.Millisecond, 40*sim.Millisecond)}},
-		Row{"max queue [pkts]", []float64{stats.Max(queue.V)}},
-		Row{"drops", []float64{float64(bott.Drops)}},
+		Row{Label: "all done [ms]", Vals: []float64{last.Millis()}},
+		Row{Label: "utilization 5-40ms [%]", Vals: []float64{util.MeanOver(5*sim.Millisecond, 40*sim.Millisecond)}},
+		Row{Label: "max queue [pkts]", Vals: []float64{stats.Max(queue.V)}},
+		Row{Label: "drops", Vals: []float64{float64(bott.Drops)}},
 	)
 	return t
 }
@@ -99,12 +99,12 @@ func Fig7(o Opts) *Table {
 	t := &Table{Name: "fig7", Desc: "robustness to burst: 50 short flows preempt a long-lived flow (PDQ Full)"}
 	t.Cols = []string{"value"}
 	t.Rows = append(t.Rows,
-		Row{"shorts completed", []float64{float64(shortsDone)}},
-		Row{"shorts done by [ms]", []float64{lastShort.Millis()}},
-		Row{"util during preemption [%]", []float64{util.MeanOver(10*sim.Millisecond, preemptEnd)}},
-		Row{"max queue [pkts]", []float64{stats.Max(queue.V)}},
-		Row{"long flow FCT [ms]", []float64{rs[0].Finish.Millis()}},
-		Row{"drops", []float64{float64(bott.Drops)}},
+		Row{Label: "shorts completed", Vals: []float64{float64(shortsDone)}},
+		Row{Label: "shorts done by [ms]", Vals: []float64{lastShort.Millis()}},
+		Row{Label: "util during preemption [%]", Vals: []float64{util.MeanOver(10*sim.Millisecond, preemptEnd)}},
+		Row{Label: "max queue [pkts]", Vals: []float64{stats.Max(queue.V)}},
+		Row{Label: "long flow FCT [ms]", Vals: []float64{rs[0].Finish.Millis()}},
+		Row{Label: "drops", Vals: []float64{float64(bott.Drops)}},
 	)
 	return t
 }
@@ -135,18 +135,17 @@ func Fig9a(o Opts) *Table {
 		t.Cols = append(t.Cols, fmt.Sprintf("%.0f%%", l*100))
 	}
 	runners := PacketRunners()
+	var rows []gridRow
 	for _, name := range []string{"PDQ(Full)", "TCP"} {
-		var vals []float64
-		for _, loss := range losses {
-			r := runners[name]
-			n := stats.MaxN(1, hi, func(n int) bool {
-				rs := r(lossyTree(o.seed(), loss), aggFlows(n, o.seed(), 100<<10, workload.MeanDeadlineDflt), 500*sim.Millisecond)
+		r := runners[name]
+		rows = append(rows, gridRow{name, func(c int, seed int64) float64 {
+			return float64(stats.MaxN(1, hi, func(n int) bool {
+				rs := r(lossyTree(seed, losses[c]), aggFlows(n, seed, 100<<10, workload.MeanDeadlineDflt), 500*sim.Millisecond)
 				return stats.AppThroughput(rs) >= 99
-			})
-			vals = append(vals, float64(n))
-		}
-		t.Rows = append(t.Rows, Row{name, vals})
+			}))
+		}})
 	}
+	fillGrid(t, o, len(losses), rows)
 	return t
 }
 
@@ -163,19 +162,27 @@ func Fig9b(o Opts) *Table {
 		t.Cols = append(t.Cols, fmt.Sprintf("%.0f%%", l*100))
 	}
 	runners := PacketRunners()
-	base := 0.0
-	for _, name := range []string{"PDQ(Full)", "TCP"} {
-		var vals []float64
-		for _, loss := range losses {
-			flows := noDeadlineAgg(n, o.seed(), 100<<10)
-			rs := runners[name](lossyTree(o.seed(), loss), flows, 10*sim.Second)
-			fct := stats.MeanFCT(rs, nil)
-			if name == "PDQ(Full)" && loss == 0 {
-				base = fct
+	protos := []string{"PDQ(Full)", "TCP"}
+	raw := runGrid(o, len(protos), len(losses), func(r, c int, seed int64) float64 {
+		flows := noDeadlineAgg(n, seed, 100<<10)
+		rs := runners[protos[r]](lossyTree(seed, losses[c]), flows, 10*sim.Second)
+		return stats.MeanFCT(rs, nil)
+	})
+	// Every cell is normalized to PDQ(Full) without loss (row 0, col 0).
+	base := raw[0].Mean
+	if base == 0 {
+		base = 1
+	}
+	for ri, name := range protos {
+		row := Row{Label: name}
+		for c := range losses {
+			s := raw[ri*len(losses)+c]
+			row.Vals = append(row.Vals, s.Mean/base)
+			if o.trials() > 1 {
+				row.Errs = append(row.Errs, s.Stderr/base)
 			}
-			vals = append(vals, fct/base)
 		}
-		t.Rows = append(t.Rows, Row{name, vals})
+		t.Rows = append(t.Rows, row)
 	}
 	return t
 }

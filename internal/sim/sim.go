@@ -166,9 +166,18 @@ func (s *Sim) Halt() { s.halted = true }
 // Run executes events in order until the queue is empty or Halt is called.
 func (s *Sim) Run() { s.RunUntil(MaxTime) }
 
-// RunUntil executes events in order while their time is <= end, stopping
-// early if the queue empties or Halt is called. On return, Now() is the
-// time of the last executed event (or end, if events remain beyond it).
+// RunUntil executes events in order while their time is <= end (an event
+// scheduled exactly at end still runs), stopping early if the queue
+// empties or Halt is called.
+//
+// End-clock semantics, pinned by TestRunUntilEndClock:
+//   - If events remain beyond end, the clock advances to exactly end, so
+//     a subsequent RunUntil or After continues from the horizon.
+//   - If the queue empties at or before end (or Halt stops the run), the
+//     clock stays at the last executed event — it is NOT advanced to
+//     end. Callers that need the wall end can read it from their own
+//     bookkeeping; advancing to an arbitrary horizon would make MaxTime
+//     overflow-prone (Run is RunUntil(MaxTime)).
 func (s *Sim) RunUntil(end Time) {
 	s.halted = false
 	for len(s.events) > 0 && !s.halted {
@@ -184,12 +193,6 @@ func (s *Sim) RunUntil(end Time) {
 		s.now = next.at
 		s.nRun++
 		next.fn()
-	}
-	if s.now < end && len(s.events) == 0 {
-		// Leave the clock at the last event; callers that need the
-		// wall end can read it from their own bookkeeping. Advancing
-		// to an arbitrary horizon would make MaxTime overflow-prone.
-		return
 	}
 }
 

@@ -145,6 +145,55 @@ func TestRunUntil(t *testing.T) {
 	}
 }
 
+// TestRunUntilEndClock pins RunUntil's end-clock semantics (see the
+// RunUntil doc comment): the clock lands on end only when events remain
+// beyond it; otherwise it stays at the last executed event.
+func TestRunUntilEndClock(t *testing.T) {
+	// Events remain beyond end: clock advances to exactly end and the
+	// later event stays pending.
+	s := New()
+	ran := 0
+	s.At(5, func() { ran++ })
+	s.At(30, func() { ran++ })
+	s.RunUntil(12)
+	if s.Now() != 12 || ran != 1 || s.Pending() != 1 {
+		t.Fatalf("beyond-end: Now=%v ran=%d pending=%d, want 12/1/1", s.Now(), ran, s.Pending())
+	}
+
+	// Queue empties before end: clock stays at the last executed event,
+	// not the horizon.
+	s = New()
+	s.At(7, func() {})
+	s.RunUntil(100)
+	if s.Now() != 7 {
+		t.Fatalf("empty-queue: Now=%v, want 7 (clock must not jump to end)", s.Now())
+	}
+
+	// An event exactly at end still runs, and the clock is end.
+	s = New()
+	s.At(12, func() { ran = 100 })
+	s.RunUntil(12)
+	if ran != 100 || s.Now() != 12 {
+		t.Fatalf("at-end: ran=%d Now=%v, want 100/12", ran, s.Now())
+	}
+
+	// Halt stops the run with the clock at the halting event.
+	s = New()
+	s.At(3, func() { s.Halt() })
+	s.At(9, func() {})
+	s.RunUntil(50)
+	if s.Now() != 3 || s.Pending() != 1 {
+		t.Fatalf("halt: Now=%v pending=%d, want 3/1", s.Now(), s.Pending())
+	}
+
+	// RunUntil on an empty simulator leaves the clock untouched.
+	s = New()
+	s.RunUntil(40)
+	if s.Now() != 0 {
+		t.Fatalf("no-events: Now=%v, want 0", s.Now())
+	}
+}
+
 func TestHalt(t *testing.T) {
 	s := New()
 	n := 0

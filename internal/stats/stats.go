@@ -26,26 +26,48 @@ func Mean(xs []float64) float64 {
 }
 
 // Percentile returns the p-th percentile (0 ≤ p ≤ 100) of xs using linear
-// interpolation. It does not modify xs.
+// interpolation. It does not modify xs. Callers holding an already-sorted
+// sample — especially when querying several percentiles of it — should
+// use PercentileSorted or PercentilesSorted to skip the per-call copy and
+// sort.
 func Percentile(xs []float64, p float64) float64 {
 	if len(xs) == 0 {
 		return 0
 	}
 	s := append([]float64(nil), xs...)
 	sort.Float64s(s)
+	return PercentileSorted(s, p)
+}
+
+// PercentileSorted returns the p-th percentile of the ascending-sorted xs
+// without copying or re-sorting it.
+func PercentileSorted(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
 	if p <= 0 {
-		return s[0]
+		return xs[0]
 	}
 	if p >= 100 {
-		return s[len(s)-1]
+		return xs[len(xs)-1]
 	}
-	pos := p / 100 * float64(len(s)-1)
+	pos := p / 100 * float64(len(xs)-1)
 	lo := int(math.Floor(pos))
 	frac := pos - float64(lo)
-	if lo+1 >= len(s) {
-		return s[lo]
+	if lo+1 >= len(xs) {
+		return xs[lo]
 	}
-	return s[lo]*(1-frac) + s[lo+1]*frac
+	return xs[lo]*(1-frac) + xs[lo+1]*frac
+}
+
+// PercentilesSorted evaluates several percentiles of one ascending-sorted
+// sample, sharing the single sort the caller already paid for.
+func PercentilesSorted(xs []float64, ps ...float64) []float64 {
+	out := make([]float64, len(ps))
+	for i, p := range ps {
+		out[i] = PercentileSorted(xs, p)
+	}
+	return out
 }
 
 // Max returns the maximum of xs (0 for empty input).

@@ -36,6 +36,37 @@ func TestPercentile(t *testing.T) {
 	}
 }
 
+func TestPercentileSorted(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ p, want float64 }{{0, 1}, {25, 2}, {50, 3}, {100, 5}, {-3, 1}, {110, 5}}
+	for _, c := range cases {
+		if got := PercentileSorted(xs, c.p); got != c.want {
+			t.Errorf("P%v = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if PercentileSorted(nil, 50) != 0 {
+		t.Fatal("PercentileSorted(nil)")
+	}
+	// Must agree with Percentile on the unsorted equivalent.
+	unsorted := []float64{3, 1, 2, 5, 4}
+	for p := 0.0; p <= 100; p += 12.5 {
+		if a, b := Percentile(unsorted, p), PercentileSorted(xs, p); a != b {
+			t.Errorf("P%v: Percentile %v != PercentileSorted %v", p, a, b)
+		}
+	}
+}
+
+func TestPercentilesSorted(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	got := PercentilesSorted(xs, 0, 50, 100)
+	want := []float64{1, 2.5, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("PercentilesSorted[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
 func TestMax(t *testing.T) {
 	if Max(nil) != 0 {
 		t.Fatal("Max(nil)")
