@@ -10,6 +10,8 @@ import (
 	"testing"
 
 	"pdq/internal/exp"
+	"pdq/internal/flowsim"
+	"pdq/internal/netsim"
 	"pdq/internal/sim"
 	"pdq/internal/topo"
 	"pdq/internal/workload"
@@ -154,5 +156,85 @@ func runAblation(b *testing.B, r exp.Runner) {
 	rs := r(func() *topo.Topology { return topo.SingleRootedTree(4, 3, 1) }, flows, 500*sim.Millisecond)
 	if len(rs) != 12 {
 		b.Fatalf("got %d results", len(rs))
+	}
+}
+
+// Engine micro-benches: the pooled indexed-heap event queue on its own.
+// After warmup, schedule/fire and schedule/cancel cycles must not allocate
+// (allocs/op = 0); the figure-level benches above show the same effect in
+// context.
+
+// BenchmarkEngineScheduleFire measures a self-rescheduling event chain —
+// the pacing pattern every sender uses — through 1024 schedule/fire cycles
+// per iteration.
+func BenchmarkEngineScheduleFire(b *testing.B) {
+	s := sim.New()
+	n := 0
+	var fn func()
+	fn = func() {
+		if n++; n%1024 != 0 {
+			s.After(5, fn)
+		}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.After(1, fn)
+		s.Run()
+	}
+	if n != 1024*b.N {
+		b.Fatalf("ran %d events, want %d", n, 1024*b.N)
+	}
+}
+
+// BenchmarkEngineScheduleCancel measures the retransmission-timer pattern:
+// arm a far-out event, cancel and rearm it, interleaved with near events
+// that keep the heap busy.
+func BenchmarkEngineScheduleCancel(b *testing.B) {
+	s := sim.New()
+	nop := func() {}
+	var refs [64]sim.EventRef
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for j := range refs {
+			refs[j] = s.After(sim.Time(1000+j), nop)
+		}
+		for j := range refs {
+			if !s.Cancel(refs[j]) {
+				b.Fatal("cancel failed")
+			}
+		}
+		s.After(1, nop)
+		s.Run()
+	}
+}
+
+// BenchmarkFlowAllocators measures one Allocate step of each flow-level
+// allocator over a fat-tree with 128 active flows — the inner loop of the
+// Fig. 8/10/12 sweeps. With the dense scratch workspace the steady state
+// allocates nothing.
+func BenchmarkFlowAllocators(b *testing.B) {
+	tp := topo.FatTree(8, 1)
+	g := workload.NewGen(3, workload.UniformMean(1<<20), workload.MeanDeadlineDflt)
+	flows := g.Batch(128, workload.Permutation{}, len(tp.Hosts), nil, 0)
+	var states []*flowsim.FlowState
+	for _, f := range flows {
+		states = append(states, &flowsim.FlowState{
+			Flow:      f,
+			Path:      tp.Path(tp.Hosts[f.Src], tp.Hosts[f.Dst]),
+			Remaining: float64(f.Size),
+		})
+	}
+	capFn := func(l *netsim.Link) float64 { return float64(l.Rate) }
+	for _, alloc := range []flowsim.Allocator{
+		flowsim.NewPDQ(flowsim.CritPerfect, 1), flowsim.NewRCP(), flowsim.NewD3(),
+	} {
+		alloc := alloc
+		b.Run(alloc.Name(), func(b *testing.B) {
+			alloc.Allocate(0, states, capFn) // warm the scratch
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				alloc.Allocate(0, states, capFn)
+			}
+		})
 	}
 }

@@ -8,8 +8,8 @@
 //	pdqsim -exp all -quick -parallel 8 -trials 5 -json
 //
 // Each experiment prints the same rows/series the paper reports (see
-// DESIGN.md §4 for the per-figure index and EXPERIMENTS.md for the
-// recorded paper-vs-measured comparison). Sweeps fan out across
+// DESIGN.md §6 for how the figure drivers are organized). Sweeps fan
+// out across
 // -parallel workers; -trials replicates every sweep point across that
 // many seeds and reports mean ± stderr; -json emits machine-readable
 // tables for downstream tooling.

@@ -71,6 +71,11 @@ type sender struct {
 	probePending bool
 
 	synEv, sendEv, probeEv, rtoEv sim.EventRef
+
+	// Pre-bound callbacks, created once in start: the pacing loop schedules
+	// one event per data packet, and binding a method value at each
+	// scheduling site would allocate a closure per packet.
+	sendFn, probeFn, synFn, rtoWakeFn func()
 }
 
 func (s *sender) sim() *sim.Sim { return s.ag.sys.Sim }
@@ -130,6 +135,10 @@ func (s *sender) send(kind netsim.Kind, seq int64, payload, wire int) {
 
 // start kicks off the handshake.
 func (s *sender) start() {
+	s.sendFn = s.sendOne
+	s.probeFn = s.sendProbe
+	s.synFn = s.sendSYN
+	s.rtoWakeFn = s.rtoWake
 	s.pauseBy = netsim.PauseNone
 	s.sendSYN()
 	if s.cfg().EarlyTermination && s.sub == 0 && s.sh.flow.HasDeadline() {
@@ -148,7 +157,7 @@ func (s *sender) sendSYN() {
 	}
 	s.send(netsim.SYN, 0, 0, netsim.ControlWire)
 	backoff := 3 * s.cfg().InitRTT * sim.Time(s.synTries)
-	s.synEv = s.sim().After(backoff, s.sendSYN)
+	s.synEv = s.sim().After(backoff, s.synFn)
 }
 
 // onAck handles SYNACK, ACK and PROBEACK feedback: it adopts the
@@ -254,7 +263,7 @@ func (s *sender) ensureSending() {
 		}
 	}
 	s.sendPending = true
-	s.sendEv = s.sim().At(at, s.sendOne)
+	s.sendEv = s.sim().At(at, s.sendFn)
 }
 
 func (s *sender) stopSending() {
@@ -291,11 +300,7 @@ func (s *sender) sendOne() {
 		if wake <= now {
 			wake = now + 1
 		}
-		s.rtoEv = s.sim().At(wake, func() {
-			if !s.sh.over && s.rate > 0 {
-				s.ensureSending()
-			}
-		})
+		s.rtoEv = s.sim().At(wake, s.rtoWakeFn)
 		return
 	} else {
 		return
@@ -320,13 +325,21 @@ func (s *sender) ensureProbing() {
 		mult = 1
 	}
 	s.probePending = true
-	s.probeEv = s.sim().After(sim.Time(mult*float64(s.rttOrInit())), s.sendProbe)
+	s.probeEv = s.sim().After(sim.Time(mult*float64(s.rttOrInit())), s.probeFn)
 }
 
 func (s *sender) stopProbing() {
 	if s.probePending {
 		s.sim().Cancel(s.probeEv)
 		s.probePending = false
+	}
+}
+
+// rtoWake resumes the send loop when the oldest outstanding packet's
+// retransmission timer expires.
+func (s *sender) rtoWake() {
+	if !s.sh.over && s.rate > 0 {
+		s.ensureSending()
 	}
 }
 

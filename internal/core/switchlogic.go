@@ -10,23 +10,27 @@ import (
 // instance is shared by all switches (and relaying hosts, in
 // server-centric topologies); per-link state is keyed by the egress link.
 type SwitchLogic struct {
-	cfg    *Config
-	now    func() sim.Time
-	states map[*netsim.Link]*linkState
+	cfg *Config
+	now func() sim.Time
+	// states is indexed by the dense link ID — a flat table instead of a
+	// map, keeping the per-packet lookup on the hot path pointer-chase- and
+	// hash-free.
+	states []*linkState
 }
 
 // NewSwitchLogic returns switch logic for one experiment. cfg must already
 // have defaults applied (System does this).
 func NewSwitchLogic(cfg *Config, clock func() sim.Time) *SwitchLogic {
-	return &SwitchLogic{cfg: cfg, now: clock, states: map[*netsim.Link]*linkState{}}
+	return &SwitchLogic{cfg: cfg, now: clock}
 }
 
 // state returns the PDQ state of a directed link, creating it on first use.
 func (l *SwitchLogic) state(link *netsim.Link) *linkState {
-	st := l.states[link]
+	l.states = netsim.GrowTo(l.states, link.ID)
+	st := l.states[link.ID]
 	if st == nil {
 		st = newLinkState(l.cfg, link.From.ID(), link)
-		l.states[link] = st
+		l.states[link.ID] = st
 	}
 	return st
 }
@@ -34,8 +38,10 @@ func (l *SwitchLogic) state(link *netsim.Link) *linkState {
 // StateOf exposes a link's flow-list length and rate-controller value for
 // measurement (tests, DESIGN.md §4 memory accounting).
 func (l *SwitchLogic) StateOf(link *netsim.Link) (listLen int, c int64) {
-	if st := l.states[link]; st != nil {
-		return len(st.flows), st.c
+	if link.ID < len(l.states) {
+		if st := l.states[link.ID]; st != nil {
+			return len(st.flows), st.c
+		}
 	}
 	return 0, 0
 }
@@ -45,7 +51,7 @@ func (l *SwitchLogic) StateOf(link *netsim.Link) (listLen int, c int64) {
 func (l *SwitchLogic) MaxListLen() int {
 	m := 0
 	for _, st := range l.states {
-		if len(st.flows) > m {
+		if st != nil && len(st.flows) > m {
 			m = len(st.flows)
 		}
 	}

@@ -6,7 +6,7 @@ import (
 )
 
 // The figure drivers run at Quick scale and their qualitative shapes are
-// asserted against the paper's claims (DESIGN.md §4): who wins, by
+// asserted against the paper's claims (DESIGN.md §6): who wins, by
 // roughly what factor, where the crossovers fall.
 
 var quick = Opts{Quick: true}
@@ -174,7 +174,7 @@ func TestFig11Shapes(t *testing.T) {
 	single := tab.Get("M-PDQ", "1")
 	multi := tab.Get("M-PDQ", "4")
 	// At full load multipath gains are small (paper Fig. 11a); our ECMP
-	// striping (DESIGN.md §3) must at least stay within 10%.
+	// striping (DESIGN.md §5) must at least stay within 10%.
 	if multi > single*1.10 {
 		t.Errorf("M-PDQ(4) FCT %.2f much worse than single-path %.2f", multi, single)
 	}
@@ -273,7 +273,7 @@ func TestFig8bShapes(t *testing.T) {
 	if pdqFlow > rcpFlow {
 		t.Errorf("flow level: PDQ FCT %.1f above RCP %.1f", pdqFlow, rcpFlow)
 	}
-	// Flow level tracks packet level within a factor of ~2.5 (DESIGN.md §8).
+	// Flow level tracks packet level within a factor of ~2.5 (DESIGN.md §6).
 	if rcpFlow < rcpPkt/2.5 || rcpFlow > rcpPkt*2.5 {
 		t.Errorf("RCP flow level %.1f vs packet level %.1f: simulators diverged", rcpFlow, rcpPkt)
 	}

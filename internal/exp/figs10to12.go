@@ -13,7 +13,17 @@ import (
 
 // FlowLevel runs one flow-level allocator over flows on a fresh topology.
 func FlowLevel(build func() *topo.Topology, alloc flowsim.Allocator, et bool, flows []workload.Flow, horizon sim.Time) []workload.Result {
-	s := flowsim.New(build(), alloc)
+	return FlowLevelOn(build(), alloc, et, flows, horizon)
+}
+
+// FlowLevelOn runs one flow-level allocator over flows on an existing
+// topology. The flow-level simulator only reads the topology (rates, IDs,
+// routing), so a driver sweeping replicate seeds on the same deterministic
+// topology can build it once per cell instead of once per replicate —
+// results are identical either way. The topology must not be shared across
+// concurrently running cells (its routing caches are not synchronized).
+func FlowLevelOn(tp *topo.Topology, alloc flowsim.Allocator, et bool, flows []workload.Flow, horizon sim.Time) []workload.Result {
+	s := flowsim.New(tp, alloc)
 	s.ET = et
 	for _, f := range flows {
 		s.Start(f)
@@ -96,9 +106,9 @@ func flowAllocFor(name string, seed int64) flowsim.Allocator {
 	case "PDQ(Full)", "PDQ":
 		return flowsim.NewPDQ(flowsim.CritPerfect, seed)
 	case "D3":
-		return flowsim.D3{}
+		return flowsim.NewD3()
 	default:
-		return flowsim.RCP{}
+		return flowsim.NewRCP()
 	}
 }
 
@@ -208,7 +218,7 @@ func Fig8e(o Opts) *Table {
 				return FlowLevel(build, flowsim.NewPDQ(flowsim.CritPerfect, seed), false, flows, 20*sim.Second)
 			},
 			func() []workload.Result {
-				return FlowLevel(build, flowsim.RCP{}, false, flows, 20*sim.Second)
+				return FlowLevel(build, flowsim.NewRCP(), false, flows, 20*sim.Second)
 			})
 	}
 	runs := Gather(o.workers(), fns)
@@ -287,18 +297,18 @@ func Fig10(o Opts) *Table {
 		{"PDQ; Perfect", func(seed int64) flowsim.Allocator { return flowsim.NewPDQ(flowsim.CritPerfect, seed) }},
 		{"PDQ; Random", func(seed int64) flowsim.Allocator { return flowsim.NewPDQ(flowsim.CritRandom, seed) }},
 		{"PDQ; SizeEstimation", func(seed int64) flowsim.Allocator { return flowsim.NewPDQ(flowsim.CritEstimate, seed) }},
-		{"RCP", func(seed int64) flowsim.Allocator { return flowsim.RCP{} }},
+		{"RCP", func(seed int64) flowsim.Allocator { return flowsim.NewRCP() }},
 	}
 	var rows []gridRow
 	for _, a := range allocs {
 		a := a
 		rows = append(rows, gridRow{a.label, func(c int, seed int64) float64 {
-			build := func() *topo.Topology { return topo.SingleBottleneck(9, seed) }
+			tp := topo.SingleBottleneck(9, seed)
 			sum := 0.0
 			for s := 0; s < seeds; s++ {
 				g := workload.NewGen(seed+int64(s), dists[c], 0)
 				flows := g.Batch(n, workload.Aggregation{}, 9, nil, 0)
-				rs := FlowLevel(build, a.alloc(seed), false, flows, 60*sim.Second)
+				rs := FlowLevelOn(tp, a.alloc(seed), false, flows, 60*sim.Second)
 				sum += stats.MeanFCT(rs, nil) * 1000
 			}
 			return sum / float64(seeds)
@@ -423,7 +433,7 @@ func Fig12(o Opts) *Table {
 			i, seed := i, o.seed()+int64(r)*trialSeedStride
 			fns = append(fns, func() maxMean {
 				build := func() *topo.Topology { return topo.SingleBottleneck(8, seed) }
-				var alloc flowsim.Allocator = flowsim.RCP{}
+				var alloc flowsim.Allocator = flowsim.NewRCP()
 				if i < len(rates) {
 					p := flowsim.NewPDQ(flowsim.CritPerfect, seed)
 					p.AgingRate = rates[i]

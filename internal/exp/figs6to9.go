@@ -25,7 +25,7 @@ func Fig6(o Opts) *Table {
 
 	var lastTx uint64
 	util := stats.NewProbe(tp.Sim(), 500*sim.Microsecond, func() float64 {
-		cur := bott.TxBytes
+		cur := bott.TxBytes()
 		d := cur - lastTx
 		lastTx = cur
 		// bits transferred per probe period / capacity.
@@ -49,7 +49,7 @@ func Fig6(o Opts) *Table {
 		Row{Label: "all done [ms]", Vals: []float64{last.Millis()}},
 		Row{Label: "utilization 5-40ms [%]", Vals: []float64{util.MeanOver(5*sim.Millisecond, 40*sim.Millisecond)}},
 		Row{Label: "max queue [pkts]", Vals: []float64{stats.Max(queue.V)}},
-		Row{Label: "drops", Vals: []float64{float64(bott.Drops)}},
+		Row{Label: "drops", Vals: []float64{float64(bott.Drops())}},
 	)
 	return t
 }
@@ -74,7 +74,7 @@ func Fig7(o Opts) *Table {
 	bott := tp.Hosts[recv].Access.Peer
 	var lastTx uint64
 	util := stats.NewProbe(tp.Sim(), 500*sim.Microsecond, func() float64 {
-		cur := bott.TxBytes
+		cur := bott.TxBytes()
 		d := cur - lastTx
 		lastTx = cur
 		return float64(d*8) / (float64(bott.Rate) * 0.0005) * 100
@@ -104,7 +104,7 @@ func Fig7(o Opts) *Table {
 		Row{Label: "util during preemption [%]", Vals: []float64{util.MeanOver(10*sim.Millisecond, preemptEnd)}},
 		Row{Label: "max queue [pkts]", Vals: []float64{stats.Max(queue.V)}},
 		Row{Label: "long flow FCT [ms]", Vals: []float64{rs[0].Finish.Millis()}},
-		Row{Label: "drops", Vals: []float64{float64(bott.Drops)}},
+		Row{Label: "drops", Vals: []float64{float64(bott.Drops())}},
 	)
 	return t
 }

@@ -1,0 +1,43 @@
+package exp
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden figure tables in testdata/")
+
+// TestGoldenFigures pins the rendered output of one packet-level figure
+// (fig3a) and one flow-level figure (fig10) at a fixed seed against golden
+// files recorded with the pre-PR-2 engine (container/heap events, three
+// events per packet, map-based allocator scratch). The engine rewrite must
+// keep these byte-identical: same event order, same arithmetic, same
+// rendering. Regenerate with `go test ./internal/exp -run Golden -update`
+// only when a deliberate semantic change is being made.
+func TestGoldenFigures(t *testing.T) {
+	for _, fig := range []string{"fig3a", "fig10"} {
+		fig := fig
+		t.Run(fig, func(t *testing.T) {
+			got := Figures[fig](Opts{Quick: true, Seed: 7}).String()
+			path := filepath.Join("testdata", fig+"_quick_seed7.golden")
+			if *updateGolden {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update on a trusted engine): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("%s output diverged from the pre-refactor engine:\n--- got ---\n%s\n--- want ---\n%s", fig, got, want)
+			}
+		})
+	}
+}

@@ -46,11 +46,108 @@ type FlowState struct {
 }
 
 // Allocator assigns Rate to every active flow given per-link capacities.
+// Allocators carry reusable scratch state, so one instance belongs to one
+// Sim and must not be shared across concurrent simulations.
 type Allocator interface {
 	Name() string
 	// Allocate sets f.Rate for every flow; cap maps each link to its
 	// capacity in bits/s and must not be mutated.
 	Allocate(now sim.Time, flows []*FlowState, cap func(*netsim.Link) float64)
+}
+
+// scratch is the dense per-link workspace the allocators reuse across
+// steps: links carry dense IDs, so per-link residual capacity and flow
+// counts live in flat slices indexed by Link.ID instead of per-step maps.
+// Entries are lazily initialized per allocation round via an epoch stamp —
+// no clearing, no rehashing, no steady-state allocation (DESIGN.md §4).
+type scratch struct {
+	epoch    uint32
+	stamp    []uint32       // stamp[id] == epoch ⇒ entry is live this round
+	residual []float64      // remaining capacity of link id, bits/s
+	count    []int32        // flows crossing link id (allocator-specific)
+	touched  []*netsim.Link // links initialized this round, in touch order
+	ordered  []*FlowState   // reusable sort buffer
+	frozen   []bool         // reusable per-flow flags
+	sorter   flowSorter     // reusable sort.Interface over ordered
+}
+
+// begin opens a new allocation round, invalidating every entry.
+func (sc *scratch) begin() {
+	sc.touched = sc.touched[:0]
+	sc.epoch++
+	if sc.epoch == 0 { // wrapped: stamps from 2³² rounds ago could collide
+		for i := range sc.stamp {
+			sc.stamp[i] = 0
+		}
+		sc.epoch = 1
+	}
+}
+
+// slot returns the dense index of l, initializing its residual from capFn
+// and zeroing its count on the first touch of the round.
+func (sc *scratch) slot(l *netsim.Link, capFn func(*netsim.Link) float64) int {
+	id := l.ID
+	if id >= len(sc.stamp) {
+		n := id + 1
+		if n < 2*len(sc.stamp) {
+			n = 2 * len(sc.stamp)
+		}
+		stamp := make([]uint32, n)
+		copy(stamp, sc.stamp)
+		sc.stamp = stamp
+		residual := make([]float64, n)
+		copy(residual, sc.residual)
+		sc.residual = residual
+		count := make([]int32, n)
+		copy(count, sc.count)
+		sc.count = count
+	}
+	if sc.stamp[id] != sc.epoch {
+		sc.stamp[id] = sc.epoch
+		sc.residual[id] = capFn(l)
+		sc.count[id] = 0
+		sc.touched = append(sc.touched, l)
+	}
+	return id
+}
+
+// orderedCopy fills the reusable sort buffer with flows.
+func (sc *scratch) orderedCopy(flows []*FlowState) []*FlowState {
+	sc.ordered = append(sc.ordered[:0], flows...)
+	return sc.ordered
+}
+
+// sortOrdered stably sorts the buffer with a pre-bound comparator. Using a
+// reusable sort.Interface instead of sort.SliceStable avoids the closure
+// and reflect-swapper allocations the slice helpers make per call.
+func (sc *scratch) sortOrdered(less func(a, b *FlowState) bool) {
+	sc.sorter.flows = sc.ordered
+	sc.sorter.less = less
+	sort.Stable(&sc.sorter)
+	sc.sorter.flows = nil
+	sc.sorter.less = nil
+}
+
+// flowSorter is scratch's reusable sort.Interface over []*FlowState.
+type flowSorter struct {
+	flows []*FlowState
+	less  func(a, b *FlowState) bool
+}
+
+func (s *flowSorter) Len() int           { return len(s.flows) }
+func (s *flowSorter) Swap(i, j int)      { s.flows[i], s.flows[j] = s.flows[j], s.flows[i] }
+func (s *flowSorter) Less(i, j int) bool { return s.less(s.flows[i], s.flows[j]) }
+
+// frozenFor returns a cleared n-element flag slice.
+func (sc *scratch) frozenFor(n int) []bool {
+	if cap(sc.frozen) < n {
+		sc.frozen = make([]bool, n)
+	}
+	f := sc.frozen[:n]
+	for i := range f {
+		f[i] = false
+	}
+	return f
 }
 
 // Sim runs a flow-level simulation over a topology.
@@ -63,7 +160,8 @@ type Sim struct {
 	ET bool
 
 	Collector *workload.Collector
-	pending   []*FlowState // sorted by Start
+	pending   []*FlowState // sorted by Start; admitted entries are nil
+	next      int          // cursor into pending: first un-admitted flow
 	active    []*FlowState
 	now       sim.Time
 }
@@ -87,8 +185,9 @@ func (s *Sim) Start(f workload.Flow) {
 
 // Run advances the simulation to the horizon or until all flows finish.
 func (s *Sim) Run(horizon sim.Time) {
-	sort.SliceStable(s.pending, func(i, j int) bool { return s.pending[i].Start < s.pending[j].Start })
-	for s.now < horizon && (len(s.pending) > 0 || len(s.active) > 0) {
+	queued := s.pending[s.next:]
+	sort.SliceStable(queued, func(i, j int) bool { return queued[i].Start < queued[j].Start })
+	for s.now < horizon && (s.next < len(s.pending) || len(s.active) > 0) {
 		s.step()
 	}
 }
@@ -98,14 +197,19 @@ func (s *Sim) Results() []workload.Result { return s.Collector.Results() }
 
 func (s *Sim) step() {
 	next := s.now + s.Step
-	// Admit flows whose init completes within this step.
-	for len(s.pending) > 0 && s.pending[0].Started < next {
-		s.active = append(s.active, s.pending[0])
-		s.pending = s.pending[1:]
+	// Admit flows whose init completes within this step. The cursor (with
+	// admitted slots nilled out) lets long-running sims release admitted
+	// flows to the GC; re-slicing the queue instead would pin the whole
+	// backing array for the run.
+	for s.next < len(s.pending) && s.pending[s.next].Started < next {
+		s.active = append(s.active, s.pending[s.next])
+		s.pending[s.next] = nil
+		s.next++
 	}
 	if len(s.active) == 0 {
-		if len(s.pending) > 0 && s.pending[0].Started > next {
-			next = s.pending[0].Started - (s.pending[0].Started % s.Step)
+		if s.next < len(s.pending) && s.pending[s.next].Started > next {
+			first := s.pending[s.next].Started
+			next = first - (first % s.Step)
 			if next <= s.now {
 				next = s.now + s.Step
 			}
@@ -197,12 +301,16 @@ type PDQ struct {
 	// 100 ms, preventing starvation. 0 disables aging.
 	AgingRate float64
 	rng       *rand.Rand
+	sc        scratch
+	lessFn    func(a, b *FlowState) bool // pre-bound p.less
 }
 
 // NewPDQ returns a PDQ allocator with deterministic randomness (used only
 // by CritRandom).
 func NewPDQ(mode CritMode, seed int64) *PDQ {
-	return &PDQ{Mode: mode, rng: rand.New(rand.NewSource(seed))}
+	p := &PDQ{Mode: mode, rng: rand.New(rand.NewSource(seed))}
+	p.lessFn = p.less
+	return p
 }
 
 // Name implements Allocator.
@@ -222,17 +330,21 @@ func (p *PDQ) Allocate(now sim.Time, flows []*FlowState, cap func(*netsim.Link) 
 			f.crit = math.Floor(sent/float64(50<<10)) + 1
 		}
 	}
-	ordered := append([]*FlowState(nil), flows...)
-	sort.SliceStable(ordered, func(i, j int) bool { return p.less(ordered[i], ordered[j]) })
-	residual := map[*netsim.Link]float64{}
+	if p.lessFn == nil { // PDQ built as a literal rather than via NewPDQ
+		p.lessFn = p.less
+	}
+	sc := &p.sc
+	sc.begin()
+	ordered := sc.orderedCopy(flows)
+	sc.sortOrdered(p.lessFn)
 	for _, f := range ordered {
 		rate := float64(minNIC(f))
 		for _, l := range f.Path {
-			r, ok := residual[l]
-			if !ok {
-				r = cap(l)
-			}
-			if r < rate {
+			// slot() may grow and reassign sc.residual, so it must be
+			// called before the slice is indexed (the evaluation order of
+			// sc.residual[sc.slot(...)] is unspecified across the grow).
+			id := sc.slot(l, cap)
+			if r := sc.residual[id]; r < rate {
 				rate = r
 			}
 		}
@@ -241,11 +353,8 @@ func (p *PDQ) Allocate(now sim.Time, flows []*FlowState, cap func(*netsim.Link) 
 		}
 		f.Rate = rate
 		for _, l := range f.Path {
-			r, ok := residual[l]
-			if !ok {
-				r = cap(l)
-			}
-			residual[l] = r - rate
+			id := sc.slot(l, cap)
+			sc.residual[id] -= rate
 		}
 	}
 }
@@ -292,36 +401,42 @@ func minNIC(f *FlowState) int64 {
 // RCP allocator: max-min fairness.
 
 // RCP is the flow-level fair-sharing allocator (RCP; also D3 with no
-// deadlines, §5.1).
-type RCP struct{}
+// deadlines, §5.1). Create instances with NewRCP: the allocator reuses
+// dense per-link scratch across steps.
+type RCP struct {
+	sc scratch
+}
+
+// NewRCP returns an RCP allocator.
+func NewRCP() *RCP { return &RCP{} }
 
 // Name implements Allocator.
-func (RCP) Name() string { return "RCP" }
+func (*RCP) Name() string { return "RCP" }
 
 // Allocate implements Allocator by progressive filling (max-min fairness),
 // respecting NIC limits.
-func (RCP) Allocate(now sim.Time, flows []*FlowState, cap func(*netsim.Link) float64) {
-	residual := map[*netsim.Link]float64{}
-	count := map[*netsim.Link]int{}
-	frozen := make([]bool, len(flows))
+func (p *RCP) Allocate(now sim.Time, flows []*FlowState, cap func(*netsim.Link) float64) {
+	sc := &p.sc
+	sc.begin()
 	for _, f := range flows {
 		for _, l := range f.Path {
-			if _, ok := residual[l]; !ok {
-				residual[l] = cap(l)
-			}
-			count[l]++
+			// Hoisted: slot() may grow and reassign sc.count.
+			id := sc.slot(l, cap)
+			sc.count[id]++
 		}
 		f.Rate = 0
 	}
+	frozen := sc.frozenFor(len(flows))
 	remaining := len(flows)
 	for remaining > 0 {
 		// Smallest per-flow share over all links, and the NIC floor.
 		share := math.Inf(1)
-		for l, n := range count {
+		for _, l := range sc.touched {
+			n := sc.count[l.ID]
 			if n == 0 {
 				continue
 			}
-			if s := residual[l] / float64(n); s < share {
+			if s := sc.residual[l.ID] / float64(n); s < share {
 				share = s
 			}
 		}
@@ -343,13 +458,13 @@ func (RCP) Allocate(now sim.Time, flows []*FlowState, cap func(*netsim.Link) flo
 			}
 			f.Rate += grant
 			for _, l := range f.Path {
-				residual[l] -= grant
+				sc.residual[l.ID] -= grant
 			}
 			if grant < share-1e-9 { // NIC-limited: done
 				frozen[i] = true
 				remaining--
 				for _, l := range f.Path {
-					count[l]--
+					sc.count[l.ID]--
 				}
 				progressed = true
 			}
@@ -360,11 +475,11 @@ func (RCP) Allocate(now sim.Time, flows []*FlowState, cap func(*netsim.Link) flo
 				continue
 			}
 			for _, l := range f.Path {
-				if residual[l] <= 1e-6*cap(l) {
+				if sc.residual[l.ID] <= 1e-6*cap(l) {
 					frozen[i] = true
 					remaining--
 					for _, g := range f.Path {
-						count[g]--
+						sc.count[g.ID]--
 					}
 					progressed = true
 					break
@@ -381,31 +496,40 @@ func (RCP) Allocate(now sim.Time, flows []*FlowState, cap func(*netsim.Link) flo
 // D3 allocator.
 
 // D3 is the flow-level D3 allocator: deadline flows reserve r = s/d in
-// arrival order, then the leftover is shared max-min fairly.
-type D3 struct{}
+// arrival order, then the leftover is shared max-min fairly. Create
+// instances with NewD3: the allocator reuses dense per-link scratch across
+// steps.
+type D3 struct {
+	sc scratch
+}
+
+// NewD3 returns a D3 allocator.
+func NewD3() *D3 { return &D3{} }
 
 // Name implements Allocator.
-func (D3) Name() string { return "D3" }
+func (*D3) Name() string { return "D3" }
+
+// arrivalLess orders flows first-come first-reserve (ties by ID).
+func arrivalLess(a, b *FlowState) bool {
+	if a.Start != b.Start {
+		return a.Start < b.Start
+	}
+	return a.ID < b.ID
+}
 
 // Allocate implements Allocator.
-func (D3) Allocate(now sim.Time, flows []*FlowState, cap func(*netsim.Link) float64) {
-	residual := map[*netsim.Link]float64{}
+func (p *D3) Allocate(now sim.Time, flows []*FlowState, cap func(*netsim.Link) float64) {
+	sc := &p.sc
+	sc.begin()
 	for _, f := range flows {
 		for _, l := range f.Path {
-			if _, ok := residual[l]; !ok {
-				residual[l] = cap(l)
-			}
+			sc.slot(l, cap)
 		}
 		f.Rate = 0
 	}
 	// Pass 1: reservations in arrival order (first-come first-reserve).
-	ordered := append([]*FlowState(nil), flows...)
-	sort.SliceStable(ordered, func(i, j int) bool {
-		if ordered[i].Start != ordered[j].Start {
-			return ordered[i].Start < ordered[j].Start
-		}
-		return ordered[i].ID < ordered[j].ID
-	})
+	ordered := sc.orderedCopy(flows)
+	sc.sortOrdered(arrivalLess)
 	for _, f := range ordered {
 		if !f.HasDeadline() {
 			continue
@@ -420,8 +544,8 @@ func (D3) Allocate(now sim.Time, flows []*FlowState, cap func(*netsim.Link) floa
 		}
 		grant := want
 		for _, l := range f.Path {
-			if residual[l] < grant {
-				grant = residual[l]
+			if r := sc.residual[l.ID]; r < grant {
+				grant = r
 			}
 		}
 		if grant < 0 {
@@ -429,23 +553,22 @@ func (D3) Allocate(now sim.Time, flows []*FlowState, cap func(*netsim.Link) floa
 		}
 		f.Rate = grant
 		for _, l := range f.Path {
-			residual[l] -= grant
+			sc.residual[l.ID] -= grant
 		}
 	}
 	// Pass 2: fair share of the leftover — each flow gets the minimum
 	// over its path of residual/(flows still to be served on the link),
 	// the per-link equal split D3 computes as fs. Counts shrink as flows
 	// take their share so the split is equal, not geometric.
-	counts := map[*netsim.Link]int{}
 	for _, f := range flows {
 		for _, l := range f.Path {
-			counts[l]++
+			sc.count[l.ID]++
 		}
 	}
 	for _, f := range ordered {
 		grant := math.Inf(1)
 		for _, l := range f.Path {
-			if share := residual[l] / float64(counts[l]); share < grant {
+			if share := sc.residual[l.ID] / float64(sc.count[l.ID]); share < grant {
 				grant = share
 			}
 		}
@@ -457,8 +580,8 @@ func (D3) Allocate(now sim.Time, flows []*FlowState, cap func(*netsim.Link) floa
 		}
 		f.Rate += grant
 		for _, l := range f.Path {
-			residual[l] -= grant
-			counts[l]--
+			sc.residual[l.ID] -= grant
+			sc.count[l.ID]--
 		}
 	}
 }

@@ -49,7 +49,7 @@ func TestRCPSimultaneousService(t *testing.T) {
 	for i := 0; i < 4; i++ {
 		flows = append(flows, workload.Flow{ID: uint64(i + 1), Src: i, Dst: 8, Size: 1 << 20})
 	}
-	rs := runAlloc(t, RCP{}, false, flows, sim.Second)
+	rs := runAlloc(t, NewRCP(), false, flows, sim.Second)
 	for _, r := range rs {
 		if !r.Done() {
 			t.Fatal("flow incomplete")
@@ -66,7 +66,7 @@ func TestPDQBeatsRCPMeanFCT(t *testing.T) {
 	mk := func() []workload.Flow { return g.Batch(20, workload.Aggregation{}, 9, nil, 0) }
 	fl := mk()
 	pdq := stats.MeanFCT(runAlloc(t, NewPDQ(CritPerfect, 1), false, fl, sim.Second), nil)
-	rcp := stats.MeanFCT(runAlloc(t, RCP{}, false, fl, sim.Second), nil)
+	rcp := stats.MeanFCT(runAlloc(t, NewRCP(), false, fl, sim.Second), nil)
 	if pdq >= rcp {
 		t.Errorf("PDQ mean FCT %.4f not better than RCP %.4f", pdq, rcp)
 	}
@@ -79,8 +79,8 @@ func TestPDQBeatsRCPMeanFCT(t *testing.T) {
 func TestD3EqualsRCPWithoutDeadlines(t *testing.T) {
 	g := workload.NewGen(3, workload.UniformMean(100<<10), 0)
 	fl := g.Batch(10, workload.Aggregation{}, 9, nil, 0)
-	d3 := stats.MeanFCT(runAlloc(t, D3{}, false, fl, sim.Second), nil)
-	rcp := stats.MeanFCT(runAlloc(t, RCP{}, false, fl, sim.Second), nil)
+	d3 := stats.MeanFCT(runAlloc(t, NewD3(), false, fl, sim.Second), nil)
+	rcp := stats.MeanFCT(runAlloc(t, NewRCP(), false, fl, sim.Second), nil)
 	ratio := d3 / rcp
 	if ratio < 0.95 || ratio > 1.05 {
 		t.Errorf("D3 (no deadlines) mean FCT %.4f vs RCP %.4f: should match (§5.1)", d3, rcp)
@@ -91,7 +91,7 @@ func TestPDQDeadlinesBeatD3(t *testing.T) {
 	g := workload.NewGen(11, workload.UniformMean(100<<10), 20*sim.Millisecond)
 	fl := g.Batch(16, workload.Aggregation{}, 9, nil, 0)
 	pdq := stats.AppThroughput(runAlloc(t, NewPDQ(CritPerfect, 1), true, fl, sim.Second))
-	d3 := stats.AppThroughput(runAlloc(t, D3{}, false, fl, sim.Second))
+	d3 := stats.AppThroughput(runAlloc(t, NewD3(), false, fl, sim.Second))
 	if pdq < d3 {
 		t.Errorf("PDQ app throughput %.1f%% < D3 %.1f%%", pdq, d3)
 	}
@@ -191,7 +191,7 @@ func TestNoLinkOversubscribed(t *testing.T) {
 	tp := topo.FatTree(4, 1)
 	g := workload.NewGen(23, workload.UniformMean(500<<10), 0)
 	fl := g.Batch(48, workload.Permutation{}, len(tp.Hosts), nil, 0)
-	for _, alloc := range []Allocator{NewPDQ(CritPerfect, 1), RCP{}, D3{}} {
+	for _, alloc := range []Allocator{NewPDQ(CritPerfect, 1), NewRCP(), NewD3()} {
 		s := New(tp, alloc)
 		var states []*FlowState
 		for _, f := range fl {

@@ -17,6 +17,15 @@ const (
 // Link is one direction of a network cable: an output queue at From feeding
 // a wire toward To. Bidirectional connectivity is modeled as a pair of
 // Links joined by Peer.
+//
+// Packet timing is handled by a timestamp serializer (DESIGN.md §3): each
+// accepted packet is stamped with its serialization-completion time,
+// threaded onto an intrusive FIFO, and scheduled for delivery with a single
+// pooled event (the Packet itself is the callback) — one event per packet
+// instead of the three (start/complete/deliver) a naive model schedules,
+// and no per-packet closures. Queue occupancy and the Tx counters are
+// settled lazily from the timestamps, ordered against the engine's (time,
+// seq) event order, so reads must go through the accessor methods.
 type Link struct {
 	ID        int
 	From, To  Node
@@ -35,15 +44,19 @@ type Link struct {
 	State any
 
 	net       *Network
-	qBytes    int
-	inService int // wire size of the packet currently serializing
-	busyUntil sim.Time
+	qBytes    int      // bytes queued or serializing, as of the last advance
+	busyUntil sim.Time // when the last accepted packet finishes serializing
 
-	// Counters for measurement.
-	TxPackets uint64
-	TxBytes   uint64 // wire bytes fully serialized onto the link
-	Drops     uint64 // tail drops
-	LossDrops uint64 // random losses injected via LossRate
+	// Serializer FIFO, threaded through Packet.qNext: packets waiting for
+	// or undergoing serialization, in enqueue order. serDone times are
+	// monotone along the chain.
+	qHead, qTail *Packet
+
+	// Counters, settled as of the last advance; read via the methods below.
+	txPackets uint64
+	txBytes   uint64
+	drops     uint64
+	lossDrops uint64
 }
 
 // NewLink creates a single directed link with default parameters.
@@ -60,6 +73,16 @@ func (n *Network) NewLink(from, to Node) *Link {
 	}
 	n.links = append(n.links, l)
 	return l
+}
+
+// GrowTo extends s with zero values until index id is valid and returns
+// the (possibly reallocated) slice. It is the shared idiom for the dense
+// per-link state tables the protocol switch logics key by Link.ID.
+func GrowTo[T any](s []T, id int) []T {
+	for len(s) <= id {
+		s = append(s, *new(T))
+	}
+	return s
 }
 
 // NewDuplexLink creates a bidirectional link (two directed links joined by
@@ -79,14 +102,69 @@ func (l *Link) SetRate(bps int64) {
 	}
 }
 
+// advance settles the serializer up to the current (time, seq) order point:
+// every packet whose serialization-complete transition precedes it is
+// accounted (queue occupancy, Tx counters) and unlinked. The seq comparison
+// reproduces the eager model's tie-breaking exactly: a completion at time t
+// was an event scheduled when the packet was enqueued, so an observer event
+// also firing at t sees the completion if and only if the packet was
+// enqueued first.
+func (l *Link) advance() {
+	now := l.net.Sim.Now()
+	seq := l.net.Sim.EventSeq()
+	for p := l.qHead; p != nil && (p.serDone < now || (p.serDone == now && p.enqSeq <= seq)); p = l.qHead {
+		l.qBytes -= p.Wire
+		l.txPackets++
+		l.txBytes += uint64(p.Wire)
+		l.qHead = p.qNext
+		if l.qHead == nil {
+			l.qTail = nil
+		}
+		p.qNext = nil
+	}
+}
+
 // QueueBytes returns the instantaneous queue occupancy in bytes, including
 // the packet currently being serialized.
-func (l *Link) QueueBytes() int { return l.qBytes }
+func (l *Link) QueueBytes() int {
+	l.advance()
+	return l.qBytes
+}
 
 // QueueWaiting returns the bytes waiting behind the packet currently being
 // serialized — the backlog a rate controller should drain. A link running
 // at exactly its capacity has QueueWaiting ≈ 0 while QueueBytes ≈ one MTU.
-func (l *Link) QueueWaiting() int { return l.qBytes - l.inService }
+func (l *Link) QueueWaiting() int {
+	l.advance()
+	inService := 0
+	if h := l.qHead; h != nil {
+		now := l.net.Sim.Now()
+		// serStart is stamped at enqueue (like the old eager start event),
+		// so a mid-run SetRate cannot misclassify the in-service packet.
+		if h.serStart < now || (h.serStart == now && h.enqSeq <= l.net.Sim.EventSeq()) {
+			inService = h.Wire
+		}
+	}
+	return l.qBytes - inService
+}
+
+// TxPackets returns the number of packets fully serialized onto the link.
+func (l *Link) TxPackets() uint64 {
+	l.advance()
+	return l.txPackets
+}
+
+// TxBytes returns the wire bytes fully serialized onto the link.
+func (l *Link) TxBytes() uint64 {
+	l.advance()
+	return l.txBytes
+}
+
+// Drops returns the number of tail-dropped packets.
+func (l *Link) Drops() uint64 { return l.drops }
+
+// LossDrops returns the number of random losses injected via LossRate.
+func (l *Link) LossDrops() uint64 { return l.lossDrops }
 
 // TxTime returns the serialization delay of a packet of the given wire size.
 func (l *Link) TxTime(wire int) sim.Time {
@@ -103,11 +181,12 @@ func (l *Link) String() string {
 // here, covering both directions of the paper's loss experiments.
 func (l *Link) Enqueue(pkt *Packet) {
 	if l.LossRate > 0 && l.net.Rand.Float64() < l.LossRate {
-		l.LossDrops++
+		l.lossDrops++
 		return
 	}
+	l.advance()
 	if l.qBytes+pkt.Wire > l.QueueCap {
-		l.Drops++
+		l.drops++
 		return
 	}
 	l.qBytes += pkt.Wire
@@ -118,16 +197,19 @@ func (l *Link) Enqueue(pkt *Packet) {
 	}
 	done := start + l.TxTime(pkt.Wire)
 	l.busyUntil = done
-	// The packet occupies the queue until fully serialized, then takes
-	// PropDelay + ProcDelay to arrive and be processed at To.
-	l.net.Sim.At(start, func() { l.inService = pkt.Wire })
-	l.net.Sim.At(done, func() {
-		l.qBytes -= pkt.Wire
-		l.inService = 0
-		l.TxPackets++
-		l.TxBytes += uint64(pkt.Wire)
-	})
-	l.net.Sim.At(done+l.PropDelay+l.ProcDelay, func() {
-		l.To.Receive(pkt, l)
-	})
+	pkt.serStart = start
+	pkt.serDone = done
+	pkt.qNext = nil
+	if l.qTail != nil {
+		l.qTail.qNext = pkt
+	} else {
+		l.qHead = pkt
+	}
+	l.qTail = pkt
+	// One pooled event delivers the packet after serialization plus the
+	// wire and processing delays; the packet itself is the callback
+	// (Packet.RunEvent), so nothing is allocated. The event's seq doubles
+	// as the packet's position in the engine's total event order.
+	pkt.enqSeq = l.net.Sim.NextSeq() // the delivery event's seq, assigned next
+	l.net.Sim.AtRunner(done+l.PropDelay+l.ProcDelay, pkt)
 }

@@ -117,6 +117,26 @@ type Packet struct {
 	// its acknowledgment by the receiver (like a TCP timestamp option) so
 	// the sender can measure RTT without per-packet sender state.
 	EchoSentAt sim.Time
+
+	// Serializer state, owned by the Link the packet currently occupies
+	// (DESIGN.md §3): the intrusive FIFO linkage, the times serialization
+	// onto that link starts and completes, and the seq of the packet's
+	// delivery event (its position in the engine's total event order).
+	qNext    *Packet
+	serStart sim.Time
+	serDone  sim.Time
+	enqSeq   uint64
+}
+
+// RunEvent implements sim.Runner: it fires when the packet has fully
+// traversed its current link (serialization + propagation + processing).
+// Scheduling the packet itself as the callback keeps per-packet delivery
+// allocation-free. The link is settled first so the packet is unlinked from
+// its serializer FIFO before it can be enqueued on the next hop.
+func (p *Packet) RunEvent() {
+	ingress := p.Path[p.Hop]
+	ingress.advance()
+	ingress.To.Receive(p, ingress)
 }
 
 // Node is a network element that can receive packets from links.

@@ -90,8 +90,8 @@ func TestTailDrop(t *testing.T) {
 	if len(cb.got) != 2 {
 		t.Fatalf("delivered %d packets, want 2 (rest tail-dropped)", len(cb.got))
 	}
-	if path[0].Drops != 3 {
-		t.Errorf("Drops = %d, want 3", path[0].Drops)
+	if path[0].Drops() != 3 {
+		t.Errorf("Drops = %d, want 3", path[0].Drops())
 	}
 	if cb.got[0] != pkts[0] || cb.got[1] != pkts[1] {
 		t.Error("wrong packets survived tail drop")
@@ -114,8 +114,8 @@ func TestQueueDrainsAsPacketsSerialize(t *testing.T) {
 	if q := path[0].QueueBytes(); q != 0 {
 		t.Fatalf("final queue = %d, want 0", q)
 	}
-	if path[0].TxPackets != 3 || path[0].TxBytes != 4500 {
-		t.Errorf("counters: %d pkts %d bytes", path[0].TxPackets, path[0].TxBytes)
+	if path[0].TxPackets() != 3 || path[0].TxBytes() != 4500 {
+		t.Errorf("counters: %d pkts %d bytes", path[0].TxPackets(), path[0].TxBytes())
 	}
 }
 
@@ -132,8 +132,8 @@ func TestLossInjection(t *testing.T) {
 	if got < 1200 || got > 1600 {
 		t.Errorf("with 30%% loss, delivered %d of %d", got, N)
 	}
-	if int(path[0].LossDrops)+got != N {
-		t.Errorf("LossDrops %d + delivered %d != %d", path[0].LossDrops, got, N)
+	if int(path[0].LossDrops())+got != N {
+		t.Errorf("LossDrops %d + delivered %d != %d", path[0].LossDrops(), got, N)
 	}
 }
 

@@ -153,7 +153,7 @@ type System struct {
 	Sim       *sim.Sim
 	Collector *workload.Collector
 
-	states map[*netsim.Link]*linkState
+	states []*linkState // indexed by the dense link ID
 	agents []*agent
 }
 
@@ -164,7 +164,6 @@ func Install(t *topo.Topology, cfg Config) *System {
 		Topo:      t,
 		Sim:       t.Sim(),
 		Collector: workload.NewCollector(),
-		states:    map[*netsim.Link]*linkState{},
 	}
 	for _, sw := range t.Switches {
 		sw.Logic = (*logic)(s)
@@ -266,10 +265,11 @@ func (s *System) Results() []workload.Result { return s.Collector.Results() }
 type logic System
 
 func (l *logic) state(link *netsim.Link) *linkState {
-	st := l.states[link]
+	l.states = netsim.GrowTo(l.states, link.ID)
+	st := l.states[link.ID]
 	if st == nil {
 		st = &linkState{cfg: &l.Cfg, link: link, allocs: map[netsim.FlowID]*alloc{}}
-		l.states[link] = st
+		l.states[link.ID] = st
 	}
 	return st
 }

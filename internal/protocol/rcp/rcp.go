@@ -92,7 +92,7 @@ type System struct {
 	Sim       *sim.Sim
 	Collector *workload.Collector
 
-	states map[*netsim.Link]*linkState
+	states []*linkState // indexed by the dense link ID
 	agents []*agent
 }
 
@@ -103,7 +103,6 @@ func Install(t *topo.Topology, cfg Config) *System {
 		Topo:      t,
 		Sim:       t.Sim(),
 		Collector: workload.NewCollector(),
-		states:    map[*netsim.Link]*linkState{},
 	}
 	for _, sw := range t.Switches {
 		sw.Logic = (*logic)(s)
@@ -165,10 +164,11 @@ func (s *System) Results() []workload.Result { return s.Collector.Results() }
 type logic System
 
 func (l *logic) state(link *netsim.Link) *linkState {
-	st := l.states[link]
+	l.states = netsim.GrowTo(l.states, link.ID)
+	st := l.states[link.ID]
 	if st == nil {
 		st = &linkState{cfg: &l.Cfg, link: link, flows: map[netsim.FlowID]sim.Time{}, rate: link.Rate}
-		l.states[link] = st
+		l.states[link.ID] = st
 	}
 	return st
 }

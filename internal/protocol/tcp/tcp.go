@@ -87,6 +87,7 @@ func (s *System) launch(f workload.Flow) {
 		cwnd:     s.Cfg.InitCwnd,
 		ssthresh: s.Cfg.MaxCwnd,
 	}
+	snd.rtoFn = snd.onRTO
 	src.sends[netsim.FlowID(f.ID)] = snd
 	snd.trySend()
 }
@@ -132,6 +133,7 @@ type sender struct {
 	backoff      sim.Time
 	rtoPending   bool
 	rtoEv        sim.EventRef
+	rtoFn        func() // pre-bound onRTO; armRTO runs once per ACK
 	done         bool
 }
 
@@ -193,7 +195,7 @@ func (t *sender) armRTO() {
 		t.sys.Sim.Cancel(t.rtoEv)
 	}
 	t.rtoPending = true
-	t.rtoEv = t.sys.Sim.After(t.rto(), t.onRTO)
+	t.rtoEv = t.sys.Sim.After(t.rto(), t.rtoFn)
 }
 
 func (t *sender) onRTO() {

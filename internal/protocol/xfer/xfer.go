@@ -80,6 +80,11 @@ type Sender struct {
 	probePending bool
 
 	synEv, sendEv, probeEv, rtoEv sim.EventRef
+
+	// Pre-bound callbacks, created once in New: the pacing loop schedules
+	// one event per data packet, and binding a method value at each
+	// scheduling site would allocate a closure per packet.
+	sendFn, probeFn, synFn, rtoWakeFn func()
 }
 
 // New creates a sender for flow over path.
@@ -88,12 +93,17 @@ func New(s *sim.Sim, net *netsim.Network, flow workload.Flow, path []*netsim.Lin
 		panic("xfer: flow size must be positive")
 	}
 	n := int((flow.Size + netsim.MSS - 1) / netsim.MSS)
-	return &Sender{
+	snd := &Sender{
 		Flow: flow, Path: path, sim: s, net: net, cfg: cfg, cb: cb,
 		numPkts: n,
 		acked:   make([]bool, n),
 		sentAt:  make([]sim.Time, n),
 	}
+	snd.sendFn = snd.sendOne
+	snd.probeFn = snd.sendProbe
+	snd.synFn = snd.sendSYN
+	snd.rtoWakeFn = snd.rtoWake
+	return snd
 }
 
 // Remaining returns the unacknowledged byte count.
@@ -155,7 +165,7 @@ func (s *Sender) sendSYN() {
 		return
 	}
 	s.send(netsim.SYN, 0, 0, netsim.ControlWire)
-	s.synEv = s.sim.After(3*s.cfg.InitRTT*sim.Time(s.synTries), s.sendSYN)
+	s.synEv = s.sim.After(3*s.cfg.InitRTT*sim.Time(s.synTries), s.synFn)
 }
 
 // Stop halts all activity and sends kind (normally TERM) to release switch
@@ -275,7 +285,7 @@ func (s *Sender) ensureSending() {
 		}
 	}
 	s.sendPending = true
-	s.sendEv = s.sim.At(at, s.sendOne)
+	s.sendEv = s.sim.At(at, s.sendFn)
 }
 
 func (s *Sender) sendOne() {
@@ -298,11 +308,7 @@ func (s *Sender) sendOne() {
 		if wake <= now {
 			wake = now + 1
 		}
-		s.rtoEv = s.sim.At(wake, func() {
-			if !s.over && s.rate > 0 {
-				s.ensureSending()
-			}
-		})
+		s.rtoEv = s.sim.At(wake, s.rtoWakeFn)
 		return
 	default:
 		return
@@ -321,7 +327,15 @@ func (s *Sender) ensureProbing() {
 		return
 	}
 	s.probePending = true
-	s.probeEv = s.sim.After(s.RTT(), s.sendProbe)
+	s.probeEv = s.sim.After(s.RTT(), s.probeFn)
+}
+
+// rtoWake resumes the send loop when the oldest outstanding packet's
+// retransmission timer expires.
+func (s *Sender) rtoWake() {
+	if !s.over && s.rate > 0 {
+		s.ensureSending()
+	}
 }
 
 func (s *Sender) sendProbe() {

@@ -1,0 +1,272 @@
+package sim
+
+import (
+	"container/heap"
+	"math/rand"
+	"testing"
+)
+
+// refEvent / refEngine form a trusted reference implementation of the event
+// queue on top of container/heap, mirroring the pre-pooling engine: one
+// heap-allocated record per event ordered by (time, seq). The differential
+// test below drives the pooled indexed 4-ary heap and this reference
+// through identical schedule/cancel/run interleavings and requires the
+// exact same execution order and Cancel outcomes.
+type refEvent struct {
+	at   Time
+	seq  uint64
+	id   int
+	idx  int
+	dead bool
+}
+
+type refHeap []*refEvent
+
+func (h refHeap) Len() int { return len(h) }
+func (h refHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h refHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *refHeap) Push(x any) {
+	ev := x.(*refEvent)
+	ev.idx = len(*h)
+	*h = append(*h, ev)
+}
+func (h *refHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.idx = -1
+	*h = old[:n-1]
+	return ev
+}
+
+type refEngine struct {
+	now    Time
+	seq    uint64
+	events refHeap
+}
+
+func (r *refEngine) at(t Time, id int) *refEvent {
+	ev := &refEvent{at: t, seq: r.seq, id: id}
+	r.seq++
+	heap.Push(&r.events, ev)
+	return ev
+}
+
+func (r *refEngine) cancel(ev *refEvent) bool {
+	if ev == nil || ev.dead || ev.idx < 0 {
+		return false
+	}
+	ev.dead = true
+	heap.Remove(&r.events, ev.idx)
+	return true
+}
+
+// runUntil pops events with at <= end in (time, seq) order, stopping after
+// stopAfter events when stopAfter > 0 (the Halt analogue). It returns the
+// fired ids in order.
+func (r *refEngine) runUntil(end Time, stopAfter int) []int {
+	var fired []int
+	for len(r.events) > 0 {
+		next := r.events[0]
+		if next.at > end {
+			r.now = end
+			return fired
+		}
+		heap.Pop(&r.events)
+		r.now = next.at
+		fired = append(fired, next.id)
+		if stopAfter > 0 && len(fired) >= stopAfter {
+			return fired
+		}
+	}
+	return fired
+}
+
+// TestDifferentialAgainstContainerHeap drives both engines through many
+// random interleavings of At, Cancel (of live, fired, and already-canceled
+// refs), partial runs (Halt from inside a callback), and full drains,
+// checking that execution order, Pending counts, and every Cancel verdict
+// agree event for event. Firing and canceling recycle pool slots, so later
+// Cancel attempts on spent handles also exercise the generation-staleness
+// guard against slot reuse.
+func TestDifferentialAgainstContainerHeap(t *testing.T) {
+	for trial := 0; trial < 300; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		s := New()
+		ref := &refEngine{}
+
+		type handle struct {
+			ref *refEvent
+			got EventRef
+		}
+		live := map[int]handle{} // id → handles, still scheduled
+		var spent []handle       // fired or canceled: Cancel must refuse
+		var liveIDs []int        // deterministic iteration order for live
+		var fired []int
+		nextID := 0
+		stopAfter := 0 // fire Halt after this many events when > 0
+
+		schedule := func() {
+			id := nextID
+			nextID++
+			at := s.Now() + Time(rng.Intn(50))
+			rev := ref.at(at, id)
+			got := s.At(at, func() {
+				fired = append(fired, id)
+				if stopAfter > 0 && len(fired) >= stopAfter {
+					s.Halt()
+				}
+			})
+			live[id] = handle{rev, got}
+			liveIDs = append(liveIDs, id)
+		}
+		// retire moves fired ids out of live so their handles become stale.
+		retire := func() {
+			for _, id := range fired {
+				if h, ok := live[id]; ok {
+					delete(live, id)
+					spent = append(spent, h)
+				}
+			}
+			kept := liveIDs[:0]
+			for _, id := range liveIDs {
+				if _, ok := live[id]; ok {
+					kept = append(kept, id)
+				}
+			}
+			liveIDs = kept
+		}
+
+		for op := 0; op < 400; op++ {
+			switch r := rng.Intn(10); {
+			case r < 5 || len(liveIDs) == 0 && r < 8: // schedule
+				schedule()
+			case r < 7: // cancel a random live handle
+				id := liveIDs[rng.Intn(len(liveIDs))]
+				h := live[id]
+				want := ref.cancel(h.ref)
+				if got := s.Cancel(h.got); got != want {
+					t.Fatalf("trial %d op %d: Cancel(live) = %v, ref says %v", trial, op, got, want)
+				}
+				// Double-cancel through the same handle must refuse.
+				if s.Cancel(h.got) {
+					t.Fatalf("trial %d op %d: double Cancel succeeded", trial, op)
+				}
+				delete(live, id)
+				spent = append(spent, h)
+			case r < 8 && len(spent) > 0: // cancel a spent (stale) handle
+				h := spent[rng.Intn(len(spent))]
+				if s.Cancel(h.got) {
+					t.Fatalf("trial %d op %d: Cancel of spent handle succeeded (generation guard broken)", trial, op)
+				}
+				if ref.cancel(h.ref) {
+					t.Fatal("reference engine canceled a spent event")
+				}
+			default: // run to a horizon, sometimes halting mid-run
+				stopAfter = 0
+				if rng.Intn(2) == 0 {
+					stopAfter = 1 + rng.Intn(3)
+				}
+				fired = fired[:0]
+				end := s.Now() + Time(rng.Intn(80))
+				want := ref.runUntil(end, stopAfter)
+				s.RunUntil(end)
+				if len(fired) != len(want) {
+					t.Fatalf("trial %d op %d: fired %v, ref fired %v", trial, op, fired, want)
+				}
+				for i := range fired {
+					if fired[i] != want[i] {
+						t.Fatalf("trial %d op %d: execution order diverged at %d: %v vs %v", trial, op, i, fired, want)
+					}
+				}
+				retire()
+				stopAfter = 0
+			}
+			if s.Pending() != len(ref.events) {
+				t.Fatalf("trial %d op %d: Pending() = %d, ref has %d", trial, op, s.Pending(), len(ref.events))
+			}
+		}
+
+		// Drain both completely and compare the tail.
+		fired = fired[:0]
+		want := ref.runUntil(MaxTime-1, 0)
+		s.RunUntil(MaxTime - 1)
+		if len(fired) != len(want) {
+			t.Fatalf("trial %d drain: fired %d events, ref fired %d", trial, len(fired), len(want))
+		}
+		for i := range fired {
+			if fired[i] != want[i] {
+				t.Fatalf("trial %d drain: order diverged at %d: %v vs %v", trial, i, fired, want)
+			}
+		}
+		if s.Pending() != 0 {
+			t.Fatalf("trial %d: %d events left after drain", trial, s.Pending())
+		}
+		// All handles are now stale; none may cancel.
+		for id, h := range live {
+			if s.Cancel(h.got) {
+				t.Fatalf("trial %d: Cancel of fired event %d succeeded after drain", trial, id)
+			}
+		}
+	}
+}
+
+// TestEventRefGenerationReuse pins the slot-recycling guarantee directly: a
+// ref whose event fired must not cancel the event that reuses its slot.
+func TestEventRefGenerationReuse(t *testing.T) {
+	s := New()
+	ran := 0
+	r1 := s.At(1, func() { ran++ })
+	s.Run()
+	if ran != 1 {
+		t.Fatalf("first event ran %d times", ran)
+	}
+	// The freed slot is recycled by the next At.
+	r2 := s.At(2, func() { ran += 10 })
+	if s.Cancel(r1) {
+		t.Fatal("stale ref canceled a recycled slot")
+	}
+	s.Run()
+	if ran != 11 {
+		t.Fatalf("recycled event did not run (ran=%d)", ran)
+	}
+	if s.Cancel(r2) {
+		t.Fatal("Cancel succeeded after event fired")
+	}
+}
+
+// TestScheduleSteadyStateAllocs verifies the zero-allocation contract: once
+// the pool has warmed up, schedule/fire cycles must not allocate. The
+// callback is a pre-bound closure, as the hot paths in netsim and the
+// protocol senders use.
+func TestScheduleSteadyStateAllocs(t *testing.T) {
+	s := New()
+	var fn func()
+	n := 0
+	fn = func() {
+		if n++; n < 1000 {
+			s.After(3, fn)
+		}
+	}
+	s.After(1, fn)
+	s.Run()
+	n = 0
+	allocs := testing.AllocsPerRun(100, func() {
+		n = 0
+		s.After(1, fn)
+		s.Run()
+	})
+	if allocs > 0 {
+		t.Errorf("steady-state schedule/fire allocates %.1f times per run, want 0", allocs)
+	}
+}

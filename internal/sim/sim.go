@@ -4,7 +4,14 @@
 // reproduce the PDQ paper (Hong et al., SIGCOMM 2012). Events are ordered by
 // (time, sequence number), where the sequence number is assigned at schedule
 // time, so simulations are fully deterministic: the same seed and the same
-// schedule produce the same execution, event for event.
+// schedule produce the same execution, event for event (see DESIGN.md §1).
+//
+// Internally the queue is a slot-pooled indexed 4-ary min-heap: event
+// records live in a flat slice and are recycled through a free list on fire
+// or cancel, so a steady-state simulation schedules events without
+// allocating (DESIGN.md §2). EventRef is a (slot, generation) handle:
+// recycling a slot bumps its generation, so a stale handle held after its
+// event fired can never cancel the slot's next occupant.
 //
 // Time is an integer number of nanoseconds since the start of the
 // simulation. At 1 Gbps one bit lasts one nanosecond, so nanosecond
@@ -12,7 +19,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
@@ -60,51 +66,42 @@ func (t Time) String() string {
 // FromSeconds converts a floating-point number of seconds to a Time.
 func FromSeconds(s float64) Time { return Time(math.Round(s * float64(Second))) }
 
-// event is a scheduled callback.
-type event struct {
-	at   Time
-	seq  uint64
-	fn   func()
-	idx  int // heap index; -1 once popped or canceled
-	dead bool
+// Runner is an event callback bound to a pre-existing object. Scheduling a
+// Runner with AtRunner stores the interface value directly in the pooled
+// event record, so hot paths that fire one event per object (netsim
+// schedules one delivery per packet) stay allocation-free: boxing a pointer
+// into an interface does not allocate.
+type Runner interface {
+	// RunEvent is invoked when the event fires.
+	RunEvent()
 }
 
-// EventRef identifies a scheduled event so it can be canceled.
-// The zero EventRef is invalid.
-type EventRef struct{ ev *event }
+// event is a pooled scheduled-callback record. Records are recycled through
+// Sim.free; gen distinguishes successive occupants of the same slot.
+// Exactly one of fn and runner is set.
+type event struct {
+	at     Time
+	seq    uint64
+	fn     func()
+	runner Runner
+	idx    int32  // position in Sim.order, -1 while free or firing
+	gen    uint32 // bumped on every release; see EventRef
+}
+
+// EventRef identifies a scheduled event so it can be canceled. The zero
+// EventRef is invalid. A ref is a (slot, generation) handle into the pool
+// of the Sim that issued it: once the event fires or is canceled the slot's
+// generation advances, so retained refs become harmless no-ops rather than
+// resurrecting whatever event reuses the slot. Refs are only meaningful on
+// the Sim that returned them.
+type EventRef struct {
+	slot int32 // pool index + 1, so the zero ref stays invalid
+	gen  uint32
+}
 
 // Valid reports whether r refers to a scheduled (possibly already fired)
 // event.
-func (r EventRef) Valid() bool { return r.ev != nil }
-
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].idx = i
-	h[j].idx = j
-}
-func (h *eventHeap) Push(x any) {
-	ev := x.(*event)
-	ev.idx = len(*h)
-	*h = append(*h, ev)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.idx = -1
-	*h = old[:n-1]
-	return ev
-}
+func (r EventRef) Valid() bool { return r.slot != 0 }
 
 // Sim is a discrete-event simulator. The zero value is ready to use.
 // Sim is not safe for concurrent use; the whole simulation runs in one
@@ -112,7 +109,10 @@ func (h *eventHeap) Pop() any {
 type Sim struct {
 	now    Time
 	seq    uint64
-	events eventHeap
+	firing uint64  // seq of the executing event + 1, 0 when idle (see EventSeq)
+	pool   []event // slot-indexed event records
+	free   []int32 // recycled slots
+	order  []int32 // 4-ary min-heap of occupied slots, keyed by (at, seq)
 	nRun   uint64
 	halted bool
 }
@@ -127,21 +127,175 @@ func (s *Sim) Now() Time { return s.now }
 func (s *Sim) Processed() uint64 { return s.nRun }
 
 // Pending returns the number of events currently scheduled.
-func (s *Sim) Pending() int { return len(s.events) }
+func (s *Sim) Pending() int { return len(s.order) }
+
+// EventSeq is the simulation's logical order point: the sequence number of
+// the event currently executing, or — when no event is executing — the next
+// sequence number to be assigned, which is greater than every fired event's.
+// Together with Now it totally orders any observation against the (time,
+// seq) event order; netsim's lazy link accounting uses it to settle
+// exact-instant ties exactly as an eager event-per-transition model would
+// (DESIGN.md §3).
+func (s *Sim) EventSeq() uint64 {
+	if s.firing != 0 {
+		return s.firing - 1
+	}
+	return s.seq
+}
+
+// NextSeq is the sequence number the next scheduled event will receive.
+// Recording it immediately before an At/AtRunner call stamps the scheduled
+// event's position in the engine's total order.
+func (s *Sim) NextSeq() uint64 { return s.seq }
+
+// less orders slots by (time, sequence). Sequence numbers are unique, so
+// this is a strict total order and the pop sequence is independent of the
+// heap's internal layout.
+func (s *Sim) less(a, b int32) bool {
+	ea, eb := &s.pool[a], &s.pool[b]
+	if ea.at != eb.at {
+		return ea.at < eb.at
+	}
+	return ea.seq < eb.seq
+}
+
+// siftUp moves the slot at heap position i toward the root.
+func (s *Sim) siftUp(i int) {
+	slot := s.order[i]
+	for i > 0 {
+		p := (i - 1) / 4
+		if !s.less(slot, s.order[p]) {
+			break
+		}
+		s.order[i] = s.order[p]
+		s.pool[s.order[i]].idx = int32(i)
+		i = p
+	}
+	s.order[i] = slot
+	s.pool[slot].idx = int32(i)
+}
+
+// siftDown moves the slot at heap position i toward the leaves and reports
+// whether it moved.
+func (s *Sim) siftDown(i int) bool {
+	start := i
+	n := len(s.order)
+	slot := s.order[i]
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		best := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if s.less(s.order[c], s.order[best]) {
+				best = c
+			}
+		}
+		if !s.less(s.order[best], slot) {
+			break
+		}
+		s.order[i] = s.order[best]
+		s.pool[s.order[i]].idx = int32(i)
+		i = best
+	}
+	s.order[i] = slot
+	s.pool[slot].idx = int32(i)
+	return i > start
+}
+
+// heapRemove deletes heap position i, restoring the heap property.
+func (s *Sim) heapRemove(i int) {
+	n := len(s.order) - 1
+	last := s.order[n]
+	s.order = s.order[:n]
+	if i == n {
+		return
+	}
+	s.order[i] = last
+	s.pool[last].idx = int32(i)
+	if !s.siftDown(i) {
+		s.siftUp(i)
+	}
+}
+
+// popMin removes the earliest event from the heap and returns its slot.
+// The slot is NOT released; the caller still owns its fields.
+func (s *Sim) popMin() int32 {
+	top := s.order[0]
+	n := len(s.order) - 1
+	last := s.order[n]
+	s.order = s.order[:n]
+	if n > 0 {
+		s.order[0] = last
+		s.pool[last].idx = 0
+		s.siftDown(0)
+	}
+	s.pool[top].idx = -1
+	return top
+}
+
+// release recycles a slot: the callback is dropped (so it can be collected)
+// and the generation advances, invalidating outstanding refs.
+func (s *Sim) release(slot int32) {
+	ev := &s.pool[slot]
+	ev.fn = nil
+	ev.runner = nil
+	ev.idx = -1
+	ev.gen++
+	s.free = append(s.free, slot)
+}
+
+// schedule grabs a pooled slot for an event at (t, next seq) and pushes it
+// onto the heap, returning the slot.
+func (s *Sim) schedule(t Time) int32 {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, s.now))
+	}
+	var slot int32
+	if n := len(s.free); n > 0 {
+		slot = s.free[n-1]
+		s.free = s.free[:n-1]
+	} else {
+		s.pool = append(s.pool, event{})
+		slot = int32(len(s.pool) - 1)
+	}
+	ev := &s.pool[slot]
+	ev.at, ev.seq = t, s.seq
+	s.seq++
+	ev.idx = int32(len(s.order))
+	s.order = append(s.order, slot)
+	s.siftUp(len(s.order) - 1)
+	return slot
+}
 
 // At schedules fn to run at absolute time t. Scheduling in the past (t <
 // Now) panics: it is always a logic error in a discrete-event simulation.
 func (s *Sim) At(t Time, fn func()) EventRef {
-	if t < s.now {
-		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, s.now))
-	}
 	if fn == nil {
 		panic("sim: scheduling nil function")
 	}
-	ev := &event{at: t, seq: s.seq, fn: fn}
-	s.seq++
-	heap.Push(&s.events, ev)
-	return EventRef{ev}
+	slot := s.schedule(t)
+	ev := &s.pool[slot]
+	ev.fn = fn
+	return EventRef{slot: slot + 1, gen: ev.gen}
+}
+
+// AtRunner schedules r.RunEvent to run at absolute time t. Unlike At with a
+// method value, storing the Runner interface does not allocate, so
+// per-object hot paths (one delivery event per packet) stay allocation-free.
+func (s *Sim) AtRunner(t Time, r Runner) EventRef {
+	if r == nil {
+		panic("sim: scheduling nil runner")
+	}
+	slot := s.schedule(t)
+	ev := &s.pool[slot]
+	ev.runner = r
+	return EventRef{slot: slot + 1, gen: ev.gen}
 }
 
 // After schedules fn to run d nanoseconds from now. Negative d panics.
@@ -151,12 +305,16 @@ func (s *Sim) After(d Duration, fn func()) EventRef { return s.At(s.now+d, fn) }
 // already-canceled event is a no-op. It reports whether the event was
 // actually removed.
 func (s *Sim) Cancel(r EventRef) bool {
-	ev := r.ev
-	if ev == nil || ev.dead || ev.idx < 0 {
+	slot := r.slot - 1
+	if slot < 0 || int(slot) >= len(s.pool) {
 		return false
 	}
-	ev.dead = true
-	heap.Remove(&s.events, ev.idx)
+	ev := &s.pool[slot]
+	if ev.gen != r.gen || ev.idx < 0 {
+		return false
+	}
+	s.heapRemove(int(ev.idx))
+	s.release(slot)
 	return true
 }
 
@@ -180,34 +338,39 @@ func (s *Sim) Run() { s.RunUntil(MaxTime) }
 //     overflow-prone (Run is RunUntil(MaxTime)).
 func (s *Sim) RunUntil(end Time) {
 	s.halted = false
-	for len(s.events) > 0 && !s.halted {
-		next := s.events[0]
+	for len(s.order) > 0 && !s.halted {
+		next := &s.pool[s.order[0]]
 		if next.at > end {
 			s.now = end
 			return
 		}
-		heap.Pop(&s.events)
-		if next.dead {
-			continue
-		}
-		s.now = next.at
-		s.nRun++
-		next.fn()
+		s.fire(next)
 	}
+}
+
+// fire executes the event at the head of the queue, recycling its slot
+// before the callback runs so the callback can immediately reschedule into
+// it. The event's seq is published through EventSeq for the duration.
+func (s *Sim) fire(next *event) {
+	at, seq, fn, runner := next.at, next.seq, next.fn, next.runner
+	s.release(s.popMin())
+	s.now = at
+	s.nRun++
+	s.firing = seq + 1
+	if fn != nil {
+		fn()
+	} else {
+		runner.RunEvent()
+	}
+	s.firing = 0
 }
 
 // Step executes exactly one event if any is pending and reports whether an
 // event was executed.
 func (s *Sim) Step() bool {
-	for len(s.events) > 0 {
-		next := heap.Pop(&s.events).(*event)
-		if next.dead {
-			continue
-		}
-		s.now = next.at
-		s.nRun++
-		next.fn()
-		return true
+	if len(s.order) == 0 {
+		return false
 	}
-	return false
+	s.fire(&s.pool[s.order[0]])
+	return true
 }

@@ -22,6 +22,8 @@ type Topology struct {
 
 	adj  [][]*netsim.Link // outgoing links per NodeID
 	dist [][]int32        // BFS hop counts from each host's attachment, lazy
+
+	candBuf []*netsim.Link // reusable equal-cost candidate buffer (pathVia)
 }
 
 // New creates an empty topology over a fresh network.
@@ -121,7 +123,10 @@ func (t *Topology) Path(a, b *netsim.Host) []*netsim.Link {
 }
 
 // pathVia walks the shortest-path DAG from a to b, using pick to choose
-// among equal-cost next hops (candidates are sorted by link ID).
+// among equal-cost next hops (candidates are sorted by link ID). The
+// candidate buffer is reused across calls — pick must not retain it — and
+// the returned path is sized exactly to the hop count, so building a path
+// costs one allocation.
 func (t *Topology) pathVia(a, b netsim.NodeID, pick func([]*netsim.Link) *netsim.Link) []*netsim.Link {
 	if a == b {
 		return nil
@@ -130,15 +135,16 @@ func (t *Topology) pathVia(a, b netsim.NodeID, pick func([]*netsim.Link) *netsim
 	if d[a] < 0 {
 		return nil
 	}
-	var path []*netsim.Link
+	path := make([]*netsim.Link, 0, d[a])
 	u := a
 	for u != b {
-		var cands []*netsim.Link
+		cands := t.candBuf[:0]
 		for _, l := range t.Adjacent(u) {
 			if d[l.To.ID()] == d[u]-1 {
 				cands = append(cands, l)
 			}
 		}
+		t.candBuf = cands[:0]
 		if len(cands) == 0 {
 			return nil
 		}
@@ -154,19 +160,20 @@ func (t *Topology) pathVia(a, b netsim.NodeID, pick func([]*netsim.Link) *netsim
 // Path(a, b). Used by M-PDQ to assign subflows to ECMP paths.
 func (t *Topology) Paths(a, b *netsim.Host, maxK int) [][]*netsim.Link {
 	var out [][]*netsim.Link
-	seen := map[string]bool{}
 	add := func(p []*netsim.Link) bool {
 		if p == nil {
 			return false
 		}
-		key := ""
-		for _, l := range p {
-			key += fmt.Sprintf("%d,", l.ID)
+		// Dedup by direct link-sequence comparison: links are unique
+		// objects, so pointer equality along the path is exactly the old
+		// "ID,ID,..." string key without the per-candidate allocations.
+		// The candidate set is tiny (≤ maxK accepted + misses), so the
+		// quadratic scan is cheaper than hashing.
+		for _, q := range out {
+			if pathEqual(p, q) {
+				return false
+			}
 		}
-		if seen[key] {
-			return false
-		}
-		seen[key] = true
 		out = append(out, p)
 		return true
 	}
@@ -180,6 +187,20 @@ func (t *Topology) Paths(a, b *netsim.Host, maxK int) [][]*netsim.Link {
 		}
 	}
 	return out
+}
+
+// pathEqual reports whether two paths traverse the same links in the same
+// order.
+func pathEqual(a, b []*netsim.Link) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // Diameter returns the maximum shortest-path hop count between any two

@@ -116,7 +116,7 @@ func (p Pareto) Mean() float64 { return p.MeanSize }
 
 // VL2SizeDist is the synthetic equivalent of the flow-size distribution
 // measured by Greenberg et al. in a large commercial cloud data center
-// ([12]; DESIGN.md §3): the vast majority of flows are mice of a few KB
+// ([12]; DESIGN.md §6): the vast majority of flows are mice of a few KB
 // to ~100 KB, while a small fraction of elephants (1–100 MB) carries most
 // of the bytes.
 type VL2SizeDist struct{}
@@ -145,7 +145,7 @@ func (VL2SizeDist) Mean() float64 { return 300 << 10 }
 const ShortFlowCutoff int64 = 40 << 10
 
 // EDU1SizeDist is the synthetic equivalent of the university data-center
-// workload (EDU1 in Benson et al. [6]; DESIGN.md §3): overwhelmingly small
+// workload (EDU1 in Benson et al. [6]; DESIGN.md §6): overwhelmingly small
 // flows with a modest heavy tail.
 type EDU1SizeDist struct{}
 

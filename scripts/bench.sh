@@ -1,0 +1,28 @@
+#!/usr/bin/env sh
+# bench.sh — run the tier-1 perf benchmarks with -benchmem and fold the
+# numbers into a JSON record (default BENCH_pr2.json) via scripts/benchjson.
+#
+# Usage:
+#   scripts/bench.sh [record.json]
+#
+# Environment:
+#   BENCH_PATTERN  bench regex        (default: the PR-2 acceptance set
+#                                      plus the engine/allocator micro-benches)
+#   BENCH_TIME     -benchtime value   (default 1s; CI smoke uses 10x)
+#   BENCH_LABEL    record slot        (before|after; default: before when the
+#                                      record is empty, after otherwise)
+#
+# The first run on a tree records the "before" slot; a later run fills
+# "after" and the improvement factors are computed per benchmark.
+set -eu
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_pr2.json}"
+PATTERN="${BENCH_PATTERN:-Fig3a\$|Fig10\$|AblationPDQVariants|EngineSchedule|FlowAllocators}"
+TIME="${BENCH_TIME:-1s}"
+
+CMD="go test -bench '$PATTERN' -benchmem -benchtime $TIME -run '^\$' -count 1 ."
+echo "+ $CMD" >&2
+go test -bench "$PATTERN" -benchmem -benchtime "$TIME" -run '^$' -count 1 . \
+  | tee /dev/stderr \
+  | go run ./scripts/benchjson -out "$OUT" -cmd "$CMD" ${BENCH_LABEL:+-label "$BENCH_LABEL"}

@@ -1,0 +1,151 @@
+// Command benchjson converts `go test -bench ... -benchmem` output (on
+// stdin) into the repo's BENCH_*.json perf record, so before/after numbers
+// for a PR live next to the code that changed them.
+//
+// The record holds one "before" and one "after" run keyed by benchmark
+// name. By default the first invocation fills "before" and any later one
+// overwrites "after"; -label forces the slot. When both slots are present
+// the improvement factors (ns/op and allocs/op, before ÷ after) are
+// recomputed for every benchmark appearing in both.
+//
+//	go test -bench . -benchmem -run '^$' . | go run ./scripts/benchjson -out BENCH_pr2.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Metrics is one benchmark's measured cost.
+type Metrics struct {
+	Iters    int64   `json:"iters"`
+	NsOp     float64 `json:"ns_op"`
+	BytesOp  int64   `json:"bytes_op"`
+	AllocsOp int64   `json:"allocs_op"`
+}
+
+// Improvement is the before ÷ after factor per metric (>1 is better). A
+// zero value means the ratio is undefined (the after run hit 0 for that
+// metric — e.g. a benchmark reaching 0 allocs/op).
+type Improvement struct {
+	NsX     float64 `json:"ns_x,omitempty"`
+	AllocsX float64 `json:"allocs_x,omitempty"`
+}
+
+// Record is the whole BENCH_*.json document.
+type Record struct {
+	Cmd         string                 `json:"cmd,omitempty"`
+	CPU         string                 `json:"cpu,omitempty"`
+	Before      map[string]Metrics     `json:"before,omitempty"`
+	After       map[string]Metrics     `json:"after,omitempty"`
+	Improvement map[string]Improvement `json:"improvement,omitempty"`
+}
+
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op\s+(\d+) B/op\s+(\d+) allocs/op`)
+
+func main() {
+	out := flag.String("out", "BENCH_pr2.json", "record file to create or update")
+	label := flag.String("label", "", `slot to fill: "before" or "after" (default: before if empty record, else after)`)
+	cmd := flag.String("cmd", "", "command line to record for reproducibility")
+	flag.Parse()
+
+	rec := &Record{}
+	if data, err := os.ReadFile(*out); err == nil {
+		if err := json.Unmarshal(data, rec); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %s exists but is not a bench record: %v\n", *out, err)
+			os.Exit(1)
+		}
+	}
+
+	run := map[string]Metrics{}
+	cpu := ""
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		line := sc.Text()
+		if rest, ok := strings.CutPrefix(line, "cpu: "); ok {
+			cpu = rest
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		iters, _ := strconv.ParseInt(m[2], 10, 64)
+		ns, _ := strconv.ParseFloat(m[3], 64)
+		bytes, _ := strconv.ParseInt(m[4], 10, 64)
+		allocs, _ := strconv.ParseInt(m[5], 10, 64)
+		run[strings.TrimPrefix(m[1], "Benchmark")] = Metrics{Iters: iters, NsOp: ns, BytesOp: bytes, AllocsOp: allocs}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: reading stdin:", err)
+		os.Exit(1)
+	}
+	if len(run) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin (need -benchmem output)")
+		os.Exit(1)
+	}
+
+	slot := *label
+	if slot == "" {
+		if len(rec.Before) == 0 {
+			slot = "before"
+		} else {
+			slot = "after"
+		}
+	}
+	switch slot {
+	case "before":
+		rec.Before = run
+	case "after":
+		rec.After = run
+	default:
+		fmt.Fprintf(os.Stderr, "benchjson: bad -label %q\n", slot)
+		os.Exit(1)
+	}
+	if cpu != "" {
+		rec.CPU = cpu
+	}
+	if *cmd != "" {
+		rec.Cmd = *cmd
+	}
+
+	rec.Improvement = nil
+	if len(rec.Before) > 0 && len(rec.After) > 0 {
+		rec.Improvement = map[string]Improvement{}
+		for name, b := range rec.Before {
+			a, ok := rec.After[name]
+			if !ok {
+				continue
+			}
+			var imp Improvement
+			if a.NsOp > 0 {
+				imp.NsX = round2(b.NsOp / a.NsOp)
+			}
+			if a.AllocsOp > 0 {
+				imp.AllocsX = round2(float64(b.AllocsOp) / float64(a.AllocsOp))
+			}
+			if imp != (Improvement{}) {
+				rec.Improvement[name] = imp
+			}
+		}
+	}
+
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: recorded %d benchmarks into %q slot of %s\n", len(run), slot, *out)
+}
+
+func round2(v float64) float64 { return float64(int64(v*100+0.5)) / 100 }
