@@ -1,4 +1,5 @@
-// Command pdqsim regenerates the PDQ paper's evaluation figures.
+// Command pdqsim regenerates the PDQ paper's evaluation figures and runs
+// declarative scenarios.
 //
 // Usage:
 //
@@ -6,13 +7,20 @@
 //	pdqsim -exp fig3a [-seed 7]
 //	pdqsim -exp all -quick
 //	pdqsim -exp all -quick -parallel 8 -trials 5 -json
+//	pdqsim -scenario examples/scenarios/incast.json -quick
+//	pdqsim -dump-scenario fig3a
+//	pdqsim -list-topologies -list-patterns -list-protocols -list-metrics
 //
 // Each experiment prints the same rows/series the paper reports (see
-// DESIGN.md §6 for how the figure drivers are organized). Sweeps fan
-// out across
-// -parallel workers; -trials replicates every sweep point across that
-// many seeds and reports mean ± stderr; -json emits machine-readable
-// tables for downstream tooling.
+// DESIGN.md §6–§7 for how the figure specs and the scenario layer are
+// organized). Sweeps fan out across -parallel workers; -trials
+// replicates every sweep point across that many seeds and reports
+// mean ± stderr; -json emits machine-readable tables for downstream
+// tooling.
+//
+// -scenario runs a JSON scenario spec (see README "Declarative
+// scenarios" for the schema): the paper's figures are such specs too, so
+// -dump-scenario prints any figure's spec as a starting template.
 package main
 
 import (
@@ -23,19 +31,70 @@ import (
 	"time"
 
 	"pdq/internal/exp"
+	"pdq/internal/scenario"
+	"pdq/internal/topo"
+	"pdq/internal/workload"
 )
 
 func main() {
 	var (
 		name     = flag.String("exp", "", "figure to reproduce (fig1, fig3a, ..., fig12) or 'all'")
+		scenFile = flag.String("scenario", "", "run a declarative scenario from a JSON spec file")
+		dumpScen = flag.String("dump-scenario", "", "print a figure's scenario spec as JSON (template for new scenarios)")
 		quick    = flag.Bool("quick", false, "run reduced sweeps (seconds instead of minutes)")
-		seed     = flag.Int64("seed", 1, "base RNG seed")
+		seed     = flag.Int64("seed", 0, "base RNG seed (0 = default seed 1)")
 		parallel = flag.Int("parallel", 0, "sweep worker count (0 = one per core, 1 = serial)")
 		trials   = flag.Int("trials", 1, "replicates per sweep point (reports mean ± stderr)")
 		jsonOut  = flag.Bool("json", false, "emit tables as JSON instead of text")
 		list     = flag.Bool("list", false, "list available experiments")
+		listTopo = flag.Bool("list-topologies", false, "list registered topology builders")
+		listPat  = flag.Bool("list-patterns", false, "list registered sending patterns and size distributions")
+		listPro  = flag.Bool("list-protocols", false, "list registered protocol runners and analytic baselines")
+		listMet  = flag.Bool("list-metrics", false, "list registered metrics and custom drivers")
 	)
 	flag.Parse()
+
+	if *listTopo || *listPat || *listPro || *listMet {
+		listRegistries(*listTopo, *listPat, *listPro, *listMet)
+		return
+	}
+	if *dumpScen != "" {
+		sf, ok := exp.Specs[*dumpScen]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "pdqsim: unknown experiment %q (try -list)\n", *dumpScen)
+			os.Exit(2)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(sf()); err != nil {
+			fmt.Fprintf(os.Stderr, "pdqsim: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	opts := exp.Opts{Quick: *quick, Seed: *seed, Parallel: *parallel, Trials: *trials}
+
+	if *scenFile != "" {
+		data, err := os.ReadFile(*scenFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pdqsim: %v\n", err)
+			os.Exit(1)
+		}
+		spec, err := scenario.Load(data)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pdqsim: %v\n", err)
+			os.Exit(1)
+		}
+		start := time.Now()
+		table, err := scenario.Run(spec, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pdqsim: %v\n", err)
+			os.Exit(1)
+		}
+		emit([]*exp.Table{table}, *jsonOut, spec.Name, start)
+		return
+	}
 
 	if *list || *name == "" {
 		fmt.Println("available experiments:")
@@ -48,7 +107,6 @@ func main() {
 		return
 	}
 
-	opts := exp.Opts{Quick: *quick, Seed: *seed, Parallel: *parallel, Trials: *trials}
 	names := []string{*name}
 	if *name == "all" {
 		names = exp.FigureNames()
@@ -70,11 +128,78 @@ func main() {
 		fmt.Printf("(%s in %v)\n\n", n, time.Since(start).Round(time.Millisecond))
 	}
 	if *jsonOut {
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(tables); err != nil {
-			fmt.Fprintf(os.Stderr, "pdqsim: %v\n", err)
-			os.Exit(1)
+		writeJSON(tables)
+	}
+}
+
+// emit prints one scenario result in the selected format.
+func emit(tables []*exp.Table, asJSON bool, name string, start time.Time) {
+	if asJSON {
+		writeJSON(tables)
+		return
+	}
+	for _, t := range tables {
+		fmt.Println(t)
+	}
+	fmt.Printf("(%s in %v)\n", name, time.Since(start).Round(time.Millisecond))
+}
+
+func writeJSON(tables []*exp.Table) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(tables); err != nil {
+		fmt.Fprintf(os.Stderr, "pdqsim: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// listRegistries prints the scenario vocabulary: what a spec can name.
+func listRegistries(topos, pats, pros, mets bool) {
+	entry := func(name, doc string, params map[string]float64) {
+		fmt.Printf("  %-22s %s\n", name, doc)
+		if len(params) > 0 {
+			b, _ := json.Marshal(params)
+			fmt.Printf("  %-22s   params: %s\n", "", b)
+		}
+	}
+	if topos {
+		fmt.Println("topologies:")
+		for _, b := range topo.BuilderList() {
+			entry(b.Name, b.Doc, b.Params)
+		}
+	}
+	if pats {
+		fmt.Println("patterns:")
+		for _, m := range workload.PatternList() {
+			entry(m.Name, m.Doc, m.Params)
+		}
+		fmt.Println("size distributions:")
+		for _, m := range workload.SizeDistList() {
+			entry(m.Name, m.Doc, m.Params)
+		}
+		fmt.Println("flow generators:")
+		for _, g := range scenario.FlowGenList() {
+			entry(g.Name, g.Doc, g.Params)
+		}
+	}
+	if pros {
+		fmt.Println("protocol runners:")
+		for _, r := range scenario.RunnerList() {
+			entry(fmt.Sprintf("%s [%s]", r.Name, r.Level), r.Doc, r.Params)
+		}
+		fmt.Println("analytic baselines:")
+		for _, a := range scenario.AnalyticList() {
+			entry(a.Name, a.Doc, a.Params)
+		}
+	}
+	if mets {
+		fmt.Println("metrics:")
+		for _, m := range scenario.MetricList() {
+			entry(m.Name, m.Doc, m.Params)
+		}
+		fmt.Println("custom drivers:")
+		for _, d := range scenario.DriverList() {
+			entry(d.Name, d.Doc, d.Params)
 		}
 	}
 }

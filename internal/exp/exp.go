@@ -1,8 +1,10 @@
-// Package exp contains one driver per table/figure of the PDQ paper's
-// evaluation (§5–§7). Each driver regenerates the corresponding data
-// series — the same rows the paper plots — using the packet-level
-// simulator (internal/core + internal/protocol/...) or the flow-level
-// simulator (internal/flowsim) as the paper does for that figure.
+// Package exp reproduces every table/figure of the PDQ paper's
+// evaluation (§5–§7) as a declarative scenario spec (internal/scenario):
+// each figure names its topology, workload, protocol rows, sweep axis
+// and metric, and the generic scenario engine regenerates the same data
+// series the paper plots — using the packet-level simulator
+// (internal/core + internal/protocol/...) or the flow-level simulator
+// (internal/flowsim) as the paper does for that figure.
 //
 // Every driver accepts Opts; Opts.Quick shrinks the sweep so the full set
 // runs in seconds (used by the benchmarks in bench_test.go), while the
@@ -10,204 +12,113 @@
 package exp
 
 import (
-	"fmt"
-	"strings"
+	"sort"
 
-	"pdq/internal/core"
-	"pdq/internal/netsim"
-	"pdq/internal/protocol/d3"
-	"pdq/internal/protocol/rcp"
-	"pdq/internal/protocol/tcp"
-	"pdq/internal/sim"
-	"pdq/internal/topo"
-	"pdq/internal/workload"
+	"pdq/internal/scenario"
 )
 
-// Opts controls experiment scale and sweep execution.
-type Opts struct {
-	Quick    bool  // shrink sweeps for benchmarks/tests
-	Seed     int64 // base RNG seed; 0 means 1
-	Parallel int   // sweep worker count; 0 means GOMAXPROCS, 1 means serial
-	Trials   int   // replicates per sweep point (mean ± stderr); <=1 means one
-}
-
-func (o Opts) seed() int64 {
-	if o.Seed == 0 {
-		return 1
-	}
-	return o.Seed
-}
-
-// Row is one data row of a result table.
-type Row struct {
-	Label string    `json:"label"`
-	Vals  []float64 `json:"vals"`
-	// Errs holds the standard error of each value when the sweep ran with
-	// Opts.Trials > 1; nil for single-trial runs.
-	Errs []float64 `json:"errs,omitempty"`
-}
-
-// Table is a reproduced figure/table: a header plus labeled float rows.
-type Table struct {
-	Name   string   `json:"name"`
-	Desc   string   `json:"desc"`
-	Cols   []string `json:"cols"`
-	Rows   []Row    `json:"rows"`
-	Digits int      `json:"-"` // formatting precision; default 2
-}
-
-// Get returns the value at (rowLabel, col), panicking if absent — the
-// shape tests use it. It stops at the first matching column and panics on
-// duplicate column names so malformed tables fail fast.
-func (t *Table) Get(rowLabel, col string) float64 {
-	ci := -1
-	for i, c := range t.Cols {
-		if c != col {
-			continue
-		}
-		if ci >= 0 {
-			panic(fmt.Sprintf("exp: duplicate column %q in %s", col, t.Name))
-		}
-		ci = i
-	}
-	if ci < 0 {
-		panic(fmt.Sprintf("exp: no column %q in %s", col, t.Name))
-	}
-	for _, r := range t.Rows {
-		if r.Label == rowLabel {
-			return r.Vals[ci]
-		}
-	}
-	panic(fmt.Sprintf("exp: no row %q in %s", rowLabel, t.Name))
-}
-
-// String renders the table for the terminal.
-func (t *Table) String() string {
-	d := t.Digits
-	if d == 0 {
-		d = 2
-	}
-	var b strings.Builder
-	fmt.Fprintf(&b, "%s — %s\n", t.Name, t.Desc)
-	w := 12
-	for _, r := range t.Rows {
-		if r.Errs != nil {
-			w = 20 // room for "mean±stderr"
-			break
-		}
-	}
-	fmt.Fprintf(&b, "%-24s", "")
-	for _, c := range t.Cols {
-		fmt.Fprintf(&b, "%*s", w, c)
-	}
-	b.WriteByte('\n')
-	for _, r := range t.Rows {
-		fmt.Fprintf(&b, "%-24s", r.Label)
-		for i, v := range r.Vals {
-			if r.Errs != nil {
-				fmt.Fprintf(&b, "%*s", w, fmt.Sprintf("%.*f±%.*f", d, v, d, r.Errs[i]))
-			} else {
-				fmt.Fprintf(&b, "%*.*f", w, d, v)
-			}
-		}
-		b.WriteByte('\n')
-	}
-	return b.String()
-}
+// The experiment vocabulary is owned by internal/scenario; exp keeps the
+// historical names as aliases so drivers, tests and benchmarks read the
+// same.
+type (
+	// Opts controls experiment scale and sweep execution.
+	Opts = scenario.Opts
+	// Table is a reproduced figure/table: a header plus labeled rows.
+	Table = scenario.Table
+	// Row is one data row of a result table.
+	Row = scenario.Row
+	// Spec is a declarative scenario (see internal/scenario).
+	Spec = scenario.Spec
+)
 
 // Runner runs one protocol over a set of flows on a freshly built
-// topology and returns per-flow results. The packet-level protocol
-// systems keep state in topology links, so every run builds anew.
-type Runner func(build func() *topo.Topology, flows []workload.Flow, horizon sim.Time) []workload.Result
-
-// PacketRunners returns the packet-level protocol runners keyed by the
-// names used throughout the paper's figures.
-func PacketRunners() map[string]Runner {
-	mk := func(install func(t *topo.Topology) interface {
-		Start(workload.Flow)
-		Results() []workload.Result
-	}) Runner {
-		return func(build func() *topo.Topology, flows []workload.Flow, horizon sim.Time) []workload.Result {
-			t := build()
-			sys := install(t)
-			for _, f := range flows {
-				sys.Start(f)
-			}
-			t.Sim().RunUntil(horizon)
-			return sys.Results()
-		}
-	}
-	pdq := func(cfg core.Config) Runner {
-		return mk(func(t *topo.Topology) interface {
-			Start(workload.Flow)
-			Results() []workload.Result
-		} {
-			return core.Install(t, cfg)
-		})
-	}
-	return map[string]Runner{
-		"PDQ(Full)":  pdq(core.Full()),
-		"PDQ(ES+ET)": pdq(core.ESET()),
-		"PDQ(ES)":    pdq(core.ES()),
-		"PDQ(Basic)": pdq(core.Basic()),
-		"D3": mk(func(t *topo.Topology) interface {
-			Start(workload.Flow)
-			Results() []workload.Result
-		} {
-			return d3.Install(t, d3.Config{})
-		}),
-		"RCP": mk(func(t *topo.Topology) interface {
-			Start(workload.Flow)
-			Results() []workload.Result
-		} {
-			return rcp.Install(t, rcp.Config{})
-		}),
-		"TCP": mk(func(t *topo.Topology) interface {
-			Start(workload.Flow)
-			Results() []workload.Result
-		} {
-			return tcp.Install(t, tcp.Config{})
-		}),
-	}
-}
+// topology (see scenario.RunnerFunc).
+type Runner = scenario.RunnerFunc
 
 // ProtoOrder is the paper's legend order for the full protocol set.
 var ProtoOrder = []string{"PDQ(Full)", "PDQ(ES+ET)", "PDQ(ES)", "PDQ(Basic)", "D3", "RCP", "TCP"}
 
-// MPDQRunner returns a Runner for Multipath PDQ with the given subflow
-// count (§6).
-func MPDQRunner(subflows int) Runner {
-	return func(build func() *topo.Topology, flows []workload.Flow, horizon sim.Time) []workload.Result {
-		t := build()
-		cfg := core.Full()
-		cfg.Subflows = subflows
-		sys := core.Install(t, cfg)
-		for _, f := range flows {
-			sys.Start(f)
+// PacketRunners returns the packet-level protocol runners keyed by the
+// names used throughout the paper's figures, resolved from the scenario
+// runner registry (the benchmarks drive protocols through it directly).
+func PacketRunners() map[string]Runner {
+	out := make(map[string]Runner, len(ProtoOrder))
+	for _, name := range ProtoOrder {
+		r, err := scenario.MakeRunner(name, nil, scenario.DefaultSeed)
+		if err != nil {
+			panic(err)
 		}
-		t.Sim().RunUntil(horizon)
-		return sys.Results()
+		out[name] = r
+	}
+	return out
+}
+
+// fctProtos is the protocol set of the FCT figures (RCP ≡ D3 without
+// deadlines, so the paper plots them as one curve; the registry's
+// "RCP/D3" runner is that alias).
+var fctProtos = []string{"PDQ(Full)", "PDQ(ES)", "PDQ(Basic)", "RCP/D3", "TCP"}
+
+// protoRows turns a protocol name list into spec rows.
+func protoRows(names ...string) []scenario.ProtoSpec {
+	rows := make([]scenario.ProtoSpec, 0, len(names))
+	for _, n := range names {
+		rows = append(rows, scenario.ProtoSpec{Runner: n})
+	}
+	return rows
+}
+
+// treeHosts is the server count of the paper's default topology
+// (Fig. 2a): the two-level 12-server single-rooted tree the registry
+// builds as "single-rooted-tree" with default parameters.
+const treeHosts = 12
+
+// defaultTree is the spec form of that topology.
+func defaultTree() scenario.TopoSpec {
+	return scenario.TopoSpec{Name: "single-rooted-tree"}
+}
+
+// uniformMeanKB is the paper's uniform size distribution around a mean.
+func uniformMeanKB(kb float64) scenario.DistSpec {
+	return scenario.DistSpec{Name: "uniform-mean", Params: map[string]float64{"mean_kb": kb}}
+}
+
+// aggregation is the §5.2 query-aggregation pattern.
+func aggregation() scenario.PatternSpec { return scenario.PatternSpec{Name: "aggregation"} }
+
+// permutation is random permutation traffic.
+func permutation() scenario.PatternSpec { return scenario.PatternSpec{Name: "permutation"} }
+
+// meanDeadlineMsDflt is the paper's default mean flow deadline (§5.1).
+const meanDeadlineMsDflt = 20
+
+// Specs maps every figure name to its declarative spec. The specs are
+// data: cmd/pdqsim can print them (-dump-scenario) as JSON templates for
+// new scenarios.
+var Specs = map[string]func() *Spec{
+	"fig1": Fig1Spec, "fig3a": Fig3aSpec, "fig3b": Fig3bSpec, "fig3c": Fig3cSpec,
+	"fig3d": Fig3dSpec, "fig3e": Fig3eSpec, "fig4a": Fig4aSpec, "fig4b": Fig4bSpec,
+	"fig5a": Fig5aSpec, "fig5b": Fig5bSpec, "fig5c": Fig5cSpec, "fig6": Fig6Spec,
+	"fig7": Fig7Spec, "fig8a": Fig8aSpec, "fig8b": Fig8bSpec, "fig8c": Fig8cSpec,
+	"fig8d": Fig8dSpec, "fig8e": Fig8eSpec, "fig9a": Fig9aSpec, "fig9b": Fig9bSpec,
+	"fig10": Fig10Spec, "fig11a": Fig11aSpec, "fig11b": Fig11bSpec, "fig11c": Fig11cSpec,
+	"fig12": Fig12Spec,
+}
+
+// Figures is the registry of all reproduced figures as runnable drivers.
+var Figures = map[string]func(Opts) *Table{}
+
+func init() {
+	for name, sf := range Specs {
+		Figures[name] = func(o Opts) *Table { return scenario.MustRun(sf(), o) }
 	}
 }
 
-// defaultTree builds the paper's default topology (Fig. 2a): the
-// two-level 12-server single-rooted tree.
-func defaultTree(seed int64) func() *topo.Topology {
-	return func() *topo.Topology { return topo.SingleRootedTree(4, 3, seed) }
+// FigureNames returns the registry keys in sorted order.
+func FigureNames() []string {
+	var names []string
+	for k := range Figures {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
 }
-
-// treeHosts is the server count of the default tree.
-const treeHosts = 12
-
-// treeRack maps a host of the default tree to its top-of-rack switch.
-func treeRack(h int) int { return h / 3 }
-
-// aggFlows draws n deadline-constrained query-aggregation flows (§5.2).
-func aggFlows(n int, seed int64, meanSize int64, meanDeadline sim.Time) []workload.Flow {
-	g := workload.NewGen(seed, workload.UniformMean(meanSize), meanDeadline)
-	return g.Batch(n, workload.Aggregation{}, treeHosts, treeRack, 0)
-}
-
-// bottleneckRate is the capacity a single-receiver aggregation workload
-// contends for, used by the fluid Optimal baseline.
-const bottleneckRate = netsim.DefaultRate

@@ -1,494 +1,305 @@
 package exp
 
-import (
-	"fmt"
-	"sort"
+import "pdq/internal/scenario"
 
-	"pdq/internal/flowsim"
-	"pdq/internal/sim"
-	"pdq/internal/stats"
-	"pdq/internal/topo"
-	"pdq/internal/workload"
-)
-
-// FlowLevel runs one flow-level allocator over flows on a fresh topology.
-func FlowLevel(build func() *topo.Topology, alloc flowsim.Allocator, et bool, flows []workload.Flow, horizon sim.Time) []workload.Result {
-	return FlowLevelOn(build(), alloc, et, flows, horizon)
-}
-
-// FlowLevelOn runs one flow-level allocator over flows on an existing
-// topology. The flow-level simulator only reads the topology (rates, IDs,
-// routing), so a driver sweeping replicate seeds on the same deterministic
-// topology can build it once per cell instead of once per replicate —
-// results are identical either way. The topology must not be shared across
-// concurrently running cells (its routing caches are not synchronized).
-func FlowLevelOn(tp *topo.Topology, alloc flowsim.Allocator, et bool, flows []workload.Flow, horizon sim.Time) []workload.Result {
-	s := flowsim.New(tp, alloc)
-	s.ET = et
-	for _, f := range flows {
-		s.Start(f)
-	}
-	s.Run(horizon)
-	return s.Results()
-}
-
-// Fig8Scale is one point of the Fig. 8 scale sweep.
-type Fig8Scale struct {
-	Label string
-	Build func(seed int64) *topo.Topology
-	Hosts int
-}
-
-// fatTreeScales returns the fat-tree sizes used for Fig. 8a/b.
-func fatTreeScales(quick bool) []Fig8Scale {
-	mk := func(k int) Fig8Scale {
-		return Fig8Scale{
-			Label: fmt.Sprint(k * k * k / 4),
-			Build: func(seed int64) *topo.Topology { return topo.FatTree(k, seed) },
-			Hosts: k * k * k / 4,
+// fatTreeCases is the Fig. 8a/b fat-tree scale axis (labels are host
+// counts).
+func fatTreeCases() ([]scenario.SweepCase, []scenario.SweepCase) {
+	mk := func(k float64, label string) scenario.SweepCase {
+		return scenario.SweepCase{
+			Label:    label,
+			Topology: &scenario.TopoSpec{Name: "fat-tree", Params: map[string]float64{"k": k}},
 		}
 	}
-	if quick {
-		return []Fig8Scale{mk(4)}
-	}
-	return []Fig8Scale{mk(4), mk(6), mk(8), mk(12)}
+	full := []scenario.SweepCase{mk(4, "16"), mk(6, "54"), mk(8, "128"), mk(12, "432")}
+	return full, full[:1]
 }
 
-// Fig8a: deadline-constrained scale sweep on fat-trees — flows at 99%
+// scaleRows is the Fig. 8 row set: packet level only at the smallest
+// scale (as in the paper, the packet simulator does not reach large
+// sizes), flow level everywhere.
+func fig8aRows() []scenario.ProtoSpec {
+	return []scenario.ProtoSpec{
+		{Label: "PDQ(Full); Pkt", Runner: "PDQ(Full)", Cols: 1},
+		{Label: "D3; Pkt", Runner: "D3", Cols: 1},
+		{Label: "RCP; Pkt", Runner: "RCP", Cols: 1},
+		{Label: "PDQ(Full); Flow", Runner: "flow:PDQ", Params: map[string]float64{"et": 1}},
+		{Label: "D3; Flow", Runner: "flow:D3"},
+		{Label: "RCP; Flow", Runner: "flow:RCP"},
+	}
+}
+
+// Fig8aSpec: deadline-constrained scale sweep on fat-trees — flows at 99%
 // application throughput, packet-level vs flow-level, for PDQ, D3 and
 // RCP under random permutation traffic.
-func Fig8a(o Opts) *Table {
-	scales := fatTreeScales(o.Quick)
-	t := &Table{Name: "fig8a", Desc: "flows at 99% app throughput vs network size (fat-tree, deadline)", Digits: 0}
-	for _, sc := range scales {
-		t.Cols = append(t.Cols, sc.Label)
-	}
-	hiPerHost := 6
-	mkFlows := func(sc Fig8Scale, n int, seed int64) []workload.Flow {
-		g := workload.NewGen(seed, workload.UniformMean(100<<10), workload.MeanDeadlineDflt)
-		return g.Batch(n, workload.Permutation{}, sc.Hosts, nil, 0)
-	}
-	// Packet level only at the smallest scale (as in the paper, the
-	// packet simulator does not reach large sizes).
-	pkt := PacketRunners()
-	var rows []gridRow
-	for _, name := range []string{"PDQ(Full)", "D3", "RCP"} {
-		r := pkt[name]
-		rows = append(rows, gridRow{name + "; Pkt", func(c int, seed int64) float64 {
-			if c > 0 {
-				return 0 // packet level beyond reach
-			}
-			sc := scales[c]
-			return float64(stats.MaxN(1, hiPerHost*sc.Hosts, func(n int) bool {
-				rs := r(func() *topo.Topology { return sc.Build(seed) }, mkFlows(sc, n, seed), 500*sim.Millisecond)
-				return stats.AppThroughput(rs) >= 99
-			}))
-		}})
-	}
-	for _, name := range []string{"PDQ(Full)", "D3", "RCP"} {
-		name := name
-		rows = append(rows, gridRow{name + "; Flow", func(c int, seed int64) float64 {
-			sc := scales[c]
-			alloc := flowAllocFor(name, seed)
-			et := name == "PDQ(Full)"
-			return float64(stats.MaxN(1, hiPerHost*sc.Hosts, func(n int) bool {
-				rs := FlowLevel(func() *topo.Topology { return sc.Build(seed) }, alloc, et, mkFlows(sc, n, seed), 500*sim.Millisecond)
-				return stats.AppThroughput(rs) >= 99
-			}))
-		}})
-	}
-	fillGrid(t, o, len(scales), rows)
-	return t
-}
-
-func flowAllocFor(name string, seed int64) flowsim.Allocator {
-	switch name {
-	case "PDQ(Full)", "PDQ":
-		return flowsim.NewPDQ(flowsim.CritPerfect, seed)
-	case "D3":
-		return flowsim.NewD3()
-	default:
-		return flowsim.NewRCP()
+func Fig8aSpec() *Spec {
+	full, quick := fatTreeCases()
+	return &Spec{
+		Name: "fig8a",
+		Desc: "flows at 99% app throughput vs network size (fat-tree, deadline)",
+		Workload: scenario.WorkloadSpec{
+			Pattern:        permutation(),
+			Sizes:          uniformMeanKB(100),
+			MeanDeadlineMs: meanDeadlineMsDflt,
+		},
+		Topology:  scenario.TopoSpec{Name: "fat-tree"},
+		Protocols: fig8aRows(),
+		Sweep:     &scenario.SweepSpec{Cases: full, QuickCases: quick},
+		Metric:    scenario.MetricSpec{Name: "app-throughput"},
+		Eval:      scenario.EvalSpec{Mode: "max-flows", HiPerHost: 6, Threshold: 99},
+		HorizonMs: 500,
 	}
 }
 
-// fig8FCT computes mean FCT for the no-deadline scale sweeps (Fig. 8b/c/d):
-// 10 sending flows per server, random permutation.
-func fig8FCT(o Opts, name string, scales []Fig8Scale) *Table {
-	t := &Table{Name: name, Desc: "mean FCT [ms] vs network size (no deadlines, 10 flows/server)", Digits: 1}
-	flowsPer := 10
-	if o.Quick {
-		flowsPer = 4
+// Fig8a reproduces Fig. 8a.
+func Fig8a(o Opts) *Table { return Figures["fig8a"](o) }
+
+// fig8FCTSpec builds the no-deadline FCT scale sweeps (Fig. 8b/c/d): 10
+// sending flows per server, random permutation, packet level at the
+// smallest scale only.
+func fig8FCTSpec(name string, topoName string, full, quick []scenario.SweepCase) *Spec {
+	return &Spec{
+		Name:   name,
+		Desc:   "mean FCT [ms] vs network size (no deadlines, 10 flows/server)",
+		Digits: 1,
+		Workload: scenario.WorkloadSpec{
+			Pattern:           permutation(),
+			Sizes:             uniformMeanKB(100),
+			CountPerHost:      10,
+			QuickCountPerHost: 4,
+		},
+		Topology: scenario.TopoSpec{Name: topoName},
+		Protocols: []scenario.ProtoSpec{
+			{Label: "PDQ(Full); Pkt", Runner: "PDQ(Full)", Cols: 1},
+			{Label: "PDQ(Full); Flow", Runner: "flow:PDQ"},
+			{Label: "RCP/D3; Pkt", Runner: "RCP/D3", Cols: 1},
+			{Label: "RCP/D3; Flow", Runner: "flow:RCP"},
+		},
+		Sweep:     &scenario.SweepSpec{Cases: full, QuickCases: quick},
+		Metric:    scenario.MetricSpec{Name: "mean-fct", Params: map[string]float64{"ms": 1}},
+		HorizonMs: 5000,
 	}
-	mkFlows := func(sc Fig8Scale, seed int64) []workload.Flow {
-		g := workload.NewGen(seed, workload.UniformMean(100<<10), 0)
-		return g.Batch(flowsPer*sc.Hosts, workload.Permutation{}, sc.Hosts, nil, 0)
-	}
-	for _, sc := range scales {
-		t.Cols = append(t.Cols, sc.Label)
-	}
-	pkt := PacketRunners()
-	var rows []gridRow
-	for _, proto := range []string{"PDQ(Full)", "RCP/D3"} {
-		proto := proto
-		rows = append(rows,
-			gridRow{proto + "; Pkt", func(c int, seed int64) float64 {
-				if c > 0 {
-					return 0 // packet level beyond reach
-				}
-				sc := scales[c]
-				build := func() *topo.Topology { return sc.Build(seed) }
-				rs := fctRunner(pkt, proto)(build, mkFlows(sc, seed), 5*sim.Second)
-				return stats.MeanFCT(rs, nil) * 1000
-			}},
-			gridRow{proto + "; Flow", func(c int, seed int64) float64 {
-				sc := scales[c]
-				build := func() *topo.Topology { return sc.Build(seed) }
-				rs := FlowLevel(build, flowAllocFor(proto, seed), false, mkFlows(sc, seed), 5*sim.Second)
-				return stats.MeanFCT(rs, nil) * 1000
-			}})
-	}
-	fillGrid(t, o, len(scales), rows)
-	return t
 }
 
-// Fig8b: fat-tree FCT scale sweep.
-func Fig8b(o Opts) *Table { return fig8FCT(o, "fig8b", fatTreeScales(o.Quick)) }
+// Fig8bSpec: fat-tree FCT scale sweep.
+func Fig8bSpec() *Spec {
+	full, quick := fatTreeCases()
+	return fig8FCTSpec("fig8b", "fat-tree", full, quick)
+}
 
-// Fig8c: BCube FCT scale sweep (dual-port servers: BCube(n,1)).
-func Fig8c(o Opts) *Table {
-	mk := func(n int) Fig8Scale {
-		return Fig8Scale{
-			Label: fmt.Sprint(n * n),
-			Build: func(seed int64) *topo.Topology { return topo.BCube(n, 1, seed) },
-			Hosts: n * n,
+// Fig8b reproduces Fig. 8b.
+func Fig8b(o Opts) *Table { return Figures["fig8b"](o) }
+
+// Fig8cSpec: BCube FCT scale sweep (dual-port servers: BCube(n,1)).
+func Fig8cSpec() *Spec {
+	mk := func(n float64, label string) scenario.SweepCase {
+		return scenario.SweepCase{
+			Label:    label,
+			Topology: &scenario.TopoSpec{Name: "bcube", Params: map[string]float64{"n": n, "k": 1}},
 		}
 	}
-	scales := []Fig8Scale{mk(4), mk(8), mk(16), mk(32)}
-	if o.Quick {
-		scales = scales[:1]
-	}
-	return fig8FCT(o, "fig8c", scales)
+	full := []scenario.SweepCase{mk(4, "16"), mk(8, "64"), mk(16, "256"), mk(32, "1024")}
+	return fig8FCTSpec("fig8c", "bcube", full, full[:1])
 }
 
-// Fig8d: Jellyfish FCT scale sweep (24-port switches, 2:1 network:server
-// port ratio ⇒ degree 16, 8 servers per switch).
-func Fig8d(o Opts) *Table {
-	mk := func(nsw int) Fig8Scale {
-		return Fig8Scale{
-			Label: fmt.Sprint(nsw * 8),
-			Build: func(seed int64) *topo.Topology { return topo.Jellyfish(nsw, 16, 8, seed) },
-			Hosts: nsw * 8,
+// Fig8c reproduces Fig. 8c.
+func Fig8c(o Opts) *Table { return Figures["fig8c"](o) }
+
+// Fig8dSpec: Jellyfish FCT scale sweep (24-port switches, 2:1
+// network:server port ratio ⇒ degree 16, 8 servers per switch).
+func Fig8dSpec() *Spec {
+	mk := func(nsw float64, label string) scenario.SweepCase {
+		return scenario.SweepCase{
+			Label: label,
+			Topology: &scenario.TopoSpec{Name: "jellyfish",
+				Params: map[string]float64{"switches": nsw, "degree": 16, "hosts_per_switch": 8}},
 		}
 	}
-	scales := []Fig8Scale{mk(18), mk(32), mk(64), mk(128)}
-	if o.Quick {
-		scales = []Fig8Scale{{
-			Label: "16",
-			Build: func(seed int64) *topo.Topology { return topo.Jellyfish(8, 4, 2, seed) },
-			Hosts: 16,
-		}}
-	}
-	return fig8FCT(o, "fig8d", scales)
+	full := []scenario.SweepCase{mk(18, "144"), mk(32, "256"), mk(64, "512"), mk(128, "1024")}
+	quick := []scenario.SweepCase{{
+		Label: "16",
+		Topology: &scenario.TopoSpec{Name: "jellyfish",
+			Params: map[string]float64{"switches": 8, "degree": 4, "hosts_per_switch": 2}},
+	}}
+	return fig8FCTSpec("fig8d", "jellyfish", full, quick)
 }
 
-// Fig8e: the per-flow CDF of RCP FCT / PDQ FCT at ~128 servers
-// (flow-level, random permutation). The paper reports ≈40% of flows at
-// ratio ≥2, only 5–15% below 1, and a worst-case PDQ inflation of 2.57.
-func Fig8e(o Opts) *Table {
-	k := 8
-	flowsPer := 10
-	if o.Quick {
-		k = 4
-		flowsPer = 5
+// Fig8d reproduces Fig. 8d.
+func Fig8d(o Opts) *Table { return Figures["fig8d"](o) }
+
+// Fig8eSpec: the per-flow CDF of RCP FCT / PDQ FCT at ~128 servers
+// (flow-level, random permutation), via the paired-run CDF driver. The
+// paper reports ≈40% of flows at ratio ≥2, only 5–15% below 1, and a
+// worst-case PDQ inflation of 2.57.
+func Fig8eSpec() *Spec {
+	return &Spec{
+		Name:        "fig8e",
+		Desc:        "CDF of RCP FCT / PDQ FCT (flow-level, fat-tree)",
+		Driver:      "fct-ratio-cdf",
+		Params:      map[string]float64{"k": 8, "flows_per": 10},
+		QuickParams: map[string]float64{"k": 4, "flows_per": 5},
 	}
-	hosts := k * k * k / 4
-	// Each replicate is one paired PDQ/RCP run over the same flow set;
-	// the pairs fan out over Gather and Opts.Trials is honored by
-	// summarizing the per-replicate CDF statistics.
-	kTrials := o.trials()
-	fns := make([]func() []workload.Result, 0, 2*kTrials)
-	for r := 0; r < kTrials; r++ {
-		seed := o.seed() + int64(r)*trialSeedStride
-		g := workload.NewGen(seed, workload.UniformMean(100<<10), 0)
-		flows := g.Batch(flowsPer*hosts, workload.Permutation{}, hosts, nil, 0)
-		build := func() *topo.Topology { return topo.FatTree(k, seed) }
-		fns = append(fns,
-			func() []workload.Result {
-				return FlowLevel(build, flowsim.NewPDQ(flowsim.CritPerfect, seed), false, flows, 20*sim.Second)
-			},
-			func() []workload.Result {
-				return FlowLevel(build, flowsim.NewRCP(), false, flows, 20*sim.Second)
-			})
-	}
-	runs := Gather(o.workers(), fns)
-	labels := []string{
-		"flows",
-		"% with ratio >= 2 (PDQ 2x faster)",
-		"% with ratio < 1 (PDQ slower)",
-		"% with ratio < 0.5",
-		"median ratio",
-		"worst PDQ inflation",
-	}
-	summaries := make([][]float64, kTrials)
-	for rep := 0; rep < kTrials; rep++ {
-		pdq, rcp := runs[2*rep], runs[2*rep+1]
-		var ratios []float64
-		for i := range pdq {
-			if pdq[i].Done() && rcp[i].Done() {
-				ratios = append(ratios, rcp[i].FCT().Seconds()/pdq[i].FCT().Seconds())
-			}
-		}
-		sort.Float64s(ratios)
-		frac := func(pred func(float64) bool) float64 {
-			n := 0
-			for _, r := range ratios {
-				if pred(r) {
-					n++
-				}
-			}
-			return 100 * float64(n) / float64(len(ratios))
-		}
-		worstInflation := 0.0
-		for _, r := range ratios {
-			if inv := 1 / r; inv > worstInflation {
-				worstInflation = inv
-			}
-		}
-		summaries[rep] = []float64{
-			float64(len(ratios)),
-			frac(func(r float64) bool { return r >= 2 }),
-			frac(func(r float64) bool { return r < 1 }),
-			frac(func(r float64) bool { return r < 0.5 }),
-			stats.PercentileSorted(ratios, 50),
-			worstInflation,
-		}
-	}
-	t := &Table{Name: "fig8e", Desc: "CDF of RCP FCT / PDQ FCT (flow-level, fat-tree)", Cols: []string{"value"}}
-	for i, label := range labels {
-		xs := make([]float64, kTrials)
-		for rep := range summaries {
-			xs[rep] = summaries[rep][i]
-		}
-		t.Rows = append(t.Rows, statRow(label, []Stat{summarize(xs)}, o))
-	}
-	return t
 }
 
-// Fig10: resilience to inaccurate flow information (flow-level, §5.6):
-// mean FCT [ms] of PDQ with perfect information, random criticality, and
-// size estimation, vs RCP, under uniform and Pareto(1.1) sizes.
-func Fig10(o Opts) *Table {
-	t := &Table{Name: "fig10", Desc: "mean FCT [ms] with inaccurate flow information (flow-level)",
-		Cols: []string{"Uniform", "Pareto1.1"}}
-	dists := []workload.SizeDist{
-		workload.UniformMean(100 << 10),
-		workload.Pareto{Alpha: 1.1, MeanSize: 100 << 10},
+// Fig8e reproduces Fig. 8e.
+func Fig8e(o Opts) *Table { return Figures["fig8e"](o) }
+
+// Fig10Spec: resilience to inaccurate flow information (flow-level,
+// §5.6): mean FCT [ms] of PDQ with perfect information, random
+// criticality, and size estimation, vs RCP, under uniform and
+// Pareto(1.1) sizes. The pattern runs over the first 9 hosts (the
+// receiver is host 8), matching the paper's 10-flow aggregation.
+func Fig10Spec() *Spec {
+	return &Spec{
+		Name:     "fig10",
+		Desc:     "mean FCT [ms] with inaccurate flow information (flow-level)",
+		Topology: scenario.TopoSpec{Name: "single-bottleneck", Params: map[string]float64{"senders": 9}},
+		Workload: scenario.WorkloadSpec{
+			Pattern:           aggregation(),
+			Sizes:             uniformMeanKB(100),
+			Count:             10,
+			Hosts:             9,
+			SeedsPerCell:      10,
+			QuickSeedsPerCell: 3,
+		},
+		Protocols: []scenario.ProtoSpec{
+			{Label: "PDQ; Perfect", Runner: "flow:PDQ"},
+			{Label: "PDQ; Random", Runner: "flow:PDQ", Params: map[string]float64{"crit": 1}},
+			{Label: "PDQ; SizeEstimation", Runner: "flow:PDQ", Params: map[string]float64{"crit": 2}},
+			{Label: "RCP", Runner: "flow:RCP"},
+		},
+		Sweep: &scenario.SweepSpec{Cases: []scenario.SweepCase{
+			{Label: "Uniform", Sizes: &scenario.DistSpec{Name: "uniform-mean", Params: map[string]float64{"mean_kb": 100}}},
+			{Label: "Pareto1.1", Sizes: &scenario.DistSpec{Name: "pareto", Params: map[string]float64{"alpha": 1.1, "mean_kb": 100}}},
+		}},
+		Metric:    scenario.MetricSpec{Name: "mean-fct", Params: map[string]float64{"ms": 1}},
+		HorizonMs: 60000,
 	}
-	n := 10
-	seeds := 10
-	if o.Quick {
-		seeds = 3
-	}
-	allocs := []struct {
-		label string
-		alloc func(seed int64) flowsim.Allocator
-	}{
-		{"PDQ; Perfect", func(seed int64) flowsim.Allocator { return flowsim.NewPDQ(flowsim.CritPerfect, seed) }},
-		{"PDQ; Random", func(seed int64) flowsim.Allocator { return flowsim.NewPDQ(flowsim.CritRandom, seed) }},
-		{"PDQ; SizeEstimation", func(seed int64) flowsim.Allocator { return flowsim.NewPDQ(flowsim.CritEstimate, seed) }},
-		{"RCP", func(seed int64) flowsim.Allocator { return flowsim.NewRCP() }},
-	}
-	var rows []gridRow
-	for _, a := range allocs {
-		a := a
-		rows = append(rows, gridRow{a.label, func(c int, seed int64) float64 {
-			tp := topo.SingleBottleneck(9, seed)
-			sum := 0.0
-			for s := 0; s < seeds; s++ {
-				g := workload.NewGen(seed+int64(s), dists[c], 0)
-				flows := g.Batch(n, workload.Aggregation{}, 9, nil, 0)
-				rs := FlowLevelOn(tp, a.alloc(seed), false, flows, 60*sim.Second)
-				sum += stats.MeanFCT(rs, nil) * 1000
-			}
-			return sum / float64(seeds)
-		}})
-	}
-	fillGrid(t, o, len(dists), rows)
-	return t
 }
 
-// Fig11a: M-PDQ vs single-path PDQ mean FCT on BCube(2,3) as the load
-// (fraction of sending hosts) varies, random permutation (§6).
-func Fig11a(o Opts) *Table {
-	loads := []float64{0.25, 0.5, 0.75, 1.0}
-	if o.Quick {
-		loads = []float64{0.5, 1.0}
+// Fig10 reproduces Fig. 10.
+func Fig10(o Opts) *Table { return Figures["fig10"](o) }
+
+// bcube23 is the §6 multipath evaluation topology: BCube(2,3), 16
+// servers with 4 interfaces each (the registry's bcube defaults).
+func bcube23() scenario.TopoSpec { return scenario.TopoSpec{Name: "bcube"} }
+
+// Fig11aSpec: M-PDQ vs single-path PDQ mean FCT on BCube(2,3) as the
+// load (fraction of sending hosts) varies, random permutation (§6).
+func Fig11aSpec() *Spec {
+	return &Spec{
+		Name:     "fig11a",
+		Desc:     "FCT [ms] vs load (BCube(2,3), random permutation)",
+		Digits:   2,
+		Topology: bcube23(),
+		Workload: scenario.WorkloadSpec{
+			Pattern: permutation(),
+			Sizes:   uniformMeanKB(100),
+			Count:   16,
+		},
+		Protocols: []scenario.ProtoSpec{
+			{Label: "PDQ", Runner: "PDQ(Full)", Params: map[string]float64{"subflows": 1}},
+			{Label: "M-PDQ(3)", Runner: "PDQ(Full)", Params: map[string]float64{"subflows": 3}},
+		},
+		Sweep: &scenario.SweepSpec{
+			Axis:        "load",
+			Values:      []float64{0.25, 0.5, 0.75, 1.0},
+			Labels:      []string{"25%", "50%", "75%", "100%"},
+			QuickValues: []float64{0.5, 1.0},
+			QuickLabels: []string{"50%", "100%"},
+		},
+		Metric:    scenario.MetricSpec{Name: "mean-fct", Params: map[string]float64{"ms": 1}},
+		HorizonMs: 5000,
 	}
-	t := &Table{Name: "fig11a", Desc: "FCT [ms] vs load (BCube(2,3), random permutation)", Digits: 2}
-	for _, l := range loads {
-		t.Cols = append(t.Cols, fmt.Sprintf("%.0f%%", l*100))
-	}
-	var rows []gridRow
-	for _, rr := range []struct {
-		label string
-		sub   int
-	}{{"PDQ", 1}, {"M-PDQ(3)", 3}} {
-		sub := rr.sub
-		rows = append(rows, gridRow{rr.label, func(c int, seed int64) float64 {
-			g := workload.NewGen(seed, workload.UniformMean(100<<10), 0)
-			all := g.Batch(16, workload.Permutation{}, 16, nil, 0)
-			flows := all[:int(loads[c]*16)]
-			rs := MPDQRunner(sub)(func() *topo.Topology { return topo.BCube(2, 3, seed) }, flows, 5*sim.Second)
-			return stats.MeanFCT(rs, nil) * 1000
-		}})
-	}
-	fillGrid(t, o, len(loads), rows)
-	return t
 }
 
-// Fig11b: M-PDQ mean FCT vs subflow count at full load (§6: ~4 subflows
-// reach most of the benefit).
-func Fig11b(o Opts) *Table {
-	subs := []int{1, 2, 3, 4, 6, 8}
-	if o.Quick {
-		subs = []int{1, 2, 4}
+// Fig11a reproduces Fig. 11a.
+func Fig11a(o Opts) *Table { return Figures["fig11a"](o) }
+
+// Fig11bSpec: M-PDQ mean FCT vs subflow count at full load (§6: ~4
+// subflows reach most of the benefit).
+func Fig11bSpec() *Spec {
+	return &Spec{
+		Name:     "fig11b",
+		Desc:     "FCT [ms] vs number of subflows (BCube(2,3), full load)",
+		Digits:   2,
+		Topology: bcube23(),
+		Workload: scenario.WorkloadSpec{
+			Pattern: permutation(),
+			Sizes:   uniformMeanKB(100),
+			Count:   16,
+		},
+		Protocols: []scenario.ProtoSpec{{Label: "M-PDQ", Runner: "PDQ(Full)"}},
+		Sweep: &scenario.SweepSpec{
+			Axis:        "runner:subflows",
+			Values:      []float64{1, 2, 3, 4, 6, 8},
+			QuickValues: []float64{1, 2, 4},
+		},
+		Metric:    scenario.MetricSpec{Name: "mean-fct", Params: map[string]float64{"ms": 1}},
+		HorizonMs: 5000,
 	}
-	t := &Table{Name: "fig11b", Desc: "FCT [ms] vs number of subflows (BCube(2,3), full load)", Digits: 2}
-	for _, s := range subs {
-		t.Cols = append(t.Cols, fmt.Sprint(s))
-	}
-	fillGrid(t, o, len(subs), []gridRow{{"M-PDQ", func(c int, seed int64) float64 {
-		g := workload.NewGen(seed, workload.UniformMean(100<<10), 0)
-		flows := g.Batch(16, workload.Permutation{}, 16, nil, 0)
-		rs := MPDQRunner(subs[c])(func() *topo.Topology { return topo.BCube(2, 3, seed) }, flows, 5*sim.Second)
-		return stats.MeanFCT(rs, nil) * 1000
-	}}})
-	return t
 }
 
-// Fig11c: deadline-constrained M-PDQ — flows at 99% application
+// Fig11b reproduces Fig. 11b.
+func Fig11b(o Opts) *Table { return Figures["fig11b"](o) }
+
+// Fig11cSpec: deadline-constrained M-PDQ — flows at 99% application
 // throughput vs subflow count.
-func Fig11c(o Opts) *Table {
-	subs := []int{1, 2, 4}
-	hi := 48
-	if o.Quick {
-		subs = []int{1, 4}
-		hi = 24
+func Fig11cSpec() *Spec {
+	return &Spec{
+		Name:     "fig11c",
+		Desc:     "flows at 99% app throughput vs subflows (BCube(2,3), deadline)",
+		Topology: bcube23(),
+		Workload: scenario.WorkloadSpec{
+			Pattern:        permutation(),
+			Sizes:          uniformMeanKB(100),
+			MeanDeadlineMs: meanDeadlineMsDflt,
+		},
+		Protocols: []scenario.ProtoSpec{{Label: "M-PDQ", Runner: "PDQ(Full)"}},
+		Sweep: &scenario.SweepSpec{
+			Axis:        "runner:subflows",
+			Values:      []float64{1, 2, 4},
+			QuickValues: []float64{1, 4},
+		},
+		Metric:    scenario.MetricSpec{Name: "app-throughput"},
+		Eval:      scenario.EvalSpec{Mode: "max-flows", Hi: 48, QuickHi: 24, Threshold: 99},
+		HorizonMs: 500,
 	}
-	t := &Table{Name: "fig11c", Desc: "flows at 99% app throughput vs subflows (BCube(2,3), deadline)", Digits: 0}
-	for _, s := range subs {
-		t.Cols = append(t.Cols, fmt.Sprint(s))
-	}
-	fillGrid(t, o, len(subs), []gridRow{{"M-PDQ", func(c int, seed int64) float64 {
-		r := MPDQRunner(subs[c])
-		return float64(stats.MaxN(1, hi, func(n int) bool {
-			g := workload.NewGen(seed, workload.UniformMean(100<<10), workload.MeanDeadlineDflt)
-			flows := g.Batch(n, workload.Permutation{}, 16, nil, 0)
-			rs := r(func() *topo.Topology { return topo.BCube(2, 3, seed) }, flows, 500*sim.Millisecond)
-			return stats.AppThroughput(rs) >= 99
-		}))
-	}}})
-	return t
 }
 
-// Fig12: flow aging (§7): max and mean FCT vs aging rate α, flow-level,
-// with a long flow contending against a stream of short flows, compared
-// with RCP.
-func Fig12(o Opts) *Table {
-	rates := []float64{0, 1, 2, 4, 8, 16}
-	if o.Quick {
-		rates = []float64{0, 4, 16}
+// Fig11c reproduces Fig. 11c.
+func Fig11c(o Opts) *Table { return Figures["fig11c"](o) }
+
+// Fig12Spec: flow aging (§7): max and mean FCT vs aging rate α,
+// flow-level, with a long flow contending against a stream of short
+// flows, compared with RCP. The RCP rows are fixed baselines: the axis
+// does not apply to them.
+func Fig12Spec() *Spec {
+	maxFCT := &scenario.MetricSpec{Name: "max-fct", Params: map[string]float64{"ms": 1}}
+	meanFCT := &scenario.MetricSpec{Name: "mean-fct", Params: map[string]float64{"ms": 1}}
+	return &Spec{
+		Name:     "fig12",
+		Desc:     "max/mean FCT [ms] vs aging rate (flow-level)",
+		Digits:   1,
+		Topology: scenario.TopoSpec{Name: "single-bottleneck", Params: map[string]float64{"senders": 8}},
+		Workload: scenario.WorkloadSpec{Custom: "long-vs-shorts"},
+		Protocols: []scenario.ProtoSpec{
+			{Label: "PDQ; Max", Runner: "flow:PDQ", Metric: maxFCT},
+			{Label: "PDQ; Mean", Runner: "flow:PDQ", Metric: meanFCT},
+			{Label: "RCP/D3; Max", Runner: "flow:RCP", Metric: maxFCT, Fixed: true},
+			{Label: "RCP/D3; Mean", Runner: "flow:RCP", Metric: meanFCT, Fixed: true},
+		},
+		Sweep: &scenario.SweepSpec{
+			Axis:        "runner:aging",
+			Values:      []float64{0, 1, 2, 4, 8, 16},
+			Labels:      []string{"a=0", "a=1", "a=2", "a=4", "a=8", "a=16"},
+			QuickValues: []float64{0, 4, 16},
+			QuickLabels: []string{"a=0", "a=4", "a=16"},
+		},
+		Metric:    scenario.MetricSpec{Name: "mean-fct"},
+		HorizonMs: 10000,
 	}
-	t := &Table{Name: "fig12", Desc: "max/mean FCT [ms] vs aging rate (flow-level)", Digits: 1}
-	for _, a := range rates {
-		t.Cols = append(t.Cols, fmt.Sprintf("a=%g", a))
-	}
-	mkFlows := func() []workload.Flow {
-		fl := []workload.Flow{{ID: 1, Src: 0, Dst: 8, Size: 2 << 20}}
-		for i := 0; i < 100; i++ {
-			fl = append(fl, workload.Flow{
-				ID: uint64(i + 2), Src: 1 + i%7, Dst: 8,
-				Size: 100 << 10, Start: sim.Time(i) * sim.Millisecond,
-			})
-		}
-		return fl
-	}
-	// Each run yields both the max and the mean FCT, so the sweep fans
-	// out over Gather (one closure per aging rate × replicate, plus the
-	// RCP baseline) rather than the scalar-cell grid; Opts.Trials is
-	// honored by replicating each point and summarizing both scalars.
-	type maxMean struct{ max, mean float64 }
-	summ := func(rs []workload.Result) maxMean {
-		return maxMean{
-			max:  stats.Percentile(stats.FCTs(rs), 100) * 1000,
-			mean: stats.MeanFCT(rs, nil) * 1000,
-		}
-	}
-	k := o.trials()
-	npts := len(rates) + 1 // aging rates, then the RCP baseline
-	fns := make([]func() maxMean, 0, npts*k)
-	for i := 0; i < npts; i++ {
-		for r := 0; r < k; r++ {
-			i, seed := i, o.seed()+int64(r)*trialSeedStride
-			fns = append(fns, func() maxMean {
-				build := func() *topo.Topology { return topo.SingleBottleneck(8, seed) }
-				var alloc flowsim.Allocator = flowsim.NewRCP()
-				if i < len(rates) {
-					p := flowsim.NewPDQ(flowsim.CritPerfect, seed)
-					p.AgingRate = rates[i]
-					alloc = p
-				}
-				return summ(FlowLevel(build, alloc, false, mkFlows(), 10*sim.Second))
-			})
-		}
-	}
-	res := Gather(o.workers(), fns)
-	point := func(i int) (mx, mn Stat) {
-		var maxes, means []float64
-		for r := 0; r < k; r++ {
-			maxes = append(maxes, res[i*k+r].max)
-			means = append(means, res[i*k+r].mean)
-		}
-		return summarize(maxes), summarize(means)
-	}
-	var maxSt, meanSt []Stat
-	for i := range rates {
-		mx, mn := point(i)
-		maxSt = append(maxSt, mx)
-		meanSt = append(meanSt, mn)
-	}
-	rcpMax, rcpMean := point(len(rates))
-	repeat := func(s Stat) []Stat {
-		out := make([]Stat, len(rates))
-		for i := range out {
-			out[i] = s
-		}
-		return out
-	}
-	t.Rows = append(t.Rows,
-		statRow("PDQ; Max", maxSt, o), statRow("PDQ; Mean", meanSt, o),
-		statRow("RCP/D3; Max", repeat(rcpMax), o), statRow("RCP/D3; Mean", repeat(rcpMean), o))
-	return t
 }
 
-// Figures is the registry of all reproduced figures.
-var Figures = map[string]func(Opts) *Table{
-	"fig1": Fig1, "fig3a": Fig3a, "fig3b": Fig3b, "fig3c": Fig3c,
-	"fig3d": Fig3d, "fig3e": Fig3e, "fig4a": Fig4a, "fig4b": Fig4b,
-	"fig5a": Fig5a, "fig5b": Fig5b, "fig5c": Fig5c, "fig6": Fig6,
-	"fig7": Fig7, "fig8a": Fig8a, "fig8b": Fig8b, "fig8c": Fig8c,
-	"fig8d": Fig8d, "fig8e": Fig8e, "fig9a": Fig9a, "fig9b": Fig9b,
-	"fig10": Fig10, "fig11a": Fig11a, "fig11b": Fig11b, "fig11c": Fig11c,
-	"fig12": Fig12,
-}
-
-// FigureNames returns the registry keys in sorted order.
-func FigureNames() []string {
-	var names []string
-	for k := range Figures {
-		names = append(names, k)
-	}
-	sort.Strings(names)
-	return names
-}
+// Fig12 reproduces Fig. 12.
+func Fig12(o Opts) *Table { return Figures["fig12"](o) }

@@ -1,387 +1,289 @@
 package exp
 
-import (
-	"fmt"
+import "pdq/internal/scenario"
 
-	"pdq/internal/fluid"
-	"pdq/internal/sim"
-	"pdq/internal/stats"
-	"pdq/internal/workload"
-)
-
-// Fig1 reproduces the motivating example (Fig. 1): three flows of sizes
-// 1, 2, 3 units with deadlines 1, 4, 6 on one unit-rate bottleneck, under
-// fair sharing, SJF/EDF, and D3 with arrival order fB, fA, fC.
-func Fig1(o Opts) *Table {
-	unit := int64(1_000_000_000 / 8)
-	flows := []workload.Flow{
-		{ID: 1, Size: 1 * unit, Deadline: 1 * sim.Second},
-		{ID: 2, Size: 2 * unit, Deadline: 4 * sim.Second},
-		{ID: 3, Size: 3 * unit, Deadline: 6 * sim.Second},
+// Fig1Spec reproduces the motivating example (Fig. 1) via the fluid
+// custom driver: three flows of sizes 1, 2, 3 units with deadlines 1, 4,
+// 6 on one unit-rate bottleneck, under fair sharing, SJF/EDF, and D3
+// with arrival order fB, fA, fC.
+func Fig1Spec() *Spec {
+	return &Spec{
+		Name:   "fig1",
+		Desc:   "motivating example: completion times (s), mean FCT, deadlines met",
+		Driver: "fluid-example",
 	}
-	bps := int64(1_000_000_000)
-	t := &Table{
-		Name: "fig1", Desc: "motivating example: completion times (s), mean FCT, deadlines met",
-		Cols: []string{"fA", "fB", "fC", "meanFCT", "met"},
-	}
-	add := func(label string, c fluid.Completion) {
-		met := 0.0
-		for _, f := range flows {
-			if ct, ok := c[f.ID]; ok && ct <= f.Deadline {
-				met++
-			}
-		}
-		t.Rows = append(t.Rows, Row{Label: label, Vals: []float64{
-			c[1].Seconds(), c[2].Seconds(), c[3].Seconds(),
-			fluid.MeanFCT(flows, c), met,
-		}})
-	}
-	add("FairSharing", fluid.FairShare(flows, bps))
-	add("SJF/EDF", fluid.SRPT(flows, bps))
-	// D3 with arrival order fB, fA, fC (Fig. 1d): fB reserves 0.5, fA is
-	// stuck with the remaining 0.5 and misses. Fluid D3 on one link.
-	d3c := fluid.Completion{}
-	// fB: rate 2/4 = 0.5 until t=4 (done exactly at its deadline).
-	d3c[2] = 4 * sim.Second
-	// fA: leftover 0.5 for 1 unit: finishes at 2 > deadline 1.
-	d3c[1] = 2 * sim.Second
-	// fC: after fB and fA it has the full link: 3 units from its share.
-	// Between 0–2: fC gets 0; 2–4: 0.5; 4–6: 1.0 → 3 units by t=6.
-	d3c[3] = 6 * sim.Second
-	add("D3(fB;fA;fC)", d3c)
-	return t
 }
 
-// sweepInts returns the full or quick variant of a sweep.
-func sweepInts(o Opts, full, quick []int) []int {
-	if o.Quick {
-		return quick
+// Fig1 reproduces Fig. 1.
+func Fig1(o Opts) *Table { return Figures["fig1"](o) }
+
+// aggWorkload is the §5.2 deadline-constrained query-aggregation
+// workload on the default tree.
+func aggWorkload(meanKB float64, deadlineMs float64) scenario.WorkloadSpec {
+	return scenario.WorkloadSpec{
+		Pattern:        aggregation(),
+		Sizes:          uniformMeanKB(meanKB),
+		MeanDeadlineMs: deadlineMs,
 	}
-	return full
 }
 
-// Fig3a: application throughput (%) vs number of deadline-constrained
+// Fig3aSpec: application throughput (%) vs number of deadline-constrained
 // query-aggregation flows, for Optimal, the four PDQ variants, D3, RCP
 // and TCP.
-func Fig3a(o Opts) *Table {
-	ns := sweepInts(o, []int{2, 5, 10, 15, 20, 25}, []int{3, 9, 15})
-	t := &Table{Name: "fig3a", Desc: "app throughput [%] vs number of flows (deadline, query aggregation)", Digits: 1}
-	for _, n := range ns {
-		t.Cols = append(t.Cols, fmt.Sprint(n))
+func Fig3aSpec() *Spec {
+	return &Spec{
+		Name:      "fig3a",
+		Desc:      "app throughput [%] vs number of flows (deadline, query aggregation)",
+		Digits:    1,
+		Topology:  defaultTree(),
+		Workload:  aggWorkload(100, meanDeadlineMsDflt),
+		Protocols: append([]scenario.ProtoSpec{{Label: "Optimal", Analytic: "optimal-app-throughput"}}, protoRows(ProtoOrder...)...),
+		Sweep: &scenario.SweepSpec{
+			Axis:        "flows",
+			Values:      []float64{2, 5, 10, 15, 20, 25},
+			QuickValues: []float64{3, 9, 15},
+		},
+		Metric:    scenario.MetricSpec{Name: "app-throughput"},
+		HorizonMs: 500,
 	}
-	runners := PacketRunners()
-	// Optimal (omniscient EDF + Moore–Hodgson on the bottleneck).
-	rows := []gridRow{{"Optimal", func(c int, seed int64) float64 {
-		flows := aggFlows(ns[c], seed, 100<<10, workload.MeanDeadlineDflt)
-		return fluid.OptimalAppThroughput(flows, bottleneckRate)
-	}}}
-	for _, name := range ProtoOrder {
-		r := runners[name]
-		rows = append(rows, gridRow{name, func(c int, seed int64) float64 {
-			flows := aggFlows(ns[c], seed, 100<<10, workload.MeanDeadlineDflt)
-			return stats.AppThroughput(r(defaultTree(seed), flows, 500*sim.Millisecond))
-		}})
-	}
-	fillGrid(t, o, len(ns), rows)
-	return t
 }
 
-// Fig3b: application throughput vs mean flow size, 3 concurrent flows.
-func Fig3b(o Opts) *Table {
-	sizes := sweepInts(o, []int{100, 150, 200, 250, 300, 350}, []int{100, 250})
-	t := &Table{Name: "fig3b", Desc: "app throughput [%] vs avg flow size [KB] (3 deadline flows)", Digits: 1}
-	for _, s := range sizes {
-		t.Cols = append(t.Cols, fmt.Sprint(s))
+// Fig3a reproduces Fig. 3a.
+func Fig3a(o Opts) *Table { return Figures["fig3a"](o) }
+
+// Fig3bSpec: application throughput vs mean flow size, 3 concurrent
+// flows, averaged over several generator seeds per cell.
+func Fig3bSpec() *Spec {
+	w := aggWorkload(100, meanDeadlineMsDflt)
+	w.Count = 3
+	w.SeedsPerCell = 5
+	w.QuickSeedsPerCell = 2
+	return &Spec{
+		Name:      "fig3b",
+		Desc:      "app throughput [%] vs avg flow size [KB] (3 deadline flows)",
+		Digits:    1,
+		Topology:  defaultTree(),
+		Workload:  w,
+		Protocols: append([]scenario.ProtoSpec{{Label: "Optimal", Analytic: "optimal-app-throughput"}}, protoRows(ProtoOrder...)...),
+		Sweep: &scenario.SweepSpec{
+			Axis:        "mean-size-kb",
+			Values:      []float64{100, 150, 200, 250, 300, 350},
+			QuickValues: []float64{100, 250},
+		},
+		Metric:    scenario.MetricSpec{Name: "app-throughput"},
+		HorizonMs: 500,
 	}
-	runners := PacketRunners()
-	seeds := 5
-	if o.Quick {
-		seeds = 2
-	}
-	rows := []gridRow{{"Optimal", func(c int, seed int64) float64 {
-		v := 0.0
-		for s := 0; s < seeds; s++ {
-			flows := aggFlows(3, seed+int64(s), int64(sizes[c])<<10, workload.MeanDeadlineDflt)
-			v += fluid.OptimalAppThroughput(flows, bottleneckRate)
-		}
-		return v / float64(seeds)
-	}}}
-	for _, name := range ProtoOrder {
-		r := runners[name]
-		rows = append(rows, gridRow{name, func(c int, seed int64) float64 {
-			v := 0.0
-			for s := 0; s < seeds; s++ {
-				flows := aggFlows(3, seed+int64(s), int64(sizes[c])<<10, workload.MeanDeadlineDflt)
-				v += stats.AppThroughput(r(defaultTree(seed), flows, 500*sim.Millisecond))
-			}
-			return v / float64(seeds)
-		}})
-	}
-	fillGrid(t, o, len(sizes), rows)
-	return t
 }
 
-// Fig3c: the number of concurrent flows each protocol sustains at 99%
+// Fig3b reproduces Fig. 3b.
+func Fig3b(o Opts) *Table { return Figures["fig3b"](o) }
+
+// Fig3cSpec: the number of concurrent flows each protocol sustains at 99%
 // application throughput, as the mean flow deadline varies.
-func Fig3c(o Opts) *Table {
-	deadlines := sweepInts(o, []int{20, 30, 40, 50, 60}, []int{20, 40})
-	hi := 64
-	if o.Quick {
-		hi = 40
+func Fig3cSpec() *Spec {
+	return &Spec{
+		Name:      "fig3c",
+		Desc:      "number of flows at 99% app throughput vs mean deadline [ms]",
+		Topology:  defaultTree(),
+		Workload:  aggWorkload(100, 0), // deadline comes from the sweep axis
+		Protocols: append([]scenario.ProtoSpec{{Label: "Optimal", Analytic: "optimal-app-throughput"}}, protoRows(ProtoOrder...)...),
+		Sweep: &scenario.SweepSpec{
+			Axis:        "mean-deadline-ms",
+			Values:      []float64{20, 30, 40, 50, 60},
+			QuickValues: []float64{20, 40},
+		},
+		Metric:    scenario.MetricSpec{Name: "app-throughput"},
+		Eval:      scenario.EvalSpec{Mode: "max-flows", Hi: 64, QuickHi: 40, Threshold: 99},
+		HorizonMs: 500,
 	}
-	t := &Table{Name: "fig3c", Desc: "number of flows at 99% app throughput vs mean deadline [ms]", Digits: 0}
-	for _, d := range deadlines {
-		t.Cols = append(t.Cols, fmt.Sprint(d))
-	}
-	runners := PacketRunners()
-	rows := []gridRow{{"Optimal", func(c int, seed int64) float64 {
-		md := sim.Time(deadlines[c]) * sim.Millisecond
-		return float64(stats.MaxN(1, hi, func(n int) bool {
-			return fluid.OptimalAppThroughput(aggFlows(n, seed, 100<<10, md), bottleneckRate) >= 99
-		}))
-	}}}
-	for _, name := range ProtoOrder {
-		r := runners[name]
-		rows = append(rows, gridRow{name, func(c int, seed int64) float64 {
-			md := sim.Time(deadlines[c]) * sim.Millisecond
-			return float64(stats.MaxN(1, hi, func(n int) bool {
-				rs := r(defaultTree(seed), aggFlows(n, seed, 100<<10, md), 500*sim.Millisecond)
-				return stats.AppThroughput(rs) >= 99
-			}))
-		}})
-	}
-	fillGrid(t, o, len(deadlines), rows)
-	return t
 }
 
-// noDeadlineAgg draws n deadline-unconstrained aggregation flows.
-func noDeadlineAgg(n int, seed int64, meanSize int64) []workload.Flow {
-	g := workload.NewGen(seed, workload.UniformMean(meanSize), 0)
-	return g.Batch(n, workload.Aggregation{}, treeHosts, treeRack, 0)
-}
+// Fig3c reproduces Fig. 3c.
+func Fig3c(o Opts) *Table { return Figures["fig3c"](o) }
 
-// fctProtos is the protocol set of the FCT figures (RCP ≡ D3 without
-// deadlines, so the paper plots them as one curve).
-var fctProtos = []string{"PDQ(Full)", "PDQ(ES)", "PDQ(Basic)", "RCP/D3", "TCP"}
-
-func fctRunner(runners map[string]Runner, name string) Runner {
-	if name == "RCP/D3" {
-		return runners["RCP"]
-	}
-	return runners[name]
-}
-
-// Fig3d: mean FCT (normalized to optimal) vs number of flows, no
+// Fig3dSpec: mean FCT (normalized to optimal) vs number of flows, no
 // deadlines.
-func Fig3d(o Opts) *Table {
-	ns := sweepInts(o, []int{1, 2, 5, 10, 15, 20, 25}, []int{2, 8})
-	t := &Table{Name: "fig3d", Desc: "mean FCT normalized to optimal vs number of flows (no deadlines)"}
-	for _, n := range ns {
-		t.Cols = append(t.Cols, fmt.Sprint(n))
-	}
-	runners := PacketRunners()
-	var rows []gridRow
-	for _, name := range fctProtos {
-		r := fctRunner(runners, name)
-		rows = append(rows, gridRow{name, func(c int, seed int64) float64 {
-			flows := noDeadlineAgg(ns[c], seed, 100<<10)
-			opt := fluid.MeanFCT(flows, fluid.SRPT(flows, bottleneckRate))
-			rs := r(defaultTree(seed), flows, 2*sim.Second)
-			return stats.MeanFCT(rs, nil) / opt
-		}})
-	}
-	fillGrid(t, o, len(ns), rows)
-	return t
-}
-
-// Fig3e: mean FCT (normalized to optimal) vs mean flow size, 3 flows.
-func Fig3e(o Opts) *Table {
-	sizes := sweepInts(o, []int{100, 150, 200, 250, 300, 350}, []int{100, 300})
-	t := &Table{Name: "fig3e", Desc: "mean FCT normalized to optimal vs avg flow size [KB] (3 flows)"}
-	for _, s := range sizes {
-		t.Cols = append(t.Cols, fmt.Sprint(s))
-	}
-	runners := PacketRunners()
-	var rows []gridRow
-	for _, name := range fctProtos {
-		r := fctRunner(runners, name)
-		rows = append(rows, gridRow{name, func(c int, seed int64) float64 {
-			flows := noDeadlineAgg(3, seed, int64(sizes[c])<<10)
-			opt := fluid.MeanFCT(flows, fluid.SRPT(flows, bottleneckRate))
-			rs := r(defaultTree(seed), flows, 2*sim.Second)
-			return stats.MeanFCT(rs, nil) / opt
-		}})
-	}
-	fillGrid(t, o, len(sizes), rows)
-	return t
-}
-
-// patterns is the §5.3 sending-pattern set.
-func patterns() []workload.Pattern {
-	return []workload.Pattern{
-		workload.Aggregation{},
-		workload.Stride{I: 1},
-		workload.Stride{I: treeHosts / 2},
-		workload.Staggered{P: 0.7},
-		workload.Staggered{P: 0.3},
-		workload.Permutation{},
+func Fig3dSpec() *Spec {
+	return &Spec{
+		Name:      "fig3d",
+		Desc:      "mean FCT normalized to optimal vs number of flows (no deadlines)",
+		Topology:  defaultTree(),
+		Workload:  aggWorkload(100, 0),
+		Protocols: protoRows(fctProtos...),
+		Sweep: &scenario.SweepSpec{
+			Axis:        "flows",
+			Values:      []float64{1, 2, 5, 10, 15, 20, 25},
+			QuickValues: []float64{2, 8},
+		},
+		Metric:    scenario.MetricSpec{Name: "mean-fct-vs-srpt"},
+		HorizonMs: 2000,
 	}
 }
 
-// Fig4a: number of flows at 99% application throughput per sending
+// Fig3d reproduces Fig. 3d.
+func Fig3d(o Opts) *Table { return Figures["fig3d"](o) }
+
+// Fig3eSpec: mean FCT (normalized to optimal) vs mean flow size, 3 flows.
+func Fig3eSpec() *Spec {
+	w := aggWorkload(100, 0)
+	w.Count = 3
+	return &Spec{
+		Name:      "fig3e",
+		Desc:      "mean FCT normalized to optimal vs avg flow size [KB] (3 flows)",
+		Topology:  defaultTree(),
+		Workload:  w,
+		Protocols: protoRows(fctProtos...),
+		Sweep: &scenario.SweepSpec{
+			Axis:        "mean-size-kb",
+			Values:      []float64{100, 150, 200, 250, 300, 350},
+			QuickValues: []float64{100, 300},
+		},
+		Metric:    scenario.MetricSpec{Name: "mean-fct-vs-srpt"},
+		HorizonMs: 2000,
+	}
+}
+
+// Fig3e reproduces Fig. 3e.
+func Fig3e(o Opts) *Table { return Figures["fig3e"](o) }
+
+// patternCases is the §5.3 sending-pattern axis (columns labeled by each
+// pattern's own name).
+func patternCases() []scenario.SweepCase {
+	pat := func(name string, params map[string]float64) scenario.SweepCase {
+		return scenario.SweepCase{Pattern: &scenario.PatternSpec{Name: name, Params: params}}
+	}
+	return []scenario.SweepCase{
+		pat("aggregation", nil),
+		pat("stride", map[string]float64{"i": 1}),
+		pat("stride", map[string]float64{"i": treeHosts / 2}),
+		pat("staggered", map[string]float64{"p": 0.7}),
+		pat("staggered", map[string]float64{"p": 0.3}),
+		pat("permutation", nil),
+	}
+}
+
+// Fig4aSpec: number of flows at 99% application throughput per sending
 // pattern, normalized to PDQ(Full).
-func Fig4a(o Opts) *Table {
-	hi := 48
-	if o.Quick {
-		hi = 16
-	}
-	t := &Table{Name: "fig4a", Desc: "flows at 99% app throughput per pattern (normalized to PDQ(Full))"}
-	runners := PacketRunners()
-	pats := patterns()
-	for _, pat := range pats {
-		t.Cols = append(t.Cols, pat.Name())
-	}
-	// Raw cells in parallel; normalize to the PDQ(Full) row afterwards
-	// (ProtoOrder[0] is PDQ(Full)).
-	raw := runGrid(o, len(ProtoOrder), len(pats), func(r, c int, seed int64) float64 {
-		run := runners[ProtoOrder[r]]
-		return float64(stats.MaxN(1, hi, func(n int) bool {
-			g := workload.NewGen(seed, workload.UniformMean(100<<10), workload.MeanDeadlineDflt)
-			flows := g.Batch(n, pats[c], treeHosts, treeRack, 0)
-			rs := run(defaultTree(seed), flows, 500*sim.Millisecond)
-			return stats.AppThroughput(rs) >= 99
-		}))
-	})
-	appendNormalized(t, o, raw, ProtoOrder, len(pats), 0)
-	return t
-}
-
-// appendNormalized appends the row-major raw grid to t with every column
-// normalized to the base row's value in that column (zero bases count as
-// one so empty baselines do not divide by zero).
-func appendNormalized(t *Table, o Opts, raw []Stat, rowLabels []string, nCols, baseRow int) {
-	for ri, name := range rowLabels {
-		row := Row{Label: name}
-		for c := 0; c < nCols; c++ {
-			base := raw[baseRow*nCols+c].Mean
-			if base == 0 {
-				base = 1
-			}
-			s := raw[ri*nCols+c]
-			row.Vals = append(row.Vals, s.Mean/base)
-			if o.trials() > 1 {
-				row.Errs = append(row.Errs, s.Stderr/base)
-			}
-		}
-		t.Rows = append(t.Rows, row)
+func Fig4aSpec() *Spec {
+	return &Spec{
+		Name:      "fig4a",
+		Desc:      "flows at 99% app throughput per pattern (normalized to PDQ(Full))",
+		Topology:  defaultTree(),
+		Workload:  aggWorkload(100, meanDeadlineMsDflt),
+		Protocols: protoRows(ProtoOrder...),
+		Sweep:     &scenario.SweepSpec{Cases: patternCases()},
+		Metric:    scenario.MetricSpec{Name: "app-throughput"},
+		Eval:      scenario.EvalSpec{Mode: "max-flows", Hi: 48, QuickHi: 16, Threshold: 99},
+		HorizonMs: 500,
+		Normalize: "base-row",
 	}
 }
 
-// Fig4b: mean FCT per sending pattern, normalized to PDQ(Full), no
+// Fig4a reproduces Fig. 4a.
+func Fig4a(o Opts) *Table { return Figures["fig4a"](o) }
+
+// Fig4bSpec: mean FCT per sending pattern, normalized to PDQ(Full), no
 // deadlines.
-func Fig4b(o Opts) *Table {
-	n := 48
-	if o.Quick {
-		n = 36
+func Fig4bSpec() *Spec {
+	w := aggWorkload(100, 0)
+	w.Count = 48
+	w.QuickCount = 36
+	return &Spec{
+		Name:      "fig4b",
+		Desc:      "mean FCT per pattern (normalized to PDQ(Full), no deadlines)",
+		Topology:  defaultTree(),
+		Workload:  w,
+		Protocols: protoRows(fctProtos...),
+		Sweep:     &scenario.SweepSpec{Cases: patternCases()},
+		Metric:    scenario.MetricSpec{Name: "mean-fct"},
+		HorizonMs: 2000,
+		Normalize: "base-row",
 	}
-	t := &Table{Name: "fig4b", Desc: "mean FCT per pattern (normalized to PDQ(Full), no deadlines)"}
-	runners := PacketRunners()
-	pats := patterns()
-	for _, pat := range pats {
-		t.Cols = append(t.Cols, pat.Name())
-	}
-	raw := runGrid(o, len(fctProtos), len(pats), func(r, c int, seed int64) float64 {
-		g := workload.NewGen(seed, workload.UniformMean(100<<10), 0)
-		flows := g.Batch(n, pats[c], treeHosts, treeRack, 0)
-		rs := fctRunner(runners, fctProtos[r])(defaultTree(seed), flows, 2*sim.Second)
-		return stats.MeanFCT(rs, nil)
-	})
-	appendNormalized(t, o, raw, fctProtos, len(pats), 0)
-	return t
 }
 
-// vl2Flows draws the §5.3 commercial-datacenter workload: VL2-like sizes,
-// random permutation, Poisson arrivals at the given rate; flows under
-// 40 KB are deadline-constrained.
-func vl2Flows(rate float64, horizon sim.Time, seed int64, meanDeadline sim.Time) []workload.Flow {
-	g := workload.NewGen(seed, workload.VL2SizeDist{}, meanDeadline)
-	g.DeadlineIf = func(size int64) bool { return size < workload.ShortFlowCutoff }
-	return g.Poisson(rate, horizon, workload.Permutation{}, treeHosts, treeRack)
+// Fig4b reproduces Fig. 4b.
+func Fig4b(o Opts) *Table { return Figures["fig4b"](o) }
+
+// vl2Workload is the §5.3 commercial-datacenter workload: VL2-like sizes,
+// random permutation, Poisson arrivals; flows under 40 KB are
+// deadline-constrained.
+func vl2Workload(rate, quickRate, windowMs, quickWindowMs float64) scenario.WorkloadSpec {
+	return scenario.WorkloadSpec{
+		Pattern:           permutation(),
+		Sizes:             scenario.DistSpec{Name: "vl2"},
+		MeanDeadlineMs:    meanDeadlineMsDflt,
+		DeadlineShortOnly: true,
+		Arrival: &scenario.ArrivalSpec{
+			Rate: rate, QuickRate: quickRate,
+			WindowMs: windowMs, QuickWindowMs: quickWindowMs,
+		},
+	}
 }
 
-// Fig5a: sustainable short-flow arrival rate at 99% application
+// Fig5aSpec: sustainable short-flow arrival rate at 99% application
 // throughput vs mean flow deadline, under the VL2-like workload.
-func Fig5a(o Opts) *Table {
-	deadlines := sweepInts(o, []int{15, 25, 35, 45}, []int{20, 40})
-	horizon := 100 * sim.Millisecond
-	rateStep := 1000.0 // flows/s granularity
-	maxSteps := 20
-	if o.Quick {
-		horizon = 40 * sim.Millisecond
-		maxSteps = 8
+func Fig5aSpec() *Spec {
+	return &Spec{
+		Name:      "fig5a",
+		Desc:      "short-flow arrival rate [flows/s] at 99% app throughput vs deadline [ms]",
+		Topology:  defaultTree(),
+		Workload:  vl2Workload(0, 0, 100, 40), // rate comes from the search
+		Protocols: protoRows(ProtoOrder...),
+		Sweep: &scenario.SweepSpec{
+			Axis:        "mean-deadline-ms",
+			Values:      []float64{15, 25, 35, 45},
+			QuickValues: []float64{20, 40},
+		},
+		Metric:    scenario.MetricSpec{Name: "app-throughput"},
+		Eval:      scenario.EvalSpec{Mode: "max-rate", Steps: 20, QuickSteps: 8, RateStep: 1000, Threshold: 99},
+		HorizonMs: 600, QuickHorizonMs: 540, // arrival window + 500 ms drain
 	}
-	t := &Table{Name: "fig5a", Desc: "short-flow arrival rate [flows/s] at 99% app throughput vs deadline [ms]", Digits: 0}
-	for _, d := range deadlines {
-		t.Cols = append(t.Cols, fmt.Sprint(d))
-	}
-	runners := PacketRunners()
-	var rows []gridRow
-	for _, name := range ProtoOrder {
-		r := runners[name]
-		rows = append(rows, gridRow{name, func(c int, seed int64) float64 {
-			md := sim.Time(deadlines[c]) * sim.Millisecond
-			n := stats.MaxN(1, maxSteps, func(n int) bool {
-				flows := vl2Flows(float64(n)*rateStep, horizon, seed, md)
-				rs := r(defaultTree(seed), flows, horizon+500*sim.Millisecond)
-				return stats.AppThroughput(rs) >= 99
-			})
-			return float64(n) * rateStep
-		}})
-	}
-	fillGrid(t, o, len(deadlines), rows)
-	return t
 }
 
-// Fig5b: mean FCT of long flows (≥40 KB) under the VL2-like workload,
+// Fig5a reproduces Fig. 5a.
+func Fig5a(o Opts) *Table { return Figures["fig5a"](o) }
+
+// Fig5bSpec: mean FCT of long flows (≥40 KB) under the VL2-like workload,
 // normalized to PDQ(Full).
-func Fig5b(o Opts) *Table {
-	horizon := 200 * sim.Millisecond
-	rate := 3000.0
-	if o.Quick {
-		horizon = 60 * sim.Millisecond
-		rate = 2000
+func Fig5bSpec() *Spec {
+	return &Spec{
+		Name:      "fig5b",
+		Desc:      "long-flow FCT under VL2-like workload (normalized to PDQ(Full))",
+		Topology:  defaultTree(),
+		Workload:  vl2Workload(3000, 2000, 200, 60),
+		Protocols: protoRows(fctProtos...),
+		ColLabel:  "norm",
+		Metric:    scenario.MetricSpec{Name: "mean-fct", Params: map[string]float64{"long_only": 1}},
+		HorizonMs: 2200, QuickHorizonMs: 2060, // arrival window + 2 s drain
+		Normalize: "base-row",
 	}
-	t := &Table{Name: "fig5b", Desc: "long-flow FCT under VL2-like workload (normalized to PDQ(Full))",
-		Cols: []string{"norm"}}
-	runners := PacketRunners()
-	long := func(r workload.Result) bool { return r.Size >= workload.ShortFlowCutoff }
-	raw := runGrid(o, len(fctProtos), 1, func(r, c int, seed int64) float64 {
-		flows := vl2Flows(rate, horizon, seed, workload.MeanDeadlineDflt)
-		rs := fctRunner(runners, fctProtos[r])(defaultTree(seed), flows, horizon+2*sim.Second)
-		return stats.MeanFCT(rs, long)
-	})
-	appendNormalized(t, o, raw, fctProtos, 1, 0)
-	return t
 }
 
-// Fig5c: mean FCT under the EDU1-like university workload, normalized to
-// PDQ(Full).
-func Fig5c(o Opts) *Table {
-	horizon := 200 * sim.Millisecond
-	rate := 4000.0
-	if o.Quick {
-		horizon = 60 * sim.Millisecond
-		rate = 3000
+// Fig5b reproduces Fig. 5b.
+func Fig5b(o Opts) *Table { return Figures["fig5b"](o) }
+
+// Fig5cSpec: mean FCT under the EDU1-like university workload, normalized
+// to PDQ(Full).
+func Fig5cSpec() *Spec {
+	return &Spec{
+		Name:     "fig5c",
+		Desc:     "mean FCT under EDU1-like workload (normalized to PDQ(Full))",
+		Topology: defaultTree(),
+		Workload: scenario.WorkloadSpec{
+			Pattern: permutation(),
+			Sizes:   scenario.DistSpec{Name: "edu1"},
+			Arrival: &scenario.ArrivalSpec{
+				Rate: 4000, QuickRate: 3000,
+				WindowMs: 200, QuickWindowMs: 60,
+			},
+		},
+		Protocols: protoRows(fctProtos...),
+		ColLabel:  "norm",
+		Metric:    scenario.MetricSpec{Name: "mean-fct"},
+		HorizonMs: 2200, QuickHorizonMs: 2060,
+		Normalize: "base-row",
 	}
-	t := &Table{Name: "fig5c", Desc: "mean FCT under EDU1-like workload (normalized to PDQ(Full))",
-		Cols: []string{"norm"}}
-	runners := PacketRunners()
-	raw := runGrid(o, len(fctProtos), 1, func(r, c int, seed int64) float64 {
-		g := workload.NewGen(seed, workload.EDU1SizeDist{}, 0)
-		flows := g.Poisson(rate, horizon, workload.Permutation{}, treeHosts, treeRack)
-		rs := fctRunner(runners, fctProtos[r])(defaultTree(seed), flows, horizon+2*sim.Second)
-		return stats.MeanFCT(rs, nil)
-	})
-	appendNormalized(t, o, raw, fctProtos, 1, 0)
-	return t
 }
+
+// Fig5c reproduces Fig. 5c.
+func Fig5c(o Opts) *Table { return Figures["fig5c"](o) }

@@ -1,188 +1,97 @@
 package exp
 
-import (
-	"fmt"
+import "pdq/internal/scenario"
 
-	"pdq/internal/core"
-	"pdq/internal/netsim"
-	"pdq/internal/sim"
-	"pdq/internal/stats"
-	"pdq/internal/topo"
-	"pdq/internal/workload"
-)
-
-// Fig6 reproduces the convergence-dynamics scenario (§5.4 scenario 1):
-// five ~1 MB flows start together on one bottleneck; PDQ should serve
-// them sequentially with seamless switching, ~100% bottleneck utilization
-// and a small queue, completing all five in ~42 ms.
-func Fig6(o Opts) *Table {
-	tp := topo.SingleBottleneck(5, 1)
-	sys := core.Install(tp, core.Full())
-	for i := 0; i < 5; i++ {
-		sys.Start(workload.Flow{ID: uint64(i + 1), Src: i, Dst: 5, Size: 1<<20 + int64(i)*100})
+// Fig6Spec reproduces the convergence-dynamics scenario (§5.4 scenario
+// 1) via the trace driver: five ~1 MB flows start together on one
+// bottleneck; PDQ should serve them sequentially with seamless
+// switching, ~100% bottleneck utilization and a small queue, completing
+// all five in ~42 ms.
+func Fig6Spec() *Spec {
+	return &Spec{
+		Name:   "fig6",
+		Desc:   "convergence dynamics: 5×1MB flows, one bottleneck (PDQ Full)",
+		Driver: "convergence-trace",
+		Params: map[string]float64{"flows": 5, "size_mb": 1},
 	}
-	bott := tp.Hosts[5].Access.Peer // switch→receiver
-
-	var lastTx uint64
-	util := stats.NewProbe(tp.Sim(), 500*sim.Microsecond, func() float64 {
-		cur := bott.TxBytes()
-		d := cur - lastTx
-		lastTx = cur
-		// bits transferred per probe period / capacity.
-		return float64(d*8) / (float64(bott.Rate) * 0.0005) * 100
-	})
-	queue := stats.NewProbe(tp.Sim(), 500*sim.Microsecond, func() float64 {
-		return float64(bott.QueueBytes()) / float64(netsim.MTU)
-	})
-	tp.Sim().RunUntil(100 * sim.Millisecond)
-
-	t := &Table{Name: "fig6", Desc: "convergence dynamics: 5×1MB flows, one bottleneck (PDQ Full)"}
-	t.Cols = []string{"value"}
-	var last sim.Time
-	for i, r := range sys.Results() {
-		if r.Done() && r.Finish > last {
-			last = r.Finish
-		}
-		t.Rows = append(t.Rows, Row{Label: fmt.Sprintf("flow%d completion [ms]", i+1), Vals: []float64{r.Finish.Millis()}})
-	}
-	t.Rows = append(t.Rows,
-		Row{Label: "all done [ms]", Vals: []float64{last.Millis()}},
-		Row{Label: "utilization 5-40ms [%]", Vals: []float64{util.MeanOver(5*sim.Millisecond, 40*sim.Millisecond)}},
-		Row{Label: "max queue [pkts]", Vals: []float64{stats.Max(queue.V)}},
-		Row{Label: "drops", Vals: []float64{float64(bott.Drops())}},
-	)
-	return t
 }
 
-// Fig7 reproduces the burst-robustness scenario (§5.4 scenario 2): a
+// Fig6 reproduces Fig. 6.
+func Fig6(o Opts) *Table { return Figures["fig6"](o) }
+
+// Fig7Spec reproduces the burst-robustness scenario (§5.4 scenario 2): a
 // long-lived flow is preempted at t=10 ms by 50 short (20 KB) flows; PDQ
 // should absorb the burst at high utilization with a small queue.
-func Fig7(o Opts) *Table {
-	nShort := 50
-	if o.Quick {
-		nShort = 25
+func Fig7Spec() *Spec {
+	return &Spec{
+		Name:        "fig7",
+		Desc:        "robustness to burst: 50 short flows preempt a long-lived flow (PDQ Full)",
+		Driver:      "burst-trace",
+		Params:      map[string]float64{"shorts": 50},
+		QuickParams: map[string]float64{"shorts": 25},
 	}
-	tp := topo.SingleBottleneck(nShort+1, 1)
-	recv := nShort + 1
-	sys := core.Install(tp, core.Full())
-	sys.Start(workload.Flow{ID: 100000, Src: 0, Dst: recv, Size: 20 << 20}) // long-lived
-	g := workload.NewGen(o.seed(), workload.Uniform{Lo: 19 << 10, Hi: 21 << 10}, 0)
-	for i := 0; i < nShort; i++ {
-		f := g.Flow(1+i, recv, 10*sim.Millisecond)
-		sys.Start(f)
-	}
-	bott := tp.Hosts[recv].Access.Peer
-	var lastTx uint64
-	util := stats.NewProbe(tp.Sim(), 500*sim.Microsecond, func() float64 {
-		cur := bott.TxBytes()
-		d := cur - lastTx
-		lastTx = cur
-		return float64(d*8) / (float64(bott.Rate) * 0.0005) * 100
-	})
-	queue := stats.NewProbe(tp.Sim(), 200*sim.Microsecond, func() float64 {
-		return float64(bott.QueueBytes()) / float64(netsim.MTU)
-	})
-	tp.Sim().RunUntil(400 * sim.Millisecond)
+}
 
-	rs := sys.Results()
-	var lastShort sim.Time
-	shortsDone := 0
-	for _, r := range rs[1:] {
-		if r.Done() {
-			shortsDone++
-			if r.Finish > lastShort {
-				lastShort = r.Finish
-			}
-		}
-	}
-	preemptEnd := lastShort
-	t := &Table{Name: "fig7", Desc: "robustness to burst: 50 short flows preempt a long-lived flow (PDQ Full)"}
-	t.Cols = []string{"value"}
-	t.Rows = append(t.Rows,
-		Row{Label: "shorts completed", Vals: []float64{float64(shortsDone)}},
-		Row{Label: "shorts done by [ms]", Vals: []float64{lastShort.Millis()}},
-		Row{Label: "util during preemption [%]", Vals: []float64{util.MeanOver(10*sim.Millisecond, preemptEnd)}},
-		Row{Label: "max queue [pkts]", Vals: []float64{stats.Max(queue.V)}},
-		Row{Label: "long flow FCT [ms]", Vals: []float64{rs[0].Finish.Millis()}},
-		Row{Label: "drops", Vals: []float64{float64(bott.Drops())}},
-	)
+// Fig7 reproduces Fig. 7.
+func Fig7(o Opts) *Table { return Figures["fig7"](o) }
+
+// lossyTree is the default tree with the given loss rate injected on the
+// aggregation receiver's access link, both directions (§5.6); the sweep
+// axis overrides the rate per column.
+func lossyTree() scenario.TopoSpec {
+	t := defaultTree()
+	t.Loss = &scenario.LossSpec{Host: -1}
 	return t
 }
 
-// lossyTree builds the default tree with the given loss rate injected on
-// the aggregation receiver's access link, both directions (§5.6).
-func lossyTree(seed int64, loss float64) func() *topo.Topology {
-	return func() *topo.Topology {
-		tp := topo.SingleRootedTree(4, 3, seed)
-		l := tp.Hosts[treeHosts-1].Access
-		l.LossRate = loss
-		l.Peer.LossRate = loss
-		return tp
+// Fig9aSpec: number of deadline flows at 99% application throughput vs
+// packet loss rate, PDQ vs TCP.
+func Fig9aSpec() *Spec {
+	return &Spec{
+		Name:      "fig9a",
+		Desc:      "flows at 99% app throughput vs loss rate (deadline)",
+		Topology:  lossyTree(),
+		Workload:  aggWorkload(100, meanDeadlineMsDflt),
+		Protocols: protoRows("PDQ(Full)", "TCP"),
+		Sweep: &scenario.SweepSpec{
+			Axis:        "loss-rate",
+			Values:      []float64{0, 0.01, 0.02, 0.03},
+			Labels:      []string{"0%", "1%", "2%", "3%"},
+			QuickValues: []float64{0, 0.02},
+			QuickLabels: []string{"0%", "2%"},
+		},
+		Metric:    scenario.MetricSpec{Name: "app-throughput"},
+		Eval:      scenario.EvalSpec{Mode: "max-flows", Hi: 24, QuickHi: 12, Threshold: 99},
+		HorizonMs: 500,
 	}
 }
 
-// Fig9a: number of deadline flows at 99% application throughput vs packet
-// loss rate, PDQ vs TCP.
-func Fig9a(o Opts) *Table {
-	losses := []float64{0, 0.01, 0.02, 0.03}
-	hi := 24
-	if o.Quick {
-		losses = []float64{0, 0.02}
-		hi = 12
+// Fig9a reproduces Fig. 9a.
+func Fig9a(o Opts) *Table { return Figures["fig9a"](o) }
+
+// Fig9bSpec: mean FCT vs loss rate, normalized to PDQ without loss.
+func Fig9bSpec() *Spec {
+	w := aggWorkload(100, 0)
+	w.Count = 10
+	w.QuickCount = 6
+	return &Spec{
+		Name:      "fig9b",
+		Desc:      "mean FCT vs loss rate (normalized to PDQ w/o loss)",
+		Topology:  lossyTree(),
+		Workload:  w,
+		Protocols: protoRows("PDQ(Full)", "TCP"),
+		Sweep: &scenario.SweepSpec{
+			Axis:        "loss-rate",
+			Values:      []float64{0, 0.01, 0.02, 0.03},
+			Labels:      []string{"0%", "1%", "2%", "3%"},
+			QuickValues: []float64{0, 0.03},
+			QuickLabels: []string{"0%", "3%"},
+		},
+		Metric:    scenario.MetricSpec{Name: "mean-fct"},
+		HorizonMs: 10000,
+		Normalize: "first-cell",
 	}
-	t := &Table{Name: "fig9a", Desc: "flows at 99% app throughput vs loss rate (deadline)", Digits: 0}
-	for _, l := range losses {
-		t.Cols = append(t.Cols, fmt.Sprintf("%.0f%%", l*100))
-	}
-	runners := PacketRunners()
-	var rows []gridRow
-	for _, name := range []string{"PDQ(Full)", "TCP"} {
-		r := runners[name]
-		rows = append(rows, gridRow{name, func(c int, seed int64) float64 {
-			return float64(stats.MaxN(1, hi, func(n int) bool {
-				rs := r(lossyTree(seed, losses[c]), aggFlows(n, seed, 100<<10, workload.MeanDeadlineDflt), 500*sim.Millisecond)
-				return stats.AppThroughput(rs) >= 99
-			}))
-		}})
-	}
-	fillGrid(t, o, len(losses), rows)
-	return t
 }
 
-// Fig9b: mean FCT vs loss rate, normalized to PDQ without loss.
-func Fig9b(o Opts) *Table {
-	losses := []float64{0, 0.01, 0.02, 0.03}
-	n := 10
-	if o.Quick {
-		losses = []float64{0, 0.03}
-		n = 6
-	}
-	t := &Table{Name: "fig9b", Desc: "mean FCT vs loss rate (normalized to PDQ w/o loss)"}
-	for _, l := range losses {
-		t.Cols = append(t.Cols, fmt.Sprintf("%.0f%%", l*100))
-	}
-	runners := PacketRunners()
-	protos := []string{"PDQ(Full)", "TCP"}
-	raw := runGrid(o, len(protos), len(losses), func(r, c int, seed int64) float64 {
-		flows := noDeadlineAgg(n, seed, 100<<10)
-		rs := runners[protos[r]](lossyTree(seed, losses[c]), flows, 10*sim.Second)
-		return stats.MeanFCT(rs, nil)
-	})
-	// Every cell is normalized to PDQ(Full) without loss (row 0, col 0).
-	base := raw[0].Mean
-	if base == 0 {
-		base = 1
-	}
-	for ri, name := range protos {
-		row := Row{Label: name}
-		for c := range losses {
-			s := raw[ri*len(losses)+c]
-			row.Vals = append(row.Vals, s.Mean/base)
-			if o.trials() > 1 {
-				row.Errs = append(row.Errs, s.Stderr/base)
-			}
-		}
-		t.Rows = append(t.Rows, row)
-	}
-	return t
-}
+// Fig9b reproduces Fig. 9b.
+func Fig9b(o Opts) *Table { return Figures["fig9b"](o) }

@@ -9,15 +9,20 @@ import (
 
 var updateGolden = flag.Bool("update", false, "rewrite the golden figure tables in testdata/")
 
-// TestGoldenFigures pins the rendered output of one packet-level figure
-// (fig3a) and one flow-level figure (fig10) at a fixed seed against golden
-// files recorded with the pre-PR-2 engine (container/heap events, three
-// events per packet, map-based allocator scratch). The engine rewrite must
-// keep these byte-identical: same event order, same arithmetic, same
-// rendering. Regenerate with `go test ./internal/exp -run Golden -update`
-// only when a deliberate semantic change is being made.
+// TestGoldenFigures pins the rendered output of a representative figure
+// set at a fixed seed against golden files recorded with earlier engines:
+// fig3a/fig10 date from before the PR-2 event-engine rewrite, and the
+// rest were recorded from the hand-wired figure drivers immediately
+// before the scenario-layer refactor — together they pin every scenario
+// engine feature (pattern/scale/sizes cases, max-flows and max-rate
+// searches, Poisson arrivals, base-row and first-cell normalization,
+// load and runner-parameter axes, fixed baseline rows, custom drivers
+// and flow generators) byte-identical to the legacy drivers. Regenerate
+// with `go test ./internal/exp -run Golden -update` only when a
+// deliberate semantic change is being made.
 func TestGoldenFigures(t *testing.T) {
-	for _, fig := range []string{"fig3a", "fig10"} {
+	for _, fig := range []string{"fig3a", "fig4a", "fig5a", "fig6", "fig8b",
+		"fig8e", "fig9b", "fig10", "fig11a", "fig12"} {
 		fig := fig
 		t.Run(fig, func(t *testing.T) {
 			got := Figures[fig](Opts{Quick: true, Seed: 7}).String()

@@ -1,0 +1,51 @@
+// Package scenario is the declarative experiment layer: a JSON-round-
+// trippable Spec names a topology, a workload, a protocol set, a sweep
+// axis and a metric — all resolved through name-keyed registries — and
+// one generic Run engine executes it on the parallel sweep executor.
+// Every figure of the paper's evaluation (internal/exp) is such a spec,
+// and new scenarios (examples/scenarios/*.json) need no new Go code.
+package scenario
+
+import "runtime"
+
+// DefaultSeed is the base RNG seed used when Opts.Seed is zero. Zero is
+// the single documented sentinel for "use the default seed": the figure
+// drivers, the sweep executor and the pdqsim -seed flag all resolve it
+// through Opts.BaseSeed, so Opts{} and Opts{Seed: DefaultSeed} are
+// byte-identical.
+const DefaultSeed int64 = 1
+
+// Opts controls experiment scale and sweep execution.
+type Opts struct {
+	Quick    bool  // shrink sweeps for benchmarks/tests
+	Seed     int64 // base RNG seed; 0 is a sentinel for DefaultSeed
+	Parallel int   // sweep worker count; 0 means GOMAXPROCS, 1 means serial
+	Trials   int   // replicates per sweep point (mean ± stderr); <=1 means one
+}
+
+// BaseSeed resolves the Seed sentinel: 0 means DefaultSeed.
+func (o Opts) BaseSeed() int64 {
+	if o.Seed == 0 {
+		return DefaultSeed
+	}
+	return o.Seed
+}
+
+// seed is the internal shorthand for BaseSeed.
+func (o Opts) seed() int64 { return o.BaseSeed() }
+
+// workers resolves Opts.Parallel: 0 means one worker per core.
+func (o Opts) workers() int {
+	if o.Parallel <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return o.Parallel
+}
+
+// trials resolves Opts.Trials: anything below 1 means a single replicate.
+func (o Opts) trials() int {
+	if o.Trials <= 1 {
+		return 1
+	}
+	return o.Trials
+}

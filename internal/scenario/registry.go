@@ -1,0 +1,231 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+
+	"pdq/internal/params"
+	"pdq/internal/sim"
+	"pdq/internal/topo"
+	"pdq/internal/workload"
+)
+
+// RunnerFunc runs one protocol over a set of flows on a freshly built
+// topology and returns per-flow results. The packet-level protocol
+// systems keep state in topology links, so every run builds anew.
+type RunnerFunc func(build func() *topo.Topology, flows []workload.Flow, horizon sim.Time) []workload.Result
+
+// RunnerEntry is a registered protocol runner. The registry unifies the
+// packet-level protocol systems (internal/core, internal/protocol/...)
+// and the flow-level allocators (internal/flowsim) behind one interface:
+// a spec targets either simulator purely by name.
+type RunnerEntry struct {
+	Name   string
+	Doc    string
+	Level  string             // "packet" or "flow"
+	Params map[string]float64 // accepted parameters with defaults
+	// Make binds params and the cell's base seed into a RunnerFunc. The
+	// returned func may be invoked multiple times (replicate averaging)
+	// and must build fresh protocol state per invocation.
+	Make func(p map[string]float64, seed int64) RunnerFunc
+}
+
+// MetricFunc reduces one run to the scalar a figure plots. flows is the
+// offered flow set (metrics like FCT-vs-optimal need it).
+type MetricFunc func(rs []workload.Result, flows []workload.Flow, p map[string]float64) float64
+
+// MetricEntry is a registered metric.
+type MetricEntry struct {
+	Name   string
+	Doc    string
+	Params map[string]float64
+	Fn     MetricFunc
+}
+
+// AnalyticEntry is a registered closed-form baseline: a value computed
+// from the flow set alone, without running a simulator (e.g. the fluid
+// Optimal bound).
+type AnalyticEntry struct {
+	Name   string
+	Doc    string
+	Params map[string]float64
+	Fn     func(flows []workload.Flow, p map[string]float64) float64
+}
+
+// DriverFunc is a registered custom scenario: trace/dynamics shapes that
+// are not protocol×axis grids. p is the spec's (quick-resolved) Params.
+type DriverFunc func(s *Spec, p map[string]float64, o Opts) (*Table, error)
+
+// DriverEntry is a registered custom scenario driver.
+type DriverEntry struct {
+	Name   string
+	Doc    string
+	Params map[string]float64
+	Fn     DriverFunc
+}
+
+// FlowGenEntry is a registered custom flow generator for hand-built flow
+// sets the pattern/sizes machinery cannot express.
+type FlowGenEntry struct {
+	Name   string
+	Doc    string
+	Params map[string]float64
+	// MinHosts is the smallest topology the generator can populate;
+	// specs pairing it with fewer hosts fail at compile time.
+	MinHosts int
+	// Gen draws the flow set; hosts is the (possibly restricted)
+	// topology host count.
+	Gen func(p map[string]float64, hosts int, seed int64) []workload.Flow
+}
+
+var (
+	runners   = map[string]RunnerEntry{}
+	metrics   = map[string]MetricEntry{}
+	analytics = map[string]AnalyticEntry{}
+	drivers   = map[string]DriverEntry{}
+	flowGens  = map[string]FlowGenEntry{}
+)
+
+// RegisterRunner adds a protocol runner; duplicate names panic at init.
+func RegisterRunner(e RunnerEntry) {
+	if _, dup := runners[e.Name]; dup {
+		panic(fmt.Sprintf("scenario: duplicate runner %q", e.Name))
+	}
+	runners[e.Name] = e
+}
+
+// RegisterMetric adds a metric; duplicate names panic at init.
+func RegisterMetric(e MetricEntry) {
+	if _, dup := metrics[e.Name]; dup {
+		panic(fmt.Sprintf("scenario: duplicate metric %q", e.Name))
+	}
+	metrics[e.Name] = e
+}
+
+// RegisterAnalytic adds an analytic baseline; duplicate names panic.
+func RegisterAnalytic(e AnalyticEntry) {
+	if _, dup := analytics[e.Name]; dup {
+		panic(fmt.Sprintf("scenario: duplicate analytic %q", e.Name))
+	}
+	analytics[e.Name] = e
+}
+
+// RegisterDriver adds a custom scenario driver; duplicate names panic.
+func RegisterDriver(e DriverEntry) {
+	if _, dup := drivers[e.Name]; dup {
+		panic(fmt.Sprintf("scenario: duplicate driver %q", e.Name))
+	}
+	drivers[e.Name] = e
+}
+
+// RegisterFlowGen adds a custom flow generator; duplicate names panic.
+func RegisterFlowGen(e FlowGenEntry) {
+	if _, dup := flowGens[e.Name]; dup {
+		panic(fmt.Sprintf("scenario: duplicate flow generator %q", e.Name))
+	}
+	flowGens[e.Name] = e
+}
+
+// RunnerNames returns the registered runner names, sorted.
+func RunnerNames() []string { return namesOf(runners) }
+
+// MetricNames returns the registered metric names, sorted.
+func MetricNames() []string { return namesOf(metrics) }
+
+// AnalyticNames returns the registered analytic names, sorted.
+func AnalyticNames() []string { return namesOf(analytics) }
+
+// DriverNames returns the registered custom-driver names, sorted.
+func DriverNames() []string { return namesOf(drivers) }
+
+// FlowGenNames returns the registered flow-generator names, sorted.
+func FlowGenNames() []string { return namesOf(flowGens) }
+
+// LookupRunner returns the registered runner for name.
+func LookupRunner(name string) (RunnerEntry, bool) { e, ok := runners[name]; return e, ok }
+
+// RunnerList returns the registered runners sorted by name.
+func RunnerList() []RunnerEntry { return listOf(runners, RunnerNames()) }
+
+// MetricList returns the registered metrics sorted by name.
+func MetricList() []MetricEntry { return listOf(metrics, MetricNames()) }
+
+// AnalyticList returns the registered analytics sorted by name.
+func AnalyticList() []AnalyticEntry { return listOf(analytics, AnalyticNames()) }
+
+// DriverList returns the registered custom drivers sorted by name.
+func DriverList() []DriverEntry { return listOf(drivers, DriverNames()) }
+
+// FlowGenList returns the registered flow generators sorted by name.
+func FlowGenList() []FlowGenEntry { return listOf(flowGens, FlowGenNames()) }
+
+func listOf[E any](reg map[string]E, names []string) []E {
+	out := make([]E, 0, len(names))
+	for _, n := range names {
+		out = append(out, reg[n])
+	}
+	return out
+}
+
+func namesOf[E any](reg map[string]E) []string {
+	names := make([]string, 0, len(reg))
+	for n := range reg {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// MakeRunner resolves a runner name and binds validated params and the
+// base seed into a ready-to-call RunnerFunc.
+func MakeRunner(name string, given map[string]float64, seed int64) (RunnerFunc, error) {
+	e, ok := runners[name]
+	if !ok {
+		return nil, fmt.Errorf("scenario: unknown runner %q (available: %v)", name, RunnerNames())
+	}
+	p, err := params.Resolve("runner", name, e.Params, given)
+	if err != nil {
+		return nil, err
+	}
+	return e.Make(p, seed), nil
+}
+
+// bindMetric resolves a metric name into a closed-over evaluator.
+func bindMetric(m MetricSpec) (func(rs []workload.Result, flows []workload.Flow) float64, error) {
+	e, ok := metrics[m.Name]
+	if !ok {
+		return nil, fmt.Errorf("scenario: unknown metric %q (available: %v)", m.Name, MetricNames())
+	}
+	p, err := params.Resolve("metric", m.Name, e.Params, m.Params)
+	if err != nil {
+		return nil, err
+	}
+	return func(rs []workload.Result, flows []workload.Flow) float64 { return e.Fn(rs, flows, p) }, nil
+}
+
+// bindAnalytic resolves an analytic name into a closed-over evaluator.
+func bindAnalytic(name string, given map[string]float64) (func(flows []workload.Flow) float64, error) {
+	e, ok := analytics[name]
+	if !ok {
+		return nil, fmt.Errorf("scenario: unknown analytic %q (available: %v)", name, AnalyticNames())
+	}
+	p, err := params.Resolve("analytic", name, e.Params, given)
+	if err != nil {
+		return nil, err
+	}
+	return func(flows []workload.Flow) float64 { return e.Fn(flows, p) }, nil
+}
+
+// bindFlowGen resolves a custom flow-generator name, returning the
+// generator and its minimum topology size.
+func bindFlowGen(name string, given map[string]float64) (func(hosts int, seed int64) []workload.Flow, int, error) {
+	e, ok := flowGens[name]
+	if !ok {
+		return nil, 0, fmt.Errorf("scenario: unknown flow generator %q (available: %v)", name, FlowGenNames())
+	}
+	p, err := params.Resolve("flow generator", name, e.Params, given)
+	if err != nil {
+		return nil, 0, err
+	}
+	return func(hosts int, seed int64) []workload.Flow { return e.Gen(p, hosts, seed) }, e.MinHosts, nil
+}

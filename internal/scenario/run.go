@@ -1,0 +1,590 @@
+// The generic scenario engine: Run compiles a Spec against the
+// registries into a protocol × sweep-point cell grid and executes it on
+// the parallel sweep executor. Compilation resolves every name and
+// parameter up front so a malformed spec fails with an error before any
+// simulation starts.
+
+package scenario
+
+import (
+	"fmt"
+	"strings"
+
+	"pdq/internal/params"
+	"pdq/internal/sim"
+	"pdq/internal/stats"
+	"pdq/internal/topo"
+	"pdq/internal/workload"
+)
+
+// Run executes a spec and returns its result table.
+func Run(s *Spec, o Opts) (*Table, error) {
+	if s.Driver != "" {
+		e, ok := drivers[s.Driver]
+		if !ok {
+			return nil, fmt.Errorf("scenario %s: unknown driver %q (available: %v)", s.Name, s.Driver, DriverNames())
+		}
+		p, err := params.Resolve("driver", s.Driver, e.Params, quickParams(s.Params, s.QuickParams, o.Quick))
+		if err != nil {
+			return nil, fmt.Errorf("scenario %s: %w", s.Name, err)
+		}
+		return e.Fn(s, p, o)
+	}
+	eng, err := compile(s, o)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", s.Name, err)
+	}
+	return eng.run(o), nil
+}
+
+// MustRun is Run for specs authored in Go, where an invalid spec is a
+// programming error.
+func MustRun(s *Spec, o Opts) *Table {
+	t, err := Run(s, o)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// column is one compiled sweep point: topology construction, flow
+// generation, and the per-column search bound.
+type column struct {
+	label string
+	build func(seed int64) *topo.Topology
+	hosts int
+	// gen draws the column's flow set; n > 0 overrides the batch size
+	// (max-flows search), rate > 0 overrides the Poisson rate (max-rate).
+	gen          func(seed int64, n int, rate float64) []workload.Flow
+	seedsPerCell int
+	hi           int                // max-flows bound, resolved per column
+	runnerPatch  map[string]float64 // "runner:<param>" axis value, nil otherwise
+}
+
+// row is one compiled protocol row.
+type row struct {
+	label    string
+	fixed    bool
+	cols     int
+	level    string // runner simulator level: "packet" or "flow"
+	analytic func(flows []workload.Flow) float64
+	// runner is bound per column (runner params can carry the sweep
+	// axis); entry c evaluates column c. Fixed rows only have entry 0.
+	runner []func(seed int64) RunnerFunc
+	metric func(rs []workload.Result, flows []workload.Flow) float64
+}
+
+type engine struct {
+	spec      *Spec
+	cols      []column
+	baseCol   column // the spec without any axis applied; fixed rows use it
+	rows      []row
+	mode      string
+	steps     int
+	rateStep  float64
+	threshold float64
+	horizon   sim.Time
+}
+
+func compile(s *Spec, o Opts) (*engine, error) {
+	if len(s.Protocols) == 0 {
+		return nil, fmt.Errorf("no protocols")
+	}
+	e := &engine{
+		spec:      s,
+		mode:      s.Eval.Mode,
+		rateStep:  s.Eval.RateStep,
+		threshold: s.Eval.Threshold,
+		steps:     quickInt(s.Eval.Steps, s.Eval.QuickSteps, o.Quick),
+		horizon:   sim.Time(quickFloat(s.HorizonMs, s.QuickHorizonMs, o.Quick) * float64(sim.Millisecond)),
+	}
+	switch e.mode {
+	case "", "run", "max-flows", "max-rate":
+	default:
+		return nil, fmt.Errorf("unknown eval mode %q", e.mode)
+	}
+	switch s.Normalize {
+	case "", "base-row", "first-cell":
+	default:
+		return nil, fmt.Errorf("unknown normalize mode %q", s.Normalize)
+	}
+
+	base, err := compileColumn(s, o, "", 0, nil)
+	if err != nil {
+		return nil, err
+	}
+	e.baseCol = *base
+
+	cols, err := compileSweep(s, o, base)
+	if err != nil {
+		return nil, err
+	}
+	e.cols = cols
+
+	// Search modes need usable bounds, or MaxN panics mid-sweep.
+	switch e.mode {
+	case "max-flows":
+		for _, c := range e.cols {
+			if c.hi < 1 {
+				return nil, fmt.Errorf("max-flows needs eval.hi (or hi_per_host) >= 1")
+			}
+		}
+	case "max-rate":
+		if e.steps < 1 {
+			return nil, fmt.Errorf("max-rate needs eval.steps >= 1")
+		}
+		if e.rateStep <= 0 {
+			return nil, fmt.Errorf("max-rate needs eval.rate_step > 0")
+		}
+	}
+
+	for _, ps := range s.Protocols {
+		r, err := compileRow(s, ps, e.cols)
+		if err != nil {
+			return nil, err
+		}
+		e.rows = append(e.rows, *r)
+	}
+	return e, nil
+}
+
+// compileSweep expands the sweep axis into per-column specs. base is the
+// compiled axis-free spec; with no sweep the single column is base
+// itself.
+func compileSweep(s *Spec, o Opts, base *column) ([]column, error) {
+	if s.Sweep == nil {
+		c := *base
+		c.label = s.ColLabel
+		if c.label == "" {
+			c.label = "value"
+		}
+		return []column{c}, nil
+	}
+	sw := s.Sweep
+	cases := sw.Cases
+	if o.Quick && len(sw.QuickCases) > 0 {
+		cases = sw.QuickCases
+	}
+	if len(cases) > 0 {
+		out := make([]column, 0, len(cases))
+		for i, cs := range cases {
+			cs := cs
+			col, err := compileColumn(s, o, "", 0, &cs)
+			if err != nil {
+				return nil, fmt.Errorf("sweep case %d: %w", i, err)
+			}
+			out = append(out, *col)
+		}
+		return out, nil
+	}
+	values := sw.Values
+	if o.Quick && len(sw.QuickValues) > 0 {
+		values = sw.QuickValues
+	}
+	if len(values) == 0 {
+		return nil, fmt.Errorf("sweep has neither values nor cases")
+	}
+	labels := sw.Labels
+	if o.Quick && len(sw.QuickLabels) > 0 {
+		labels = sw.QuickLabels
+	}
+	if labels != nil && len(labels) != len(values) {
+		return nil, fmt.Errorf("sweep has %d labels for %d values", len(labels), len(values))
+	}
+	out := make([]column, 0, len(values))
+	for i, v := range values {
+		label := fmt.Sprintf("%g", v)
+		if labels != nil {
+			label = labels[i]
+		}
+		col, err := compileColumn(s, o, sw.Axis, v, nil)
+		if err != nil {
+			return nil, fmt.Errorf("sweep %s=%g: %w", sw.Axis, v, err)
+		}
+		col.label = label
+		out = append(out, *col)
+	}
+	return out, nil
+}
+
+// compileColumn resolves one sweep point: the base spec with either a
+// numeric axis value or a structured case applied.
+func compileColumn(s *Spec, o Opts, axis string, v float64, cs *SweepCase) (*column, error) {
+	w := s.Workload
+	ts := s.Topology
+	patt, sizes := w.Pattern, w.Sizes
+	count := quickInt(w.Count, w.QuickCount, o.Quick)
+	countPerHost := quickFloat(w.CountPerHost, w.QuickCountPerHost, o.Quick)
+	meanDeadlineMs := w.MeanDeadlineMs
+	take := w.TakeFraction
+	loss := ts.Loss
+	var arrivalRate, arrivalWindowMs float64
+	if w.Arrival != nil {
+		arrivalRate = quickFloat(w.Arrival.Rate, w.Arrival.QuickRate, o.Quick)
+		arrivalWindowMs = quickFloat(w.Arrival.WindowMs, w.Arrival.QuickWindowMs, o.Quick)
+	}
+	col := &column{seedsPerCell: quickInt(w.SeedsPerCell, w.QuickSeedsPerCell, o.Quick)}
+	if col.seedsPerCell < 1 {
+		col.seedsPerCell = 1
+	}
+
+	if cs != nil {
+		col.label = cs.Label
+		if cs.Topology != nil {
+			ts = *cs.Topology
+			loss = ts.Loss
+			if col.label == "" {
+				col.label = ts.Name
+			}
+		}
+		if cs.Pattern != nil {
+			patt = *cs.Pattern
+		}
+		if cs.Sizes != nil {
+			sizes = *cs.Sizes
+			if col.label == "" {
+				col.label = sizes.Name
+			}
+		}
+	}
+	switch axis {
+	case "":
+	case "flows":
+		count = int(v)
+	case "flows-per-host":
+		countPerHost = v
+	case "mean-size-kb":
+		sizes = DistSpec{Name: sizes.Name, Params: overrideParam(sizes.Params, "mean_kb", v)}
+	case "mean-deadline-ms":
+		meanDeadlineMs = v
+	case "loss-rate":
+		if loss == nil {
+			return nil, fmt.Errorf("loss-rate axis needs topology.loss to name the lossy host")
+		}
+		loss = &LossSpec{Host: loss.Host, Rate: v}
+	case "load":
+		take = v
+	case "poisson-rate":
+		if w.Arrival == nil {
+			return nil, fmt.Errorf("poisson-rate axis needs workload.arrival")
+		}
+		arrivalRate = v
+	default:
+		param, ok := strings.CutPrefix(axis, "runner:")
+		if !ok {
+			return nil, fmt.Errorf("unknown sweep axis %q", axis)
+		}
+		col.runnerPatch = map[string]float64{param: v}
+	}
+	if take < 0 || take > 1 {
+		return nil, fmt.Errorf("take fraction %g out of range [0, 1]", take)
+	}
+	// A Poisson workload draws its flow count from rate×window; the batch
+	// knobs would be silent no-ops, so reject them up front.
+	if w.Arrival != nil {
+		switch axis {
+		case "flows", "flows-per-host", "load":
+			return nil, fmt.Errorf("sweep axis %q has no effect on a Poisson workload (sweep poisson-rate instead)", axis)
+		}
+		if take > 0 {
+			return nil, fmt.Errorf("take_fraction has no effect on a Poisson workload")
+		}
+		if count > 0 || countPerHost > 0 {
+			return nil, fmt.Errorf("count/count_per_host have no effect on a Poisson workload")
+		}
+	}
+
+	// Topology.
+	b, ok := topo.LookupBuilder(ts.Name)
+	if !ok {
+		return nil, fmt.Errorf("unknown topology %q (available: %v)", ts.Name, topo.BuilderNames())
+	}
+	tp, err := params.Resolve("topology", ts.Name, b.Params, ts.Params)
+	if err != nil {
+		return nil, err
+	}
+	col.hosts = b.Hosts(tp)
+	var rackOf func(int) int
+	if b.RackOf != nil {
+		rackOf = b.RackOf(tp)
+	}
+	lossAt := 0
+	if loss != nil {
+		lossAt = loss.Host
+		if lossAt < 0 {
+			lossAt += col.hosts
+		}
+		if lossAt < 0 || lossAt >= col.hosts {
+			return nil, fmt.Errorf("loss host %d out of range (topology has %d hosts)", loss.Host, col.hosts)
+		}
+	}
+	lossRate := 0.0
+	if loss != nil {
+		lossRate = loss.Rate
+	}
+	hasLoss := loss != nil
+	col.build = func(seed int64) *topo.Topology {
+		t := b.Build(tp, seed)
+		if hasLoss {
+			l := t.Hosts[lossAt].Access
+			l.LossRate = lossRate
+			l.Peer.LossRate = lossRate
+		}
+		return t
+	}
+
+	// Workload.
+	genHosts := col.hosts
+	if w.Hosts > 0 {
+		if w.Hosts > col.hosts {
+			return nil, fmt.Errorf("workload.hosts %d exceeds the topology's %d hosts", w.Hosts, col.hosts)
+		}
+		genHosts = w.Hosts
+	}
+	if w.Custom == "" && genHosts < 2 {
+		return nil, fmt.Errorf("patterns need at least 2 hosts, topology provides %d", genHosts)
+	}
+	if w.Custom != "" {
+		gen, minHosts, err := bindFlowGen(w.Custom, w.Params)
+		if err != nil {
+			return nil, err
+		}
+		if genHosts < minHosts {
+			return nil, fmt.Errorf("flow generator %q needs at least %d hosts, topology provides %d", w.Custom, minHosts, genHosts)
+		}
+		col.gen = func(seed int64, _ int, _ float64) []workload.Flow { return gen(genHosts, seed) }
+	} else {
+		pat, err := workload.MakePattern(patt.Name, patt.Params)
+		if err != nil {
+			return nil, err
+		}
+		if col.label == "" && cs != nil && cs.Pattern != nil {
+			col.label = pat.Name() // pattern axes label columns by pattern
+		}
+		dist, err := workload.MakeSizeDist(sizes.Name, sizes.Params)
+		if err != nil {
+			return nil, err
+		}
+		meanDl := sim.Time(meanDeadlineMs * float64(sim.Millisecond))
+		window := sim.Time(arrivalWindowMs * float64(sim.Millisecond))
+		poisson := w.Arrival != nil
+		shortOnly := w.DeadlineShortOnly
+		col.gen = func(seed int64, n int, rate float64) []workload.Flow {
+			g := workload.NewGen(seed, dist, meanDl)
+			if shortOnly {
+				g.DeadlineIf = func(size int64) bool { return size < workload.ShortFlowCutoff }
+			}
+			if poisson {
+				r := arrivalRate
+				if rate > 0 {
+					r = rate
+				}
+				return g.Poisson(r, window, pat, genHosts, rackOf)
+			}
+			if n <= 0 {
+				n = count
+				if countPerHost > 0 {
+					n = int(countPerHost * float64(genHosts))
+				}
+			}
+			fl := g.Batch(n, pat, genHosts, rackOf, 0)
+			if take > 0 {
+				fl = fl[:int(take*float64(len(fl)))]
+			}
+			return fl
+		}
+	}
+
+	col.hi = quickInt(s.Eval.Hi, s.Eval.QuickHi, o.Quick)
+	if s.Eval.HiPerHost > 0 {
+		col.hi = int(s.Eval.HiPerHost * float64(col.hosts))
+	}
+	return col, nil
+}
+
+// overrideParam copies params with one key replaced.
+func overrideParam(params map[string]float64, key string, v float64) map[string]float64 {
+	p := make(map[string]float64, len(params)+1)
+	for k, pv := range params {
+		p[k] = pv
+	}
+	p[key] = v
+	return p
+}
+
+// compileRow resolves one protocol row against every column.
+func compileRow(s *Spec, ps ProtoSpec, cols []column) (*row, error) {
+	r := &row{label: ps.Label, fixed: ps.Fixed, cols: ps.Cols}
+	if ps.Analytic != "" {
+		if ps.Runner != "" {
+			return nil, fmt.Errorf("row %q has both runner and analytic", r.label)
+		}
+		if r.label == "" {
+			r.label = ps.Analytic
+		}
+		fn, err := bindAnalytic(ps.Analytic, ps.Params)
+		if err != nil {
+			return nil, err
+		}
+		r.analytic = fn
+		return r, nil
+	}
+	if ps.Runner == "" {
+		return nil, fmt.Errorf("row %q names neither runner nor analytic", r.label)
+	}
+	if r.label == "" {
+		r.label = ps.Runner
+	}
+	ms := s.Metric
+	if ps.Metric != nil {
+		ms = *ps.Metric
+	}
+	metric, err := bindMetric(ms)
+	if err != nil {
+		return nil, err
+	}
+	r.metric = metric
+	if s.HorizonMs <= 0 {
+		return nil, fmt.Errorf("row %q needs horizon_ms > 0", r.label)
+	}
+	n := len(cols)
+	if ps.Fixed {
+		n = 1
+	}
+	for c := 0; c < n; c++ {
+		params := ps.Params
+		if !ps.Fixed && cols[c].runnerPatch != nil {
+			params = make(map[string]float64, len(ps.Params)+1)
+			for k, v := range ps.Params {
+				params[k] = v
+			}
+			for k, v := range cols[c].runnerPatch {
+				params[k] = v
+			}
+		}
+		bound, level, err := bindRunner(ps.Runner, params)
+		if err != nil {
+			return nil, err
+		}
+		r.level = level
+		r.runner = append(r.runner, bound)
+	}
+	return r, nil
+}
+
+// bindRunner validates params once and returns a per-seed factory plus
+// the runner's simulator level.
+func bindRunner(name string, given map[string]float64) (func(seed int64) RunnerFunc, string, error) {
+	e, ok := runners[name]
+	if !ok {
+		return nil, "", fmt.Errorf("unknown runner %q (available: %v)", name, RunnerNames())
+	}
+	p, err := params.Resolve("runner", name, e.Params, given)
+	if err != nil {
+		return nil, "", err
+	}
+	return func(seed int64) RunnerFunc { return e.Make(p, seed) }, e.Level, nil
+}
+
+// value evaluates one (row, column) pair on one flow set.
+func (e *engine) value(r *row, runnerAt int, build func() *topo.Topology, flows []workload.Flow, seed int64) float64 {
+	if r.analytic != nil {
+		return r.analytic(flows)
+	}
+	rs := r.runner[runnerAt](seed)(build, flows, e.horizon)
+	return r.metric(rs, flows)
+}
+
+// cell evaluates one grid cell at one base seed.
+func (e *engine) cell(ri, ci int, seed int64) float64 {
+	r := &e.rows[ri]
+	if r.cols > 0 && ci >= r.cols {
+		return 0 // beyond this row's reach (e.g. packet level at scale)
+	}
+	col, runnerAt := &e.cols[ci], ci
+	if r.fixed {
+		col, runnerAt = &e.baseCol, 0
+	}
+	build := func() *topo.Topology { return col.build(seed) }
+	switch e.mode {
+	case "", "run":
+		if r.level == "flow" && col.seedsPerCell > 1 {
+			// The flow-level simulator only reads the topology (rates,
+			// IDs, routing), so replicate seeds on the same
+			// deterministic topology share one build instead of one per
+			// replicate — results are identical either way. The
+			// topology stays cell-local: concurrent cells build their
+			// own (its routing caches are not synchronized).
+			tp := col.build(seed)
+			build = func() *topo.Topology { return tp }
+		}
+		sum := 0.0
+		for s := 0; s < col.seedsPerCell; s++ {
+			sum += e.value(r, runnerAt, build, col.gen(seed+int64(s), 0, 0), seed)
+		}
+		return sum / float64(col.seedsPerCell)
+	case "max-flows":
+		return float64(stats.MaxN(1, col.hi, func(n int) bool {
+			return e.value(r, runnerAt, build, col.gen(seed, n, 0), seed) >= e.threshold
+		}))
+	default: // "max-rate"
+		n := stats.MaxN(1, e.steps, func(n int) bool {
+			return e.value(r, runnerAt, build, col.gen(seed, 0, float64(n)*e.rateStep), seed) >= e.threshold
+		})
+		return float64(n) * e.rateStep
+	}
+}
+
+// run executes the compiled grid and assembles the table.
+func (e *engine) run(o Opts) *Table {
+	nCols := len(e.cols)
+	t := &Table{Name: e.spec.Name, Desc: e.spec.Desc, Digits: e.spec.Digits}
+	for _, c := range e.cols {
+		t.Cols = append(t.Cols, c.label)
+	}
+	raw := runGrid(o, len(e.rows), nCols, e.cell)
+	switch e.spec.Normalize {
+	case "base-row":
+		// Every column is normalized to the first row's value in that
+		// column (zero bases count as one so empty baselines do not
+		// divide by zero).
+		for ri, r := range e.rows {
+			row := Row{Label: r.label}
+			for c := 0; c < nCols; c++ {
+				base := raw[c].Mean
+				if base == 0 {
+					base = 1
+				}
+				s := raw[ri*nCols+c]
+				row.Vals = append(row.Vals, s.Mean/base)
+				if o.trials() > 1 {
+					row.Errs = append(row.Errs, s.Stderr/base)
+				}
+			}
+			t.Rows = append(t.Rows, row)
+		}
+	case "first-cell":
+		// Everything is normalized to cell (0, 0) — e.g. PDQ without
+		// packet loss in the lossy-link sweep.
+		base := raw[0].Mean
+		if base == 0 {
+			base = 1
+		}
+		for ri, r := range e.rows {
+			row := Row{Label: r.label}
+			for c := 0; c < nCols; c++ {
+				s := raw[ri*nCols+c]
+				row.Vals = append(row.Vals, s.Mean/base)
+				if o.trials() > 1 {
+					row.Errs = append(row.Errs, s.Stderr/base)
+				}
+			}
+			t.Rows = append(t.Rows, row)
+		}
+	default:
+		for ri, r := range e.rows {
+			t.Rows = append(t.Rows, statRow(r.label, raw[ri*nCols:(ri+1)*nCols], o))
+		}
+	}
+	return t
+}

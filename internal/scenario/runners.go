@@ -1,0 +1,113 @@
+package scenario
+
+import (
+	"pdq/internal/core"
+	"pdq/internal/flowsim"
+	"pdq/internal/protocol/d3"
+	"pdq/internal/protocol/rcp"
+	"pdq/internal/protocol/tcp"
+	"pdq/internal/sim"
+	"pdq/internal/topo"
+	"pdq/internal/workload"
+)
+
+// protoSystem is what every packet-level protocol installation exposes.
+type protoSystem interface {
+	Start(workload.Flow)
+	Results() []workload.Result
+}
+
+// mkPacket wraps a packet-level install function into a RunnerFunc.
+func mkPacket(install func(t *topo.Topology) protoSystem) RunnerFunc {
+	return func(build func() *topo.Topology, flows []workload.Flow, horizon sim.Time) []workload.Result {
+		t := build()
+		sys := install(t)
+		for _, f := range flows {
+			sys.Start(f)
+		}
+		t.Sim().RunUntil(horizon)
+		return sys.Results()
+	}
+}
+
+// registerPDQ registers one PDQ variant. Every variant accepts a
+// `subflows` parameter (Multipath PDQ, §6); 0 leaves the config default
+// of one subflow.
+func registerPDQ(name, doc string, cfg func() core.Config) {
+	RegisterRunner(RunnerEntry{
+		Name: name, Doc: doc, Level: "packet",
+		Params: map[string]float64{"subflows": 0},
+		Make: func(p map[string]float64, _ int64) RunnerFunc {
+			c := cfg()
+			c.Subflows = int(p["subflows"])
+			return mkPacket(func(t *topo.Topology) protoSystem { return core.Install(t, c) })
+		},
+	})
+}
+
+// registerFlow registers one flow-level allocator family. A fresh
+// allocator is built per invocation, matching the packet-level runners'
+// fresh-state-per-run semantics.
+func registerFlow(name, doc string, params map[string]float64, alloc func(p map[string]float64, seed int64) flowsim.Allocator) {
+	RegisterRunner(RunnerEntry{
+		Name: name, Doc: doc, Level: "flow",
+		Params: params,
+		Make: func(p map[string]float64, seed int64) RunnerFunc {
+			return func(build func() *topo.Topology, flows []workload.Flow, horizon sim.Time) []workload.Result {
+				s := flowsim.New(build(), alloc(p, seed))
+				s.ET = p["et"] != 0
+				for _, f := range flows {
+					s.Start(f)
+				}
+				s.Run(horizon)
+				return s.Results()
+			}
+		},
+	})
+}
+
+func init() {
+	registerPDQ("PDQ(Full)", "PDQ with Early Start, Early Termination and Suppressed Probing", core.Full)
+	registerPDQ("PDQ(ES+ET)", "PDQ with Early Start and Early Termination", core.ESET)
+	registerPDQ("PDQ(ES)", "PDQ with Early Start only", core.ES)
+	registerPDQ("PDQ(Basic)", "preemptive scheduling without the §4 optimizations", core.Basic)
+	RegisterRunner(RunnerEntry{
+		Name: "D3", Doc: "Deadline-Driven Delivery (packet level)", Level: "packet",
+		Make: func(map[string]float64, int64) RunnerFunc {
+			return mkPacket(func(t *topo.Topology) protoSystem { return d3.Install(t, d3.Config{}) })
+		},
+	})
+	RegisterRunner(RunnerEntry{
+		Name: "RCP", Doc: "Rate Control Protocol (packet level)", Level: "packet",
+		Make: func(map[string]float64, int64) RunnerFunc {
+			return mkPacket(func(t *topo.Topology) protoSystem { return rcp.Install(t, rcp.Config{}) })
+		},
+	})
+	RegisterRunner(RunnerEntry{
+		Name: "RCP/D3", Doc: "alias for RCP (D3 behaves identically without deadlines)", Level: "packet",
+		Make: func(map[string]float64, int64) RunnerFunc {
+			return mkPacket(func(t *topo.Topology) protoSystem { return rcp.Install(t, rcp.Config{}) })
+		},
+	})
+	RegisterRunner(RunnerEntry{
+		Name: "TCP", Doc: "TCP NewReno-style baseline (packet level)", Level: "packet",
+		Make: func(map[string]float64, int64) RunnerFunc {
+			return mkPacket(func(t *topo.Topology) protoSystem { return tcp.Install(t, tcp.Config{}) })
+		},
+	})
+
+	registerFlow("flow:PDQ",
+		"flow-level PDQ: crit 0=perfect 1=random 2=size-estimation; aging is Fig. 12's α; et enables Early Termination",
+		map[string]float64{"crit": 0, "aging": 0, "et": 0},
+		func(p map[string]float64, seed int64) flowsim.Allocator {
+			a := flowsim.NewPDQ(flowsim.CritMode(int(p["crit"])), seed)
+			a.AgingRate = p["aging"]
+			return a
+		})
+	registerFlow("flow:RCP", "flow-level max-min fair sharing (RCP; also D3 without deadlines)",
+		map[string]float64{"et": 0},
+		func(map[string]float64, int64) flowsim.Allocator { return flowsim.NewRCP() })
+	registerFlow("flow:D3", "flow-level D3: arrival-order reservation plus fair share of the rest",
+		map[string]float64{"et": 0},
+		func(map[string]float64, int64) flowsim.Allocator { return flowsim.NewD3() })
+}

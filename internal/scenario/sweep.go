@@ -1,0 +1,135 @@
+// The parallel sweep executor. Every grid scenario is a set of
+// independent trials — protocol × sweep point × seed — where each trial
+// builds its own topology and simulator (nothing is shared: all RNGs in
+// topo/workload/flowsim are instance-local). The executor fans those
+// trials out across a worker pool and reassembles results in
+// deterministic input order, so a sweep's output is byte-identical at 1
+// worker and at N workers for a fixed seed.
+
+package scenario
+
+import (
+	"math"
+	"runtime"
+	"sync"
+)
+
+// Trial is one independent sweep cell: given its base seed it builds a
+// topology, runs a protocol to its horizon, and returns the scalar the
+// figure plots. A Trial must not share mutable state with other trials.
+type Trial func(seed int64) float64
+
+// Stat aggregates one sweep point across Opts.Trials replicates.
+type Stat struct {
+	Mean   float64
+	Stderr float64 // standard error of the mean; 0 for a single replicate
+}
+
+// TrialSeedStride separates replicate base seeds so they cannot collide
+// with the small +s offsets some scenarios add internally when averaging
+// over a few generator seeds within one cell.
+const TrialSeedStride = 1 << 16
+
+// Gather evaluates fns concurrently on up to `workers` goroutines
+// (0 means GOMAXPROCS) and returns their results in input order. It is
+// the executor's primitive; scenarios whose cells produce non-scalar
+// results (e.g. paired per-flow result sets) use it directly.
+func Gather[T any](workers int, fns []func() T) []T {
+	out := make([]T, len(fns))
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(fns) {
+		workers = len(fns)
+	}
+	if workers <= 1 {
+		for i, fn := range fns {
+			out[i] = fn()
+		}
+		return out
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				out[i] = fns[i]()
+			}
+		}()
+	}
+	for i := range fns {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return out
+}
+
+// RunTrials evaluates every trial across Opts.Parallel workers,
+// replicating each one over Opts.Trials base seeds (o.BaseSeed(),
+// o.BaseSeed()+stride, ...), and returns mean ± stderr per trial in input
+// order. With Trials <= 1 each cell runs exactly once at o.BaseSeed(), so
+// the resulting tables match a serial sweep byte for byte.
+func RunTrials(o Opts, trials []Trial) []Stat {
+	k := o.trials()
+	fns := make([]func() float64, 0, len(trials)*k)
+	for _, tr := range trials {
+		for r := 0; r < k; r++ {
+			tr, seed := tr, o.seed()+int64(r)*TrialSeedStride
+			fns = append(fns, func() float64 { return tr(seed) })
+		}
+	}
+	samples := Gather(o.workers(), fns)
+	out := make([]Stat, len(trials))
+	for i := range trials {
+		out[i] = summarize(samples[i*k : (i+1)*k])
+	}
+	return out
+}
+
+// summarize reduces one cell's replicates to mean ± standard error.
+func summarize(xs []float64) Stat {
+	n := float64(len(xs))
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	mean := sum / n
+	if len(xs) < 2 {
+		return Stat{Mean: mean}
+	}
+	ss := 0.0
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+	}
+	return Stat{Mean: mean, Stderr: math.Sqrt(ss/(n-1)) / math.Sqrt(n)}
+}
+
+// runGrid evaluates an nRows×nCols cell grid concurrently and returns
+// the per-cell stats in row-major order.
+func runGrid(o Opts, nRows, nCols int, cell func(row, col int, seed int64) float64) []Stat {
+	trials := make([]Trial, 0, nRows*nCols)
+	for r := 0; r < nRows; r++ {
+		for c := 0; c < nCols; c++ {
+			r, c := r, c
+			trials = append(trials, func(seed int64) float64 { return cell(r, c, seed) })
+		}
+	}
+	return RunTrials(o, trials)
+}
+
+// statRow converts one row's per-point stats into a table row, attaching
+// stderr columns when the sweep ran multiple trials.
+func statRow(label string, st []Stat, o Opts) Row {
+	row := Row{Label: label}
+	for _, s := range st {
+		row.Vals = append(row.Vals, s.Mean)
+		if o.trials() > 1 {
+			row.Errs = append(row.Errs, s.Stderr)
+		}
+	}
+	return row
+}

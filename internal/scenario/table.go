@@ -1,0 +1,83 @@
+package scenario
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Row is one data row of a result table.
+type Row struct {
+	Label string    `json:"label"`
+	Vals  []float64 `json:"vals"`
+	// Errs holds the standard error of each value when the sweep ran with
+	// Opts.Trials > 1; nil for single-trial runs.
+	Errs []float64 `json:"errs,omitempty"`
+}
+
+// Table is a reproduced figure/table: a header plus labeled float rows.
+type Table struct {
+	Name   string   `json:"name"`
+	Desc   string   `json:"desc"`
+	Cols   []string `json:"cols"`
+	Rows   []Row    `json:"rows"`
+	Digits int      `json:"-"` // formatting precision; default 2
+}
+
+// Get returns the value at (rowLabel, col), panicking if absent — the
+// shape tests use it. It stops at the first matching column and panics on
+// duplicate column names so malformed tables fail fast.
+func (t *Table) Get(rowLabel, col string) float64 {
+	ci := -1
+	for i, c := range t.Cols {
+		if c != col {
+			continue
+		}
+		if ci >= 0 {
+			panic(fmt.Sprintf("scenario: duplicate column %q in %s", col, t.Name))
+		}
+		ci = i
+	}
+	if ci < 0 {
+		panic(fmt.Sprintf("scenario: no column %q in %s", col, t.Name))
+	}
+	for _, r := range t.Rows {
+		if r.Label == rowLabel {
+			return r.Vals[ci]
+		}
+	}
+	panic(fmt.Sprintf("scenario: no row %q in %s", rowLabel, t.Name))
+}
+
+// String renders the table for the terminal.
+func (t *Table) String() string {
+	d := t.Digits
+	if d == 0 {
+		d = 2
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", t.Name, t.Desc)
+	w := 12
+	for _, r := range t.Rows {
+		if r.Errs != nil {
+			w = 20 // room for "mean±stderr"
+			break
+		}
+	}
+	fmt.Fprintf(&b, "%-24s", "")
+	for _, c := range t.Cols {
+		fmt.Fprintf(&b, "%*s", w, c)
+	}
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%-24s", r.Label)
+		for i, v := range r.Vals {
+			if r.Errs != nil {
+				fmt.Fprintf(&b, "%*s", w, fmt.Sprintf("%.*f±%.*f", d, v, d, r.Errs[i]))
+			} else {
+				fmt.Fprintf(&b, "%*.*f", w, d, v)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -75,6 +75,36 @@ func FatTree(k int, seed int64) *Topology {
 	return t
 }
 
+// FatTreeOversub builds a k-ary fat-tree whose core layer is
+// oversubscribed by the given factor: every aggregation↔core link runs at
+// 1/factor of the default rate, so the aggregate core bandwidth is
+// factor× smaller than the edge demand (a common production cost
+// trade-off the non-blocking paper topology does not model). factor <= 1
+// leaves the tree non-blocking and is identical to FatTree.
+func FatTreeOversub(k int, factor float64, seed int64) *Topology {
+	t := FatTree(k, seed)
+	if factor <= 1 {
+		return t
+	}
+	// Core switches are the first (k/2)² switches the builder creates;
+	// precisely the links touching them form the core layer.
+	half := k / 2
+	isCore := make([]bool, t.Net.NumNodes())
+	for _, sw := range t.Switches[:half*half] {
+		isCore[sw.ID()] = true
+	}
+	for _, links := range t.adj {
+		for _, l := range links {
+			// Each duplex pair appears in adj once per direction and
+			// SetRate covers the peer, so derate one direction only.
+			if l.From.ID() < l.To.ID() && (isCore[l.From.ID()] || isCore[l.To.ID()]) {
+				l.SetRate(int64(float64(l.Rate) / factor))
+			}
+		}
+	}
+	return t
+}
+
 // BCube builds BCube(n, k) (Guo et al. [13]): n^(k+1) servers, each with
 // k+1 ports, and (k+1)·n^k n-port switches arranged in k+1 levels. The
 // paper's M-PDQ evaluation uses BCube with 4 server interfaces, i.e. n=2,

@@ -1,0 +1,90 @@
+package topo
+
+import (
+	"strings"
+	"testing"
+
+	"pdq/internal/netsim"
+)
+
+func TestBuildByNameDefaults(t *testing.T) {
+	// Default parameters must reproduce the paper's topologies exactly.
+	cases := []struct {
+		name  string
+		hosts int
+	}{
+		{"single-bottleneck", 6},
+		{"single-rooted-tree", 12},
+		{"fat-tree", 16},
+		{"bcube", 16},
+	}
+	for _, tc := range cases {
+		tp, err := BuildByName(tc.name, nil, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if len(tp.Hosts) != tc.hosts {
+			t.Errorf("%s built %d hosts, want %d", tc.name, len(tp.Hosts), tc.hosts)
+		}
+		n, err := HostsByName(tc.name, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != tc.hosts {
+			t.Errorf("%s HostsByName = %d, built topology has %d", tc.name, n, tc.hosts)
+		}
+	}
+}
+
+func TestBuildByNameErrors(t *testing.T) {
+	if _, err := BuildByName("nope", nil, 1); err == nil || !strings.Contains(err.Error(), `unknown topology "nope"`) {
+		t.Errorf("unknown name error = %v", err)
+	}
+	if _, err := BuildByName("fat-tree", map[string]float64{"nope": 1}, 1); err == nil || !strings.Contains(err.Error(), `unknown parameter "nope"`) {
+		t.Errorf("unknown param error = %v", err)
+	}
+}
+
+func TestRackOfByName(t *testing.T) {
+	rack, err := RackOfByName("single-rooted-tree", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rack == nil {
+		t.Fatal("single-rooted-tree has no rack mapping")
+	}
+	if rack(0) != 0 || rack(3) != 1 || rack(11) != 3 {
+		t.Errorf("rack mapping wrong: %d %d %d", rack(0), rack(3), rack(11))
+	}
+	flat, err := RackOfByName("fat-tree", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flat != nil {
+		t.Error("fat-tree should expose no rack mapping (matches the figure drivers)")
+	}
+}
+
+func TestFatTreeOversub(t *testing.T) {
+	plain := FatTree(4, 1)
+	over, err := BuildByName("fat-tree", map[string]float64{"oversub": 4}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Host access links keep the default rate; only core links derate.
+	if got := over.Hosts[0].Access.Rate; got != plain.Hosts[0].Access.Rate {
+		t.Errorf("access link derated to %d", got)
+	}
+	derated := 0
+	for id := 0; id < over.Net.NumNodes(); id++ {
+		for _, l := range over.Adjacent(netsim.NodeID(id)) {
+			if l.Rate == plain.Hosts[0].Access.Rate/4 {
+				derated++
+			}
+		}
+	}
+	// k=4: (k/2)²·k core↔agg duplex pairs = 16 pairs = 32 directed links.
+	if derated != 32 {
+		t.Errorf("%d directed links derated, want 32 (the core layer)", derated)
+	}
+}

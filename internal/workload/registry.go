@@ -1,0 +1,177 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"pdq/internal/params"
+)
+
+// Registries for the declarative scenario layer: sending patterns and
+// flow-size distributions constructible by name from parameter maps.
+
+// PatternMaker is a registered sending-pattern family.
+type PatternMaker struct {
+	Name   string
+	Doc    string
+	Params map[string]float64 // accepted parameters with defaults
+	Make   func(p map[string]float64) Pattern
+}
+
+// SizeDistMaker is a registered flow-size-distribution family.
+type SizeDistMaker struct {
+	Name   string
+	Doc    string
+	Params map[string]float64
+	Make   func(p map[string]float64) SizeDist
+}
+
+var (
+	patterns  = map[string]PatternMaker{}
+	sizeDists = map[string]SizeDistMaker{}
+)
+
+// RegisterPattern adds a pattern family; duplicate names panic at init.
+func RegisterPattern(m PatternMaker) {
+	if _, dup := patterns[m.Name]; dup {
+		panic(fmt.Sprintf("workload: duplicate pattern %q", m.Name))
+	}
+	patterns[m.Name] = m
+}
+
+// RegisterSizeDist adds a size-distribution family; duplicates panic.
+func RegisterSizeDist(m SizeDistMaker) {
+	if _, dup := sizeDists[m.Name]; dup {
+		panic(fmt.Sprintf("workload: duplicate size distribution %q", m.Name))
+	}
+	sizeDists[m.Name] = m
+}
+
+// PatternNames returns the registered pattern names, sorted.
+func PatternNames() []string { return sortedNames(patterns) }
+
+// SizeDistNames returns the registered size-distribution names, sorted.
+func SizeDistNames() []string { return sortedNames(sizeDists) }
+
+// LookupPattern returns the registered pattern family for name.
+func LookupPattern(name string) (PatternMaker, bool) { m, ok := patterns[name]; return m, ok }
+
+// LookupSizeDist returns the registered size-distribution family.
+func LookupSizeDist(name string) (SizeDistMaker, bool) { m, ok := sizeDists[name]; return m, ok }
+
+// PatternList returns the registered pattern families sorted by name.
+func PatternList() []PatternMaker {
+	out := make([]PatternMaker, 0, len(patterns))
+	for _, n := range PatternNames() {
+		out = append(out, patterns[n])
+	}
+	return out
+}
+
+// SizeDistList returns the registered size-distribution families sorted
+// by name.
+func SizeDistList() []SizeDistMaker {
+	out := make([]SizeDistMaker, 0, len(sizeDists))
+	for _, n := range SizeDistNames() {
+		out = append(out, sizeDists[n])
+	}
+	return out
+}
+
+func sortedNames[M any](reg map[string]M) []string {
+	names := make([]string, 0, len(reg))
+	for n := range reg {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// MakePattern constructs a registered pattern from params.
+func MakePattern(name string, given map[string]float64) (Pattern, error) {
+	m, ok := patterns[name]
+	if !ok {
+		return nil, fmt.Errorf("workload: unknown pattern %q (available: %v)", name, PatternNames())
+	}
+	p, err := params.Resolve("pattern", name, m.Params, given)
+	if err != nil {
+		return nil, err
+	}
+	return m.Make(p), nil
+}
+
+// MakeSizeDist constructs a registered size distribution from params.
+func MakeSizeDist(name string, given map[string]float64) (SizeDist, error) {
+	m, ok := sizeDists[name]
+	if !ok {
+		return nil, fmt.Errorf("workload: unknown size distribution %q (available: %v)", name, SizeDistNames())
+	}
+	p, err := params.Resolve("size distribution", name, m.Params, given)
+	if err != nil {
+		return nil, err
+	}
+	return m.Make(p), nil
+}
+
+func init() {
+	RegisterPattern(PatternMaker{
+		Name: "aggregation",
+		Doc:  "all hosts send to the last host (query aggregation, §5.2)",
+		Make: func(map[string]float64) Pattern { return Aggregation{} },
+	})
+	RegisterPattern(PatternMaker{
+		Name:   "stride",
+		Doc:    "host x sends to host (x+i) mod N",
+		Params: map[string]float64{"i": 1},
+		Make:   func(p map[string]float64) Pattern { return Stride{I: int(p["i"])} },
+	})
+	RegisterPattern(PatternMaker{
+		Name:   "staggered",
+		Doc:    "same-rack destination with probability p, random otherwise",
+		Params: map[string]float64{"p": 0.5},
+		Make:   func(p map[string]float64) Pattern { return Staggered{P: p["p"]} },
+	})
+	RegisterPattern(PatternMaker{
+		Name: "permutation",
+		Doc:  "random fixed-point-free permutation: every host sends to one other",
+		Make: func(map[string]float64) Pattern { return Permutation{} },
+	})
+
+	RegisterSizeDist(SizeDistMaker{
+		Name:   "uniform",
+		Doc:    "uniform sizes in [lo_kb, hi_kb]",
+		Params: map[string]float64{"lo_kb": 2, "hi_kb": 198},
+		Make: func(p map[string]float64) SizeDist {
+			return Uniform{Lo: int64(p["lo_kb"] * 1024), Hi: int64(p["hi_kb"] * 1024)}
+		},
+	})
+	RegisterSizeDist(SizeDistMaker{
+		Name:   "uniform-mean",
+		Doc:    "the paper's uniform distribution [2 KB, 2·mean−2 KB]",
+		Params: map[string]float64{"mean_kb": 100},
+		Make:   func(p map[string]float64) SizeDist { return UniformMean(int64(p["mean_kb"] * 1024)) },
+	})
+	RegisterSizeDist(SizeDistMaker{
+		Name:   "pareto",
+		Doc:    "bounded Pareto heavy tail with tail index alpha, scaled to mean_kb",
+		Params: map[string]float64{"alpha": 1.1, "mean_kb": 100},
+		Make: func(p map[string]float64) SizeDist {
+			return Pareto{Alpha: p["alpha"], MeanSize: p["mean_kb"] * 1024}
+		},
+	})
+	RegisterSizeDist(SizeDistMaker{
+		Name: "vl2",
+		Doc:  "commercial-cloud flow sizes (Greenberg et al.): mice plus 1–100 MB elephants",
+		Make: func(map[string]float64) SizeDist { return VL2SizeDist{} },
+	})
+	RegisterSizeDist(SizeDistMaker{
+		Name: "edu1",
+		Doc:  "university data-center flow sizes (Benson et al.): mostly tiny with a modest tail",
+		Make: func(map[string]float64) SizeDist { return EDU1SizeDist{} },
+	})
+	RegisterSizeDist(SizeDistMaker{
+		Name: "websearch",
+		Doc:  "web-search flow sizes (Alizadeh et al.): query mice with multi-MB background flows",
+		Make: func(map[string]float64) SizeDist { return WebSearchSizeDist{} },
+	})
+}

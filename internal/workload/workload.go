@@ -166,6 +166,32 @@ func (EDU1SizeDist) Sample(rng *rand.Rand) int64 {
 // Mean implements SizeDist (approximate).
 func (EDU1SizeDist) Mean() float64 { return 40 << 10 }
 
+// WebSearchSizeDist is a synthetic equivalent of the web-search workload
+// measured by Alizadeh et al. (DCTCP): partition/aggregate query traffic
+// of a few KB to ~1 MB alongside large background transfers of 1–30 MB
+// that carry most of the bytes. It is heavier-tailed than EDU1 but less
+// extreme than VL2's 100 MB elephants.
+type WebSearchSizeDist struct{}
+
+// Sample implements SizeDist.
+func (WebSearchSizeDist) Sample(rng *rand.Rand) int64 {
+	u := rng.Float64()
+	switch {
+	case u < 0.30: // query responses: 2–10 KB
+		return 2<<10 + rng.Int63n(8<<10)
+	case u < 0.70: // mid-size updates: 10–100 KB
+		return 10<<10 + rng.Int63n(90<<10)
+	case u < 0.90: // short background: 100 KB–1 MB
+		return 100<<10 + rng.Int63n((1<<20)-(100<<10))
+	default: // large background: 1–30 MB, log-uniform
+		lg := rng.Float64() * math.Log10(30) // 10^0..10^1.48 MB
+		return int64(math.Pow(10, lg) * float64(1<<20))
+	}
+}
+
+// Mean implements SizeDist (approximate; the background tail dominates).
+func (WebSearchSizeDist) Mean() float64 { return 1 << 20 }
+
 // ExpDeadline draws a deadline from an exponential distribution with the
 // given mean, clamped below at the paper's 3 ms floor (§5.1).
 func ExpDeadline(rng *rand.Rand, mean sim.Time) sim.Time {
