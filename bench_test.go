@@ -14,6 +14,7 @@ import (
 	"pdq/internal/netsim"
 	"pdq/internal/sim"
 	"pdq/internal/topo"
+	"pdq/internal/trace"
 	"pdq/internal/workload"
 )
 
@@ -153,9 +154,38 @@ func runAblation(b *testing.B, r exp.Runner) {
 	b.Helper()
 	g := workload.NewGen(1, workload.UniformMean(100<<10), workload.MeanDeadlineDflt)
 	flows := g.Batch(12, workload.Aggregation{}, 12, nil, 0)
-	rs := r(func() *topo.Topology { return topo.SingleRootedTree(4, 3, 1) }, flows, 500*sim.Millisecond)
+	rs := r(func() *topo.Topology { return topo.SingleRootedTree(4, 3, 1) }, flows,
+		exp.RunCtx{Horizon: 500 * sim.Millisecond})
 	if len(rs) != 12 {
 		b.Fatalf("got %d results", len(rs))
+	}
+}
+
+// BenchmarkTraceSinkOverhead measures the telemetry subsystem's cost on a
+// full figure sweep: "off" is the default nil-sink path, whose timings
+// must stay within noise of BenchmarkFig3a (the acceptance bound is ≤2%
+// slowdown — the hot loops only ever see a nil check per flow
+// completion); "on" captures per-flow records through a per-iteration
+// Trace and prices the fully-enabled record path.
+func BenchmarkTraceSinkOverhead(b *testing.B) {
+	for _, mode := range []struct {
+		name   string
+		traced bool
+	}{{"off", false}, {"on", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			var sink *exp.Table
+			for i := 0; i < b.N; i++ {
+				o := exp.Opts{Quick: true, Seed: int64(i + 1)}
+				if mode.traced {
+					o.Trace = trace.New(true, false)
+				}
+				sink = exp.Figures["fig3a"](o)
+			}
+			if sink == nil || len(sink.Rows) == 0 {
+				b.Fatal("empty result table")
+			}
+		})
 	}
 }
 

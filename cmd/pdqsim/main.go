@@ -8,15 +8,29 @@
 //	pdqsim -exp all -quick
 //	pdqsim -exp all -quick -parallel 8 -trials 5 -json
 //	pdqsim -scenario examples/scenarios/incast.json -quick
+//	pdqsim -scenario examples/scenarios/incast.json -trace flows.jsonl -probe probes.csv
+//	pdqsim -exp all -quick -cache
 //	pdqsim -dump-scenario fig3a
 //	pdqsim -list-topologies -list-patterns -list-protocols -list-metrics
 //
 // Each experiment prints the same rows/series the paper reports (see
-// DESIGN.md §6–§7 for how the figure specs and the scenario layer are
-// organized). Sweeps fan out across -parallel workers; -trials
-// replicates every sweep point across that many seeds and reports
-// mean ± stderr; -json emits machine-readable tables for downstream
-// tooling.
+// DESIGN.md §6–§8 for how the figure specs, the scenario layer and the
+// telemetry plane are organized). Sweeps fan out across -parallel
+// workers; -trials replicates every sweep point across that many seeds
+// and reports mean ± stderr; -json emits machine-readable tables for
+// downstream tooling.
+//
+// -trace writes one JSON line per completed/terminated flow (id, size,
+// class, FCT, deadline outcome, bytes acked, retransmits, preemptions),
+// tagged by scenario/row/column/seed. -probe writes a CSV time series of
+// every link's queue depth and utilization plus the active-flow count,
+// sampled each -probe-stride-us. Both capture the grid scenarios; custom
+// drivers (fig1/6/7/8e) keep their own trace rows.
+//
+// -cache (or -cache-dir) memoizes grid-cell results content-addressed by
+// their resolved spec material, seed and engine version, so re-running a
+// sweep recomputes only cells whose inputs changed; hits reproduce the
+// recomputed output byte for byte. Tracing bypasses the cache.
 //
 // -scenario runs a JSON scenario spec (see README "Declarative
 // scenarios" for the schema): the paper's figures are such specs too, so
@@ -27,30 +41,38 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
 	"pdq/internal/exp"
 	"pdq/internal/scenario"
+	"pdq/internal/sim"
 	"pdq/internal/topo"
+	"pdq/internal/trace"
 	"pdq/internal/workload"
 )
 
 func main() {
 	var (
-		name     = flag.String("exp", "", "figure to reproduce (fig1, fig3a, ..., fig12) or 'all'")
-		scenFile = flag.String("scenario", "", "run a declarative scenario from a JSON spec file")
-		dumpScen = flag.String("dump-scenario", "", "print a figure's scenario spec as JSON (template for new scenarios)")
-		quick    = flag.Bool("quick", false, "run reduced sweeps (seconds instead of minutes)")
-		seed     = flag.Int64("seed", 0, "base RNG seed (0 = default seed 1)")
-		parallel = flag.Int("parallel", 0, "sweep worker count (0 = one per core, 1 = serial)")
-		trials   = flag.Int("trials", 1, "replicates per sweep point (reports mean ± stderr)")
-		jsonOut  = flag.Bool("json", false, "emit tables as JSON instead of text")
-		list     = flag.Bool("list", false, "list available experiments")
-		listTopo = flag.Bool("list-topologies", false, "list registered topology builders")
-		listPat  = flag.Bool("list-patterns", false, "list registered sending patterns and size distributions")
-		listPro  = flag.Bool("list-protocols", false, "list registered protocol runners and analytic baselines")
-		listMet  = flag.Bool("list-metrics", false, "list registered metrics and custom drivers")
+		name        = flag.String("exp", "", "figure to reproduce (fig1, fig3a, ..., fig12) or 'all'")
+		scenFile    = flag.String("scenario", "", "run a declarative scenario from a JSON spec file")
+		dumpScen    = flag.String("dump-scenario", "", "print a figure's scenario spec as JSON (template for new scenarios)")
+		quick       = flag.Bool("quick", false, "run reduced sweeps (seconds instead of minutes)")
+		seed        = flag.Int64("seed", 0, "base RNG seed (0 = default seed 1)")
+		parallel    = flag.Int("parallel", 0, "sweep worker count (0 = one per core, 1 = serial)")
+		trials      = flag.Int("trials", 1, "replicates per sweep point (reports mean ± stderr)")
+		jsonOut     = flag.Bool("json", false, "emit tables as JSON instead of text")
+		traceOut    = flag.String("trace", "", "write per-flow completion records to this JSONL file")
+		probeOut    = flag.String("probe", "", "write link queue/utilization time series to this CSV file")
+		probeStride = flag.Float64("probe-stride-us", 100, "probe sampling period in microseconds")
+		cacheOn     = flag.Bool("cache", false, "memoize sweep cells under the default cache dir (~/.cache/pdqsim)")
+		cacheDir    = flag.String("cache-dir", "", "memoize sweep cells under this directory (implies -cache)")
+		list        = flag.Bool("list", false, "list available experiments")
+		listTopo    = flag.Bool("list-topologies", false, "list registered topology builders")
+		listPat     = flag.Bool("list-patterns", false, "list registered sending patterns and size distributions")
+		listPro     = flag.Bool("list-protocols", false, "list registered protocol runners and analytic baselines")
+		listMet     = flag.Bool("list-metrics", false, "list registered metrics and custom drivers")
 	)
 	flag.Parse()
 
@@ -75,6 +97,33 @@ func main() {
 
 	opts := exp.Opts{Quick: *quick, Seed: *seed, Parallel: *parallel, Trials: *trials}
 
+	var tr *trace.Trace
+	if *traceOut != "" || *probeOut != "" {
+		tr = trace.New(*traceOut != "", *probeOut != "")
+		tr.Stride = sim.Time(*probeStride * float64(sim.Microsecond))
+		opts.Trace = tr
+	}
+	var cache *trace.Cache
+	if *cacheOn || *cacheDir != "" {
+		dir := *cacheDir
+		if dir == "" {
+			var err error
+			if dir, err = trace.DefaultCacheDir(); err != nil {
+				fmt.Fprintf(os.Stderr, "pdqsim: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		var err error
+		if cache, err = trace.NewCache(dir); err != nil {
+			fmt.Fprintf(os.Stderr, "pdqsim: %v\n", err)
+			os.Exit(1)
+		}
+		if tr != nil {
+			fmt.Fprintln(os.Stderr, "pdqsim: tracing bypasses the sweep cache (hits would skip the runs that emit records)")
+		}
+		opts.Cache = cache
+	}
+
 	if *scenFile != "" {
 		data, err := os.ReadFile(*scenFile)
 		if err != nil {
@@ -93,6 +142,8 @@ func main() {
 			os.Exit(1)
 		}
 		emit([]*exp.Table{table}, *jsonOut, spec.Name, start)
+		writeTelemetry(tr, *traceOut, *probeOut)
+		reportCache(cache)
 		return
 	}
 
@@ -130,6 +181,62 @@ func main() {
 	if *jsonOut {
 		writeJSON(tables)
 	}
+	writeTelemetry(tr, *traceOut, *probeOut)
+	reportCache(cache)
+}
+
+// writeTelemetry exports the captured flow records and probe series.
+func writeTelemetry(tr *trace.Trace, traceOut, probeOut string) {
+	if tr == nil {
+		return
+	}
+	write := func(path string, emit func(io.Writer) error, what string, n int) {
+		if path == "" {
+			return
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pdqsim: %v\n", err)
+			os.Exit(1)
+		}
+		err = emit(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pdqsim: writing %s: %v\n", path, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "pdqsim: wrote %d %s to %s\n", n, what, path)
+	}
+	flows, samples := 0, 0
+	var dropped uint64
+	for _, ct := range tr.Cells() {
+		if ct.Flows != nil {
+			flows += ct.Flows.Len()
+			dropped += ct.Flows.Dropped()
+		}
+		for _, s := range ct.Probes {
+			samples += len(s.Vals)
+		}
+	}
+	if dropped > 0 {
+		fmt.Fprintf(os.Stderr, "pdqsim: WARNING: %d flow records overwritten by ring wraparound (oldest-first); raise the per-cell ring capacity or trace a smaller run\n", dropped)
+	}
+	write(traceOut, tr.WriteFlows, "flow records", flows)
+	write(probeOut, tr.WriteProbes, "probe samples", samples)
+}
+
+// reportCache prints the cache's hit/miss balance for the run.
+func reportCache(c *trace.Cache) {
+	if c == nil {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "pdqsim: cache %s: %d hits, %d misses", c.Dir(), c.Hits(), c.Misses())
+	if e := c.Errors(); e > 0 {
+		fmt.Fprintf(os.Stderr, ", %d corrupt entries recomputed", e)
+	}
+	fmt.Fprintln(os.Stderr)
 }
 
 // emit prints one scenario result in the selected format.

@@ -64,6 +64,7 @@ type sender struct {
 	rtt        sim.Time      // RTT_S, EWMA; 0 until first sample
 	synAcked   bool
 	synTries   int
+	sending    bool // had a positive rate; a drop back to 0 is a preemption
 
 	sendPending  bool
 	lastSendAt   sim.Time // transmission time of the previous data packet
@@ -205,6 +206,7 @@ func (s *sender) onAck(pkt *netsim.Packet) {
 		return
 	}
 	if s.rate > 0 {
+		s.sending = true
 		s.stopProbing()
 		// Re-arm the pacer at the new rate: a pending send scheduled
 		// under an older (slower) grant would otherwise stand.
@@ -214,6 +216,10 @@ func (s *sender) onAck(pkt *netsim.Packet) {
 		}
 		s.ensureSending()
 	} else {
+		if s.sending {
+			s.sending = false
+			s.ag.sys.Collector.AddPreemption(s.sh.flow.ID)
+		}
 		s.stopSending()
 		s.ensureProbing()
 	}
@@ -244,6 +250,7 @@ func (s *sender) fastRetransmit(ackedIdx int) {
 	idx := sh.base
 	pay := sh.payload(idx)
 	sh.sentAt[idx] = s.now()
+	s.ag.sys.Collector.AddRetransmit(sh.flow.ID)
 	s.send(netsim.DATA, int64(idx)*netsim.MSS, pay, pay+netsim.IPTCPHeader+netsim.SchedHdrWire)
 }
 
@@ -289,6 +296,7 @@ func (s *sender) sendOne() {
 	if sh.base < sh.nextPkt && sh.base < sh.numPkts && !sh.acked[sh.base] &&
 		sh.sentAt[sh.base] > 0 && now-sh.sentAt[sh.base] > s.rto() {
 		idx = sh.base // retransmit the oldest outstanding packet
+		s.ag.sys.Collector.AddRetransmit(sh.flow.ID)
 	} else if sh.nextPkt < sh.numPkts {
 		idx = sh.nextPkt
 		sh.nextPkt++
@@ -366,6 +374,7 @@ func (s *sender) checkEarlyTermination() bool {
 	hopeless := now+sh.ttrans() > dl
 	pausedTooLate := s.rate == 0 && now+s.rttOrInit() > dl
 	if expired || hopeless || pausedTooLate {
+		s.ag.sys.Collector.SetBytesAcked(sh.flow.ID, sh.ackedB)
 		s.ag.sys.Collector.Terminate(sh.flow.ID)
 		sh.shutdown(netsim.TERM)
 		return true

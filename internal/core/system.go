@@ -117,6 +117,10 @@ func (s *System) launch(f workload.Flow) {
 // Results returns a snapshot of all flow outcomes.
 func (s *System) Results() []workload.Result { return s.Collector.Results() }
 
+// FlowCollector exposes the collector for telemetry attachment (the
+// scenario runners hang a trace sink and active-flow probes off it).
+func (s *System) FlowCollector() *workload.Collector { return s.Collector }
+
 // Agent is the per-host PDQ endpoint, demultiplexing packets to sender and
 // receiver flow state.
 type Agent struct {

@@ -35,6 +35,10 @@ type (
 // topology (see scenario.RunnerFunc).
 type Runner = scenario.RunnerFunc
 
+// RunCtx is the per-run context handed to a Runner (horizon + optional
+// telemetry capture; see scenario.RunCtx).
+type RunCtx = scenario.RunCtx
+
 // ProtoOrder is the paper's legend order for the full protocol set.
 var ProtoOrder = []string{"PDQ(Full)", "PDQ(ES+ET)", "PDQ(ES)", "PDQ(Basic)", "D3", "RCP", "TCP"}
 

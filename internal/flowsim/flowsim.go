@@ -43,6 +43,7 @@ type FlowState struct {
 	Started   sim.Time
 	Waiting   sim.Time // cumulative paused time (for aging)
 	crit      float64  // cached criticality for inaccurate modes
+	sending   bool     // had a positive rate; a drop back to 0 is a preemption
 }
 
 // Allocator assigns Rate to every active flow given per-link capacities.
@@ -195,6 +196,9 @@ func (s *Sim) Run(horizon sim.Time) {
 // Results returns a snapshot of flow outcomes.
 func (s *Sim) Results() []workload.Result { return s.Collector.Results() }
 
+// FlowCollector exposes the collector for telemetry attachment.
+func (s *Sim) FlowCollector() *workload.Collector { return s.Collector }
+
 func (s *Sim) step() {
 	next := s.now + s.Step
 	// Admit flows whose init completes within this step. The cursor (with
@@ -226,6 +230,7 @@ func (s *Sim) step() {
 				nic := float64(s.Topo.Hosts[f.Src].NICRate()) * goodput
 				need := sim.Time(f.Remaining * 8 / nic * float64(sim.Second))
 				if s.now+need > f.AbsDeadline() {
+					s.Collector.SetBytesAcked(f.ID, f.Size-int64(f.Remaining))
 					s.Collector.Terminate(f.ID)
 					continue
 				}
@@ -242,6 +247,14 @@ func (s *Sim) step() {
 	t := s.now
 	for t < next && len(s.active) > 0 {
 		s.Alloc.Allocate(t, s.active, func(l *netsim.Link) float64 { return float64(l.Rate) })
+		for _, f := range s.active {
+			if f.Rate > 0 {
+				f.sending = true
+			} else if f.sending {
+				f.sending = false
+				s.Collector.AddPreemption(f.ID)
+			}
+		}
 		// Earliest completion at the current rates, capped by step end.
 		dt := next - t
 		for _, f := range s.active {

@@ -216,6 +216,7 @@ func (sd *sender) quench() bool {
 	}
 	now := sd.sys.Sim.Now()
 	if now > sd.Flow.AbsDeadline() {
+		sd.sys.Collector.SetBytesAcked(sd.Flow.ID, sd.Flow.Size-sd.Remaining())
 		sd.sys.Collector.Terminate(sd.Flow.ID)
 		sd.Stop(netsim.TERM)
 		return true
@@ -251,6 +252,7 @@ func (s *System) launch(f workload.Flow) {
 			return 0
 		},
 	})
+	sd.Sender.Telemetry = s.Collector
 	src.sends[netsim.FlowID(f.ID)] = sd
 	if !s.Cfg.NoQuench && f.HasDeadline() {
 		s.Sim.At(f.AbsDeadline()+1, func() { sd.quench() })
@@ -260,6 +262,9 @@ func (s *System) launch(f workload.Flow) {
 
 // Results returns a snapshot of all flow outcomes.
 func (s *System) Results() []workload.Result { return s.Collector.Results() }
+
+// FlowCollector exposes the collector for telemetry attachment.
+func (s *System) FlowCollector() *workload.Collector { return s.Collector }
 
 // logic is System viewed as switch logic.
 type logic System

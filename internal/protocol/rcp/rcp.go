@@ -153,12 +153,16 @@ func (s *System) launch(f workload.Flow) {
 			return 0
 		},
 	})
+	snd.Telemetry = s.Collector
 	src.sends[netsim.FlowID(f.ID)] = snd
 	snd.Start()
 }
 
 // Results returns a snapshot of all flow outcomes.
 func (s *System) Results() []workload.Result { return s.Collector.Results() }
+
+// FlowCollector exposes the collector for telemetry attachment.
+func (s *System) FlowCollector() *workload.Collector { return s.Collector }
 
 // logic is System viewed as switch logic.
 type logic System

@@ -95,6 +95,9 @@ func (s *System) launch(f workload.Flow) {
 // Results returns a snapshot of all flow outcomes.
 func (s *System) Results() []workload.Result { return s.Collector.Results() }
 
+// FlowCollector exposes the collector for telemetry attachment.
+func (s *System) FlowCollector() *workload.Collector { return s.Collector }
+
 type agent struct {
 	sys   *System
 	host  *netsim.Host
@@ -215,6 +218,7 @@ func (t *sender) onRTO() {
 		t.backoff *= 2
 	}
 	t.sndNext = t.sndUna
+	t.sys.Collector.AddRetransmit(t.flow.ID) // go-back-N resend counts once
 	t.trySend()
 }
 
@@ -251,6 +255,7 @@ func (t *sender) onAck(pkt *netsim.Packet) {
 				t.dupAcks = 0
 			} else {
 				// NewReno partial ACK: retransmit the next hole.
+				t.sys.Collector.AddRetransmit(t.flow.ID)
 				t.sendPkt(t.sndUna)
 				t.cwnd = maxf(t.cwnd-float64(ackIdx-t.sndUna)+1, 1)
 			}
@@ -281,6 +286,7 @@ func (t *sender) onAck(pkt *netsim.Packet) {
 			t.cwnd = t.ssthresh + 3
 			t.inRecovery = true
 			t.recover = t.sndNext
+			t.sys.Collector.AddRetransmit(t.flow.ID)
 			t.sendPkt(t.sndUna)
 		}
 	}

@@ -54,6 +54,10 @@ type Sender struct {
 	Flow workload.Flow
 	Path []*netsim.Link
 
+	// Telemetry, if non-nil, receives retransmit and preemption counts
+	// for the flow (set by the installing protocol system).
+	Telemetry *workload.Collector
+
 	sim *sim.Sim
 	net *netsim.Network
 	cfg Config
@@ -72,6 +76,7 @@ type Sender struct {
 	rtt      sim.Time
 	synAcked bool
 	synTries int
+	sending  bool // had a positive rate; a drop back to 0 is a preemption
 	over     bool
 
 	sendPending  bool
@@ -232,6 +237,7 @@ func (s *Sender) HandleAck(pkt *netsim.Packet) {
 		return
 	}
 	if s.rate > 0 {
+		s.sending = true
 		if s.probePending {
 			s.sim.Cancel(s.probeEv)
 			s.probePending = false
@@ -242,6 +248,12 @@ func (s *Sender) HandleAck(pkt *netsim.Packet) {
 		}
 		s.ensureSending()
 	} else {
+		if s.sending {
+			s.sending = false
+			if s.Telemetry != nil {
+				s.Telemetry.AddPreemption(s.Flow.ID)
+			}
+		}
 		if s.sendPending {
 			s.sim.Cancel(s.sendEv)
 			s.sendPending = false
@@ -269,6 +281,9 @@ func (s *Sender) fastRetransmit(ackedIdx int) {
 	idx := s.base
 	pay := s.payload(idx)
 	s.sentAt[idx] = s.sim.Now()
+	if s.Telemetry != nil {
+		s.Telemetry.AddRetransmit(s.Flow.ID)
+	}
 	wire := pay + netsim.IPTCPHeader + s.cfg.HdrBytes
 	s.send(netsim.DATA, int64(idx)*netsim.MSS, pay, wire)
 }
@@ -299,6 +314,9 @@ func (s *Sender) sendOne() {
 	case s.base < s.nextPkt && s.base < s.numPkts && !s.acked[s.base] &&
 		s.sentAt[s.base] > 0 && now-s.sentAt[s.base] > s.rto():
 		idx = s.base
+		if s.Telemetry != nil {
+			s.Telemetry.AddRetransmit(s.Flow.ID)
+		}
 	case s.nextPkt < s.numPkts:
 		idx = s.nextPkt
 		s.nextPkt++

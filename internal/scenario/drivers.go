@@ -234,8 +234,8 @@ func runFCTRatioCDF(s *Spec, p map[string]float64, o Opts) (*Table, error) {
 			return nil, err
 		}
 		fns = append(fns,
-			func() []workload.Result { return pdqRun(build, flows, 20*sim.Second) },
-			func() []workload.Result { return rcpRun(build, flows, 20*sim.Second) })
+			func() []workload.Result { return pdqRun(build, flows, RunCtx{Horizon: 20 * sim.Second}) },
+			func() []workload.Result { return rcpRun(build, flows, RunCtx{Horizon: 20 * sim.Second}) })
 	}
 	runs := Gather(o.workers(), fns)
 	labels := []string{

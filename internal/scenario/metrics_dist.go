@@ -1,0 +1,146 @@
+// Distribution metrics over the per-flow record stream: quantiles, CDF
+// points, slowdowns and size-binned deadline misses. Together with the
+// "metric:<param>" sweep axis these make CDF-style figures (FCT tails,
+// miss breakdowns by flow class) declarative — a spec names them, no new
+// Go per experiment.
+
+package scenario
+
+import (
+	"sort"
+
+	"pdq/internal/netsim"
+	"pdq/internal/stats"
+	"pdq/internal/workload"
+)
+
+// fctSamples returns the completed flows' FCTs in seconds with their
+// sizes as weights, sorted ascending by FCT (the sorted fast path the
+// stats helpers expect).
+func fctSamples(rs []workload.Result) (fcts, sizes []float64) {
+	type pair struct{ f, s float64 }
+	var ps []pair
+	for _, r := range rs {
+		if r.Done() {
+			ps = append(ps, pair{r.FCT().Seconds(), float64(r.Size)})
+		}
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i].f < ps[j].f })
+	fcts = make([]float64, len(ps))
+	sizes = make([]float64, len(ps))
+	for i, p := range ps {
+		fcts[i], sizes[i] = p.f, p.s
+	}
+	return fcts, sizes
+}
+
+// fctQuantile evaluates the q-th FCT percentile, optionally byte-weighted
+// and scaled to milliseconds.
+func fctQuantile(rs []workload.Result, q float64, p map[string]float64) float64 {
+	fcts, sizes := fctSamples(rs)
+	var v float64
+	if p["weight_by_size"] != 0 {
+		v = stats.WeightedPercentileSorted(fcts, sizes, q)
+	} else {
+		v = stats.PercentileSorted(fcts, q)
+	}
+	if p["ms"] != 0 {
+		v *= 1000
+	}
+	return v
+}
+
+// registerFCTPercentile registers one fixed-percentile FCT metric.
+func registerFCTPercentile(name string, q float64) {
+	RegisterMetric(MetricEntry{
+		Name:   name,
+		Doc:    "FCT percentile over completed flows; ms=1 reports milliseconds, weight_by_size=1 weights each flow by its bytes",
+		Params: map[string]float64{"ms": 0, "weight_by_size": 0},
+		Fn: func(rs []workload.Result, _ []workload.Flow, p map[string]float64) float64 {
+			return fctQuantile(rs, q, p)
+		},
+	})
+}
+
+func init() {
+	registerFCTPercentile("fct-p95", 95)
+	registerFCTPercentile("fct-p99", 99)
+	RegisterMetric(MetricEntry{
+		Name:   "fct-quantile",
+		Doc:    "q-th FCT percentile over completed flows; ms=1 reports milliseconds, weight_by_size=1 weights by bytes (pairs with the metric:q sweep axis for inverse-CDF curves)",
+		Params: map[string]float64{"q": 50, "ms": 0, "weight_by_size": 0},
+		Fn: func(rs []workload.Result, _ []workload.Flow, p map[string]float64) float64 {
+			return fctQuantile(rs, p["q"], p)
+		},
+	})
+	RegisterMetric(MetricEntry{
+		Name:   "fct-cdf",
+		Doc:    "empirical P(FCT <= at_ms) over completed flows, in [0,1]; weight_by_size=1 reports the fraction of bytes (pairs with the metric:at_ms sweep axis for CDF curves)",
+		Params: map[string]float64{"at_ms": 10, "weight_by_size": 0},
+		Fn: func(rs []workload.Result, _ []workload.Flow, p map[string]float64) float64 {
+			fcts, sizes := fctSamples(rs)
+			x := p["at_ms"] / 1000
+			if p["weight_by_size"] == 0 {
+				return stats.ECDFAtSorted(fcts, x)
+			}
+			below, total := 0.0, 0.0
+			for i, f := range fcts {
+				total += sizes[i]
+				if f <= x {
+					below += sizes[i]
+				}
+			}
+			if total == 0 {
+				return 0
+			}
+			return below / total
+		},
+	})
+	RegisterMetric(MetricEntry{
+		Name:   "slowdown-mean",
+		Doc:    "mean FCT slowdown over completed flows: FCT ÷ the flow's ideal transfer time size/bottleneck (1.0 = line rate)",
+		Params: map[string]float64{"bottleneck_gbps": float64(netsim.DefaultRate) / 1e9},
+		Fn: func(rs []workload.Result, _ []workload.Flow, p map[string]float64) float64 {
+			bps := p["bottleneck_gbps"] * 1e9
+			sum, n := 0.0, 0
+			for _, r := range rs {
+				if !r.Done() {
+					continue
+				}
+				ideal := float64(r.Size) * 8 / bps
+				sum += r.FCT().Seconds() / ideal
+				n++
+			}
+			if n == 0 {
+				return 0
+			}
+			return sum / float64(n)
+		},
+	})
+	RegisterMetric(MetricEntry{
+		Name: "miss-by-size-bin",
+		Doc:  "percentage of deadline flows with lo_kb <= size < hi_kb that missed their deadline (hi_kb=0 means unbounded); 0 when the bin is empty",
+		Params: map[string]float64{
+			"lo_kb": 0,
+			"hi_kb": 0,
+		},
+		Fn: func(rs []workload.Result, _ []workload.Flow, p map[string]float64) float64 {
+			lo := int64(p["lo_kb"] * 1024)
+			hi := int64(p["hi_kb"] * 1024)
+			total, missed := 0, 0
+			for _, r := range rs {
+				if !r.HasDeadline() || r.Size < lo || (hi > 0 && r.Size >= hi) {
+					continue
+				}
+				total++
+				if !r.MetDeadline() {
+					missed++
+				}
+			}
+			if total == 0 {
+				return 0
+			}
+			return 100 * float64(missed) / float64(total)
+		},
+	})
+}

@@ -6,7 +6,11 @@
 // and new scenarios (examples/scenarios/*.json) need no new Go code.
 package scenario
 
-import "runtime"
+import (
+	"runtime"
+
+	"pdq/internal/trace"
+)
 
 // DefaultSeed is the base RNG seed used when Opts.Seed is zero. Zero is
 // the single documented sentinel for "use the default seed": the figure
@@ -21,6 +25,17 @@ type Opts struct {
 	Seed     int64 // base RNG seed; 0 is a sentinel for DefaultSeed
 	Parallel int   // sweep worker count; 0 means GOMAXPROCS, 1 means serial
 	Trials   int   // replicates per sweep point (mean ± stderr); <=1 means one
+
+	// Trace, when non-nil, captures telemetry (per-flow records, link
+	// probes) from every simulated cell. Tracing disables the cell cache:
+	// a cache hit skips the simulation that would produce the records.
+	Trace *trace.Trace
+
+	// Cache, when non-nil, memoizes grid-cell results content-addressed
+	// by their resolved spec material, seed and engine version salt, so
+	// re-running a sweep only recomputes cells whose inputs changed.
+	// Custom drivers (non-grid scenarios) always recompute.
+	Cache *trace.Cache
 }
 
 // BaseSeed resolves the Seed sentinel: 0 means DefaultSeed.

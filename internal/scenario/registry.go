@@ -7,13 +7,23 @@ import (
 	"pdq/internal/params"
 	"pdq/internal/sim"
 	"pdq/internal/topo"
+	"pdq/internal/trace"
 	"pdq/internal/workload"
 )
+
+// RunCtx is the per-run context handed to a runner beyond its inputs:
+// how long to simulate and, when the sweep is being traced, the cell's
+// telemetry capture. The zero Cell means tracing is off and the runner
+// must add no telemetry work to the simulation.
+type RunCtx struct {
+	Horizon sim.Time
+	Cell    *trace.CellTrace
+}
 
 // RunnerFunc runs one protocol over a set of flows on a freshly built
 // topology and returns per-flow results. The packet-level protocol
 // systems keep state in topology links, so every run builds anew.
-type RunnerFunc func(build func() *topo.Topology, flows []workload.Flow, horizon sim.Time) []workload.Result
+type RunnerFunc func(build func() *topo.Topology, flows []workload.Flow, rc RunCtx) []workload.Result
 
 // RunnerEntry is a registered protocol runner. The registry unifies the
 // packet-level protocol systems (internal/core, internal/protocol/...)
@@ -190,42 +200,46 @@ func MakeRunner(name string, given map[string]float64, seed int64) (RunnerFunc, 
 	return e.Make(p, seed), nil
 }
 
-// bindMetric resolves a metric name into a closed-over evaluator.
-func bindMetric(m MetricSpec) (func(rs []workload.Result, flows []workload.Flow) float64, error) {
+// bindMetric resolves a metric name into a closed-over evaluator; the
+// resolved (default-filled) parameters are also returned as cache-key
+// material.
+func bindMetric(m MetricSpec) (func(rs []workload.Result, flows []workload.Flow) float64, map[string]float64, error) {
 	e, ok := metrics[m.Name]
 	if !ok {
-		return nil, fmt.Errorf("scenario: unknown metric %q (available: %v)", m.Name, MetricNames())
+		return nil, nil, fmt.Errorf("scenario: unknown metric %q (available: %v)", m.Name, MetricNames())
 	}
 	p, err := params.Resolve("metric", m.Name, e.Params, m.Params)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return func(rs []workload.Result, flows []workload.Flow) float64 { return e.Fn(rs, flows, p) }, nil
+	return func(rs []workload.Result, flows []workload.Flow) float64 { return e.Fn(rs, flows, p) }, p, nil
 }
 
-// bindAnalytic resolves an analytic name into a closed-over evaluator.
-func bindAnalytic(name string, given map[string]float64) (func(flows []workload.Flow) float64, error) {
+// bindAnalytic resolves an analytic name into a closed-over evaluator;
+// the resolved parameters are also returned as cache-key material.
+func bindAnalytic(name string, given map[string]float64) (func(flows []workload.Flow) float64, map[string]float64, error) {
 	e, ok := analytics[name]
 	if !ok {
-		return nil, fmt.Errorf("scenario: unknown analytic %q (available: %v)", name, AnalyticNames())
+		return nil, nil, fmt.Errorf("scenario: unknown analytic %q (available: %v)", name, AnalyticNames())
 	}
 	p, err := params.Resolve("analytic", name, e.Params, given)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return func(flows []workload.Flow) float64 { return e.Fn(flows, p) }, nil
+	return func(flows []workload.Flow) float64 { return e.Fn(flows, p) }, p, nil
 }
 
 // bindFlowGen resolves a custom flow-generator name, returning the
-// generator and its minimum topology size.
-func bindFlowGen(name string, given map[string]float64) (func(hosts int, seed int64) []workload.Flow, int, error) {
+// generator, its resolved parameters (cache-key material) and its
+// minimum topology size.
+func bindFlowGen(name string, given map[string]float64) (func(hosts int, seed int64) []workload.Flow, map[string]float64, int, error) {
 	e, ok := flowGens[name]
 	if !ok {
-		return nil, 0, fmt.Errorf("scenario: unknown flow generator %q (available: %v)", name, FlowGenNames())
+		return nil, nil, 0, fmt.Errorf("scenario: unknown flow generator %q (available: %v)", name, FlowGenNames())
 	}
 	p, err := params.Resolve("flow generator", name, e.Params, given)
 	if err != nil {
-		return nil, 0, err
+		return nil, nil, 0, err
 	}
-	return func(hosts int, seed int64) []workload.Flow { return e.Gen(p, hosts, seed) }, e.MinHosts, nil
+	return func(hosts int, seed int64) []workload.Flow { return e.Gen(p, hosts, seed) }, p, e.MinHosts, nil
 }

@@ -3,19 +3,33 @@
 // the parallel sweep executor. Compilation resolves every name and
 // parameter up front so a malformed spec fails with an error before any
 // simulation starts.
+//
+// Compilation also derives, per cell, the content-address key of the
+// resolved material that determines its value (topology, workload,
+// runner, metric, eval bounds, horizon, seed, version salt): with
+// Opts.Cache set, cell scalars are memoized under those keys and a rerun
+// recomputes only the cells whose material changed (DESIGN.md §8).
 
 package scenario
 
 import (
+	"encoding/json"
 	"fmt"
 	"strings"
+	"sync"
 
 	"pdq/internal/params"
 	"pdq/internal/sim"
 	"pdq/internal/stats"
 	"pdq/internal/topo"
+	"pdq/internal/trace"
 	"pdq/internal/workload"
 )
+
+// cacheSalt versions the cell cache: bump it whenever a simulator or
+// metric changes semantics, so stale entries from older engines can
+// never be served as current results.
+const cacheSalt = "pdqsim-cell-v1"
 
 // Run executes a spec and returns its result table.
 func Run(s *Spec, o Opts) (*Table, error) {
@@ -47,6 +61,54 @@ func MustRun(s *Spec, o Opts) *Table {
 	return t
 }
 
+// colKey is the resolved per-column cache-key material: everything the
+// column contributes to a cell's value, after quick-mode resolution and
+// axis application. Parameter maps marshal with sorted keys, so the JSON
+// form is canonical.
+type colKey struct {
+	Topo           string             `json:"topo"`
+	TopoParams     map[string]float64 `json:"topo_params,omitempty"`
+	HasLoss        bool               `json:"has_loss,omitempty"`
+	LossHost       int                `json:"loss_host,omitempty"`
+	LossRate       float64            `json:"loss_rate,omitempty"`
+	Custom         string             `json:"custom,omitempty"`
+	CustomParams   map[string]float64 `json:"custom_params,omitempty"`
+	Pattern        PatternSpec        `json:"pattern"`
+	Sizes          DistSpec           `json:"sizes"`
+	MeanDeadlineMs float64            `json:"mean_deadline_ms,omitempty"`
+	ShortOnly      bool               `json:"short_only,omitempty"`
+	Count          int                `json:"count,omitempty"`
+	CountPerHost   float64            `json:"count_per_host,omitempty"`
+	Take           float64            `json:"take,omitempty"`
+	Hosts          int                `json:"hosts"`
+	SeedsPerCell   int                `json:"seeds_per_cell"`
+	Poisson        bool               `json:"poisson,omitempty"`
+	PoissonRate    float64            `json:"poisson_rate,omitempty"`
+	WindowMs       float64            `json:"window_ms,omitempty"`
+	Hi             int                `json:"hi,omitempty"`
+}
+
+// rowKey is the resolved per-row (per-column, when an axis patches the
+// row) cache-key material.
+type rowKey struct {
+	Runner       string             `json:"runner,omitempty"`
+	Analytic     string             `json:"analytic,omitempty"`
+	Params       map[string]float64 `json:"params,omitempty"`
+	Metric       string             `json:"metric,omitempty"`
+	MetricParams map[string]float64 `json:"metric_params,omitempty"`
+	Level        string             `json:"level,omitempty"`
+}
+
+// engKey is the run-level cache-key material shared by every cell.
+type engKey struct {
+	Salt      string  `json:"salt"`
+	Mode      string  `json:"mode,omitempty"`
+	Threshold float64 `json:"threshold,omitempty"`
+	Steps     int     `json:"steps,omitempty"`
+	RateStep  float64 `json:"rate_step,omitempty"`
+	Horizon   int64   `json:"horizon"`
+}
+
 // column is one compiled sweep point: topology construction, flow
 // generation, and the per-column search bound.
 type column struct {
@@ -59,6 +121,8 @@ type column struct {
 	seedsPerCell int
 	hi           int                // max-flows bound, resolved per column
 	runnerPatch  map[string]float64 // "runner:<param>" axis value, nil otherwise
+	metricPatch  map[string]float64 // "metric:<param>" axis value, nil otherwise
+	key          colKey             // resolved cache-key material
 }
 
 // row is one compiled protocol row.
@@ -68,10 +132,14 @@ type row struct {
 	cols     int
 	level    string // runner simulator level: "packet" or "flow"
 	analytic func(flows []workload.Flow) float64
-	// runner is bound per column (runner params can carry the sweep
-	// axis); entry c evaluates column c. Fixed rows only have entry 0.
+	// runner and metric are bound per column (runner and metric params
+	// can carry the sweep axis); entry c evaluates column c. Fixed rows
+	// only have entry 0.
 	runner []func(seed int64) RunnerFunc
-	metric func(rs []workload.Result, flows []workload.Flow) float64
+	metric []func(rs []workload.Result, flows []workload.Flow) float64
+	// keys holds the resolved cache-key material, parallel to runner
+	// (a single entry for analytic and fixed rows).
+	keys []rowKey
 }
 
 type engine struct {
@@ -84,6 +152,29 @@ type engine struct {
 	rateStep  float64
 	threshold float64
 	horizon   sim.Time
+	trace     *trace.Trace
+	cache     *trace.Cache
+	keyEng    engKey
+
+	// shareSims is set when the sweep axis is metric-only: every column
+	// runs the identical simulation and differs only in the metric
+	// reduction, so one run per (row, replicate) is shared across the
+	// whole column axis through simMemo.
+	shareSims bool
+	simMu     sync.Mutex
+	simMemo   map[simMemoKey]*simEntry
+}
+
+// simMemoKey identifies one shareable simulation: the row, the
+// within-cell replicate index, and the replicate base seed.
+type simMemoKey struct {
+	row, rep int
+	seed     int64
+}
+
+type simEntry struct {
+	once sync.Once
+	rs   []workload.Result
 }
 
 func compile(s *Spec, o Opts) (*engine, error) {
@@ -97,6 +188,17 @@ func compile(s *Spec, o Opts) (*engine, error) {
 		threshold: s.Eval.Threshold,
 		steps:     quickInt(s.Eval.Steps, s.Eval.QuickSteps, o.Quick),
 		horizon:   sim.Time(quickFloat(s.HorizonMs, s.QuickHorizonMs, o.Quick) * float64(sim.Millisecond)),
+		trace:     o.Trace,
+		cache:     o.Cache,
+	}
+	if e.trace != nil {
+		// A cache hit skips the simulation that would emit the records, so
+		// traced runs always compute.
+		e.cache = nil
+	}
+	e.keyEng = engKey{
+		Salt: cacheSalt, Mode: e.mode, Threshold: e.threshold,
+		Steps: e.steps, RateStep: e.rateStep, Horizon: int64(e.horizon),
 	}
 	switch e.mode {
 	case "", "run", "max-flows", "max-rate":
@@ -120,6 +222,19 @@ func compile(s *Spec, o Opts) (*engine, error) {
 		return nil, err
 	}
 	e.cols = cols
+	if e.mode == "" || e.mode == "run" {
+		share := len(e.cols) > 1
+		for _, c := range e.cols {
+			if c.metricPatch == nil {
+				share = false
+				break
+			}
+		}
+		if share {
+			e.shareSims = true
+			e.simMemo = map[simMemoKey]*simEntry{}
+		}
+	}
 
 	// Search modes need usable bounds, or MaxN panics mid-sweep.
 	switch e.mode {
@@ -270,11 +385,15 @@ func compileColumn(s *Spec, o Opts, axis string, v float64, cs *SweepCase) (*col
 		}
 		arrivalRate = v
 	default:
-		param, ok := strings.CutPrefix(axis, "runner:")
-		if !ok {
-			return nil, fmt.Errorf("unknown sweep axis %q", axis)
+		if param, ok := strings.CutPrefix(axis, "runner:"); ok {
+			col.runnerPatch = map[string]float64{param: v}
+			break
 		}
-		col.runnerPatch = map[string]float64{param: v}
+		if param, ok := strings.CutPrefix(axis, "metric:"); ok {
+			col.metricPatch = map[string]float64{param: v}
+			break
+		}
+		return nil, fmt.Errorf("unknown sweep axis %q", axis)
 	}
 	if take < 0 || take > 1 {
 		return nil, fmt.Errorf("take fraction %g out of range [0, 1]", take)
@@ -344,11 +463,13 @@ func compileColumn(s *Spec, o Opts, axis string, v float64, cs *SweepCase) (*col
 	if w.Custom == "" && genHosts < 2 {
 		return nil, fmt.Errorf("patterns need at least 2 hosts, topology provides %d", genHosts)
 	}
+	var customParams map[string]float64
 	if w.Custom != "" {
-		gen, minHosts, err := bindFlowGen(w.Custom, w.Params)
+		gen, cp, minHosts, err := bindFlowGen(w.Custom, w.Params)
 		if err != nil {
 			return nil, err
 		}
+		customParams = cp
 		if genHosts < minHosts {
 			return nil, fmt.Errorf("flow generator %q needs at least %d hosts, topology provides %d", w.Custom, minHosts, genHosts)
 		}
@@ -399,6 +520,17 @@ func compileColumn(s *Spec, o Opts, axis string, v float64, cs *SweepCase) (*col
 	if s.Eval.HiPerHost > 0 {
 		col.hi = int(s.Eval.HiPerHost * float64(col.hosts))
 	}
+	col.key = colKey{
+		Topo: ts.Name, TopoParams: tp,
+		HasLoss: hasLoss, LossHost: lossAt, LossRate: lossRate,
+		Custom: w.Custom, CustomParams: customParams,
+		Pattern: patt, Sizes: sizes,
+		MeanDeadlineMs: meanDeadlineMs, ShortOnly: w.DeadlineShortOnly,
+		Count: count, CountPerHost: countPerHost, Take: take,
+		Hosts: genHosts, SeedsPerCell: col.seedsPerCell,
+		Poisson: w.Arrival != nil, PoissonRate: arrivalRate, WindowMs: arrivalWindowMs,
+		Hi: col.hi,
+	}
 	return col, nil
 }
 
@@ -422,11 +554,12 @@ func compileRow(s *Spec, ps ProtoSpec, cols []column) (*row, error) {
 		if r.label == "" {
 			r.label = ps.Analytic
 		}
-		fn, err := bindAnalytic(ps.Analytic, ps.Params)
+		fn, ap, err := bindAnalytic(ps.Analytic, ps.Params)
 		if err != nil {
 			return nil, err
 		}
 		r.analytic = fn
+		r.keys = []rowKey{{Analytic: ps.Analytic, Params: ap}}
 		return r, nil
 	}
 	if ps.Runner == "" {
@@ -439,11 +572,6 @@ func compileRow(s *Spec, ps ProtoSpec, cols []column) (*row, error) {
 	if ps.Metric != nil {
 		ms = *ps.Metric
 	}
-	metric, err := bindMetric(ms)
-	if err != nil {
-		return nil, err
-	}
-	r.metric = metric
 	if s.HorizonMs <= 0 {
 		return nil, fmt.Errorf("row %q needs horizon_ms > 0", r.label)
 	}
@@ -452,6 +580,17 @@ func compileRow(s *Spec, ps ProtoSpec, cols []column) (*row, error) {
 		n = 1
 	}
 	for c := 0; c < n; c++ {
+		mspec := ms
+		if !ps.Fixed && cols[c].metricPatch != nil {
+			mspec = MetricSpec{Name: ms.Name, Params: ms.Params}
+			for k, v := range cols[c].metricPatch {
+				mspec.Params = overrideParam(mspec.Params, k, v)
+			}
+		}
+		metric, mp, err := bindMetric(mspec)
+		if err != nil {
+			return nil, err
+		}
 		params := ps.Params
 		if !ps.Fixed && cols[c].runnerPatch != nil {
 			params = make(map[string]float64, len(ps.Params)+1)
@@ -462,53 +601,129 @@ func compileRow(s *Spec, ps ProtoSpec, cols []column) (*row, error) {
 				params[k] = v
 			}
 		}
-		bound, level, err := bindRunner(ps.Runner, params)
+		bound, rp, level, err := bindRunner(ps.Runner, params)
 		if err != nil {
 			return nil, err
 		}
 		r.level = level
 		r.runner = append(r.runner, bound)
+		r.metric = append(r.metric, metric)
+		r.keys = append(r.keys, rowKey{
+			Runner: ps.Runner, Params: rp,
+			Metric: mspec.Name, MetricParams: mp, Level: level,
+		})
 	}
 	return r, nil
 }
 
-// bindRunner validates params once and returns a per-seed factory plus
-// the runner's simulator level.
-func bindRunner(name string, given map[string]float64) (func(seed int64) RunnerFunc, string, error) {
+// bindRunner validates params once and returns a per-seed factory, the
+// resolved params (cache-key material) and the runner's simulator level.
+func bindRunner(name string, given map[string]float64) (func(seed int64) RunnerFunc, map[string]float64, string, error) {
 	e, ok := runners[name]
 	if !ok {
-		return nil, "", fmt.Errorf("unknown runner %q (available: %v)", name, RunnerNames())
+		return nil, nil, "", fmt.Errorf("unknown runner %q (available: %v)", name, RunnerNames())
 	}
 	p, err := params.Resolve("runner", name, e.Params, given)
 	if err != nil {
-		return nil, "", err
+		return nil, nil, "", err
 	}
-	return func(seed int64) RunnerFunc { return e.Make(p, seed) }, e.Level, nil
+	return func(seed int64) RunnerFunc { return e.Make(p, seed) }, p, e.Level, nil
 }
 
-// value evaluates one (row, column) pair on one flow set.
-func (e *engine) value(r *row, runnerAt int, build func() *topo.Topology, flows []workload.Flow, seed int64) float64 {
+// simulate executes one simulation for a row, tagging its telemetry
+// capture with (colLabel, run) — run distinguishes replicates and search
+// probes sharing one grid-cell tag.
+func (e *engine) simulate(r *row, at int, build func() *topo.Topology, flows []workload.Flow, seed int64, colLabel string, run int) []workload.Result {
+	rc := RunCtx{Horizon: e.horizon}
+	if e.trace != nil {
+		rc.Cell = e.trace.OpenCell(trace.Cell{
+			Scenario: e.spec.Name, Row: r.label, Col: colLabel, Seed: seed, Run: run,
+		})
+	}
+	return r.runner[at](seed)(build, flows, rc)
+}
+
+// sharedRun memoizes one simulation across the columns of a metric-only
+// sweep. Whichever cell goroutine arrives first runs it; the simulation
+// is deterministic in its inputs, so the winner's results are the
+// results.
+func (e *engine) sharedRun(key simMemoKey, run func() []workload.Result) []workload.Result {
+	e.simMu.Lock()
+	ent, ok := e.simMemo[key]
+	if !ok {
+		ent = &simEntry{}
+		e.simMemo[key] = ent
+	}
+	e.simMu.Unlock()
+	ent.once.Do(func() { ent.rs = run() })
+	return ent.rs
+}
+
+// value evaluates one (row, column) pair on one flow set. at indexes the
+// row's per-column runner/metric bindings.
+func (e *engine) value(r *row, at int, build func() *topo.Topology, flows []workload.Flow, seed int64, colLabel string, run int) float64 {
 	if r.analytic != nil {
 		return r.analytic(flows)
 	}
-	rs := r.runner[runnerAt](seed)(build, flows, e.horizon)
-	return r.metric(rs, flows)
+	rs := e.simulate(r, at, build, flows, seed, colLabel, run)
+	return r.metric[at](rs, flows)
 }
 
-// cell evaluates one grid cell at one base seed.
+// cellKeyHash content-addresses one grid cell: run-level material, the
+// resolved column and row material, and the replicate seed.
+func (e *engine) cellKeyHash(ri, ci int, seed int64) string {
+	r := &e.rows[ri]
+	col := &e.cols[ci]
+	if r.fixed {
+		col = &e.baseCol
+	}
+	rk := r.keys[0]
+	if len(r.keys) > 1 {
+		rk = r.keys[ci]
+	}
+	material, err := json.Marshal(struct {
+		Eng  engKey `json:"eng"`
+		Col  colKey `json:"col"`
+		Row  rowKey `json:"row"`
+		Seed int64  `json:"seed"`
+	}{e.keyEng, col.key, rk, seed})
+	if err != nil {
+		panic(fmt.Sprintf("scenario: marshaling cache key: %v", err))
+	}
+	return trace.Key(material)
+}
+
+// cell evaluates one grid cell at one base seed, memoized through the
+// cell cache when one is attached.
 func (e *engine) cell(ri, ci int, seed int64) float64 {
 	r := &e.rows[ri]
 	if r.cols > 0 && ci >= r.cols {
 		return 0 // beyond this row's reach (e.g. packet level at scale)
 	}
-	col, runnerAt := &e.cols[ci], ci
-	if r.fixed {
-		col, runnerAt = &e.baseCol, 0
+	if e.cache == nil {
+		return e.compute(ri, ci, seed)
 	}
+	key := e.cellKeyHash(ri, ci, seed)
+	if v, ok := e.cache.GetFloat(key); ok {
+		return v
+	}
+	v := e.compute(ri, ci, seed)
+	e.cache.PutFloat(key, v)
+	return v
+}
+
+// compute runs one grid cell at one base seed.
+func (e *engine) compute(ri, ci int, seed int64) float64 {
+	r := &e.rows[ri]
+	col, at := &e.cols[ci], ci
+	if r.fixed {
+		col, at = &e.baseCol, 0
+	}
+	colLabel := e.cols[ci].label
 	build := func() *topo.Topology { return col.build(seed) }
 	switch e.mode {
 	case "", "run":
-		if r.level == "flow" && col.seedsPerCell > 1 {
+		if r.level == "flow" && col.seedsPerCell > 1 && !e.shareSims {
 			// The flow-level simulator only reads the topology (rates,
 			// IDs, routing), so replicate seeds on the same
 			// deterministic topology share one build instead of one per
@@ -520,16 +735,37 @@ func (e *engine) cell(ri, ci int, seed int64) float64 {
 		}
 		sum := 0.0
 		for s := 0; s < col.seedsPerCell; s++ {
-			sum += e.value(r, runnerAt, build, col.gen(seed+int64(s), 0, 0), seed)
+			s := s
+			flows := col.gen(seed+int64(s), 0, 0)
+			if r.analytic != nil {
+				sum += r.analytic(flows)
+				continue
+			}
+			var rs []workload.Result
+			if e.shareSims {
+				// Metric-only sweep: every column's simulation is
+				// identical, so one run per (row, replicate) serves the
+				// whole axis (traced cells carry Col "*").
+				rs = e.sharedRun(simMemoKey{row: ri, rep: s, seed: seed}, func() []workload.Result {
+					return e.simulate(r, at, build, flows, seed, "*", s)
+				})
+			} else {
+				rs = e.simulate(r, at, build, flows, seed, colLabel, s)
+			}
+			sum += r.metric[at](rs, flows)
 		}
 		return sum / float64(col.seedsPerCell)
 	case "max-flows":
+		run := 0
 		return float64(stats.MaxN(1, col.hi, func(n int) bool {
-			return e.value(r, runnerAt, build, col.gen(seed, n, 0), seed) >= e.threshold
+			run++
+			return e.value(r, at, build, col.gen(seed, n, 0), seed, colLabel, run-1) >= e.threshold
 		}))
 	default: // "max-rate"
+		run := 0
 		n := stats.MaxN(1, e.steps, func(n int) bool {
-			return e.value(r, runnerAt, build, col.gen(seed, 0, float64(n)*e.rateStep), seed) >= e.threshold
+			run++
+			return e.value(r, at, build, col.gen(seed, 0, float64(n)*e.rateStep), seed, colLabel, run-1) >= e.threshold
 		})
 		return float64(n) * e.rateStep
 	}

@@ -1,6 +1,8 @@
 package scenario
 
 import (
+	"fmt"
+
 	"pdq/internal/core"
 	"pdq/internal/flowsim"
 	"pdq/internal/protocol/d3"
@@ -8,6 +10,7 @@ import (
 	"pdq/internal/protocol/tcp"
 	"pdq/internal/sim"
 	"pdq/internal/topo"
+	"pdq/internal/trace"
 	"pdq/internal/workload"
 )
 
@@ -15,17 +18,54 @@ import (
 type protoSystem interface {
 	Start(workload.Flow)
 	Results() []workload.Result
+	// FlowCollector exposes the run's collector so telemetry (flow-record
+	// sinks, active-flow probes) can be attached.
+	FlowCollector() *workload.Collector
+}
+
+// attachTelemetry hangs the cell's telemetry capture off one packet-level
+// run: the flow-record sink on the collector, and — when probing is on —
+// a fixed-stride prober sampling every link's queue depth and utilization
+// plus the active-flow count. With a nil cell this is a no-op and the
+// simulation schedules exactly the events it always did.
+func attachTelemetry(ct *trace.CellTrace, t *topo.Topology, c *workload.Collector) {
+	if ct == nil {
+		return
+	}
+	c.Sink = ct.FlowSink()
+	if !ct.WantProbes() {
+		return
+	}
+	s := t.Sim()
+	p := trace.NewProber(s, ct.Stride())
+	p.StopWhen = c.AllDone // don't sample idle links out to the horizon
+	p.Add("active-flows", func() float64 { return float64(c.ActiveAt(s.Now())) })
+	secs := float64(ct.Stride()) / float64(sim.Second)
+	for _, l := range t.Net.Links() {
+		l := l
+		p.Add(fmt.Sprintf("qdepth:%s", l), func() float64 { return float64(l.QueueBytes()) })
+		var lastTx uint64
+		p.Add(fmt.Sprintf("util:%s", l), func() float64 {
+			cur := l.TxBytes()
+			d := cur - lastTx
+			lastTx = cur
+			return float64(d*8) / (float64(l.Rate) * secs) * 100
+		})
+	}
+	p.Start()
+	ct.Probes = p.Series()
 }
 
 // mkPacket wraps a packet-level install function into a RunnerFunc.
 func mkPacket(install func(t *topo.Topology) protoSystem) RunnerFunc {
-	return func(build func() *topo.Topology, flows []workload.Flow, horizon sim.Time) []workload.Result {
+	return func(build func() *topo.Topology, flows []workload.Flow, rc RunCtx) []workload.Result {
 		t := build()
 		sys := install(t)
+		attachTelemetry(rc.Cell, t, sys.FlowCollector())
 		for _, f := range flows {
 			sys.Start(f)
 		}
-		t.Sim().RunUntil(horizon)
+		t.Sim().RunUntil(rc.Horizon)
 		return sys.Results()
 	}
 }
@@ -47,19 +87,24 @@ func registerPDQ(name, doc string, cfg func() core.Config) {
 
 // registerFlow registers one flow-level allocator family. A fresh
 // allocator is built per invocation, matching the packet-level runners'
-// fresh-state-per-run semantics.
+// fresh-state-per-run semantics. The flow-level simulator steps its own
+// clock (no event engine), so it emits flow records but no time-series
+// probes.
 func registerFlow(name, doc string, params map[string]float64, alloc func(p map[string]float64, seed int64) flowsim.Allocator) {
 	RegisterRunner(RunnerEntry{
 		Name: name, Doc: doc, Level: "flow",
 		Params: params,
 		Make: func(p map[string]float64, seed int64) RunnerFunc {
-			return func(build func() *topo.Topology, flows []workload.Flow, horizon sim.Time) []workload.Result {
+			return func(build func() *topo.Topology, flows []workload.Flow, rc RunCtx) []workload.Result {
 				s := flowsim.New(build(), alloc(p, seed))
 				s.ET = p["et"] != 0
+				if rc.Cell != nil {
+					s.Collector.Sink = rc.Cell.FlowSink()
+				}
 				for _, f := range flows {
 					s.Start(f)
 				}
-				s.Run(horizon)
+				s.Run(rc.Horizon)
 				return s.Results()
 			}
 		},

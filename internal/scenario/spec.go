@@ -168,8 +168,10 @@ func (p *ProtoSpec) UnmarshalJSON(b []byte) error {
 type SweepSpec struct {
 	// Axis names what Values modify: "flows", "flows-per-host",
 	// "mean-size-kb", "mean-deadline-ms", "loss-rate", "load",
-	// "poisson-rate", or "runner:<param>" (sets <param> on every
-	// non-fixed row's runner). With Cases, Axis is ignored.
+	// "poisson-rate", "runner:<param>" (sets <param> on every non-fixed
+	// row's runner), or "metric:<param>" (sets <param> on every non-fixed
+	// row's metric — e.g. sweeping fct-cdf's at_ms plots a CDF curve).
+	// With Cases, Axis is ignored.
 	Axis        string    `json:"axis,omitempty"`
 	Values      []float64 `json:"values,omitempty"`
 	QuickValues []float64 `json:"quick_values,omitempty"`

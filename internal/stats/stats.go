@@ -70,6 +70,63 @@ func PercentilesSorted(xs []float64, ps ...float64) []float64 {
 	return out
 }
 
+// WeightedPercentileSorted returns the p-th weighted percentile
+// (0 ≤ p ≤ 100) of the ascending-sorted xs with non-negative weights ws
+// (len(ws) == len(xs)), following PercentileSorted's conventions: no
+// copying, linear interpolation, and endpoint clamping. Sample i sits at
+// its cumulative-weight midpoint Σ_{j≤i} w_j − w_i/2, the standard
+// weighted-quantile definition; with equal weights it agrees with
+// PercentileSorted to within half an inter-sample position (the two
+// interpolation grids are offset by (p/100 − ½) of one position, so the
+// values differ by at most half the largest adjacent gap). Zero total
+// weight returns 0.
+func WeightedPercentileSorted(xs, ws []float64, p float64) float64 {
+	if len(xs) == 0 || len(xs) != len(ws) {
+		return 0
+	}
+	total := 0.0
+	for _, w := range ws {
+		total += w
+	}
+	if total <= 0 {
+		return 0
+	}
+	if p <= 0 {
+		return xs[0]
+	}
+	if p >= 100 {
+		return xs[len(xs)-1]
+	}
+	target := p / 100 * total
+	cum := 0.0
+	prevPos, prevX := 0.0, xs[0]
+	for i, x := range xs {
+		pos := cum + ws[i]/2 // this sample's cumulative-weight midpoint
+		cum += ws[i]
+		if pos >= target {
+			if i == 0 || pos == prevPos {
+				return x
+			}
+			frac := (target - prevPos) / (pos - prevPos)
+			return prevX + frac*(x-prevX)
+		}
+		prevPos, prevX = pos, x
+	}
+	return xs[len(xs)-1]
+}
+
+// ECDFAtSorted evaluates the empirical CDF of the ascending-sorted xs at
+// x: the fraction of samples ≤ x, in [0, 1]. It is the sorted fast path
+// of CDFAt (binary search, no CDFPoint materialization).
+func ECDFAtSorted(xs []float64, x float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	// First index with xs[i] > x; everything before it is ≤ x.
+	n := sort.Search(len(xs), func(i int) bool { return xs[i] > x })
+	return float64(n) / float64(len(xs))
+}
+
 // Max returns the maximum of xs (0 for empty input).
 func Max(xs []float64) float64 {
 	m := math.Inf(-1)

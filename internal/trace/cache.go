@@ -1,0 +1,120 @@
+package trace
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync/atomic"
+)
+
+// Cache is a content-addressed store for sweep-cell results: the caller
+// hashes everything that determines a cell's value (resolved spec
+// material, seed, version salt) into a key, and the cache persists the
+// scalar under that key. Values round-trip through their exact IEEE-754
+// bit pattern, so a cache hit reproduces the recomputed figure byte for
+// byte.
+//
+// The cache is strictly best-effort: unreadable, corrupt or unwritable
+// entries degrade to recomputation and are never an error. It is safe
+// for concurrent use (distinct keys write distinct files; same-key
+// writers race to an atomic rename of identical content).
+type Cache struct {
+	dir                  string
+	hits, misses, errors atomic.Uint64
+}
+
+// NewCache opens (creating if needed) a cache rooted at dir.
+func NewCache(dir string) (*Cache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("trace: opening cache %s: %w", dir, err)
+	}
+	return &Cache{dir: dir}, nil
+}
+
+// DefaultCacheDir returns the conventional cache location,
+// $XDG_CACHE_HOME/pdqsim (~/.cache/pdqsim on Linux).
+func DefaultCacheDir() (string, error) {
+	base, err := os.UserCacheDir()
+	if err != nil {
+		return "", fmt.Errorf("trace: no user cache dir: %w", err)
+	}
+	return filepath.Join(base, "pdqsim"), nil
+}
+
+// Dir returns the cache root.
+func (c *Cache) Dir() string { return c.dir }
+
+// Hits returns how many lookups were served from the store.
+func (c *Cache) Hits() uint64 { return c.hits.Load() }
+
+// Misses returns how many lookups fell through to recomputation.
+func (c *Cache) Misses() uint64 { return c.misses.Load() }
+
+// Errors returns how many entries were unreadable or corrupt (each also
+// counts as a miss).
+func (c *Cache) Errors() uint64 { return c.errors.Load() }
+
+// Key hashes arbitrary key material to a content address.
+func Key(material []byte) string {
+	sum := sha256.Sum256(material)
+	return hex.EncodeToString(sum[:])
+}
+
+// path maps a key to its entry file, sharded by the first hex byte so no
+// single directory grows unboundedly.
+func (c *Cache) path(key string) string {
+	return filepath.Join(c.dir, key[:2], key[2:])
+}
+
+// GetFloat looks up a cached scalar. A malformed or unreadable entry is
+// a miss, never an error.
+func (c *Cache) GetFloat(key string) (float64, bool) {
+	data, err := os.ReadFile(c.path(key))
+	if err != nil {
+		c.misses.Add(1)
+		return 0, false
+	}
+	bits, err := strconv.ParseUint(strings.TrimSpace(string(data)), 16, 64)
+	if err != nil || len(strings.TrimSpace(string(data))) != 16 {
+		// Corrupt entry: drop it so the recomputed value can take its
+		// place, and fall back to recomputation.
+		os.Remove(c.path(key))
+		c.errors.Add(1)
+		c.misses.Add(1)
+		return 0, false
+	}
+	c.hits.Add(1)
+	return math.Float64frombits(bits), true
+}
+
+// PutFloat stores a scalar under key, atomically (write temp + rename)
+// so readers never observe a torn entry. Failures are silently dropped:
+// a cache that cannot write simply does not accelerate.
+func (c *Cache) PutFloat(key string, v float64) {
+	p := c.path(key)
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		c.errors.Add(1)
+		return
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(p), ".tmp-*")
+	if err != nil {
+		c.errors.Add(1)
+		return
+	}
+	_, werr := fmt.Fprintf(tmp, "%016x\n", math.Float64bits(v))
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		c.errors.Add(1)
+		return
+	}
+	if err := os.Rename(tmp.Name(), p); err != nil {
+		os.Remove(tmp.Name())
+		c.errors.Add(1)
+	}
+}

@@ -1,0 +1,80 @@
+package trace
+
+import "pdq/internal/sim"
+
+// Series is one fixed-stride time series: sample i was taken at time
+// (i+1)·Stride. Storing only values (no per-sample timestamps) keeps the
+// buffers columnar and append-only — one float64 per sample.
+type Series struct {
+	Name   string
+	Stride sim.Duration
+	Vals   []float64
+}
+
+// At returns the simulation time of sample i.
+func (s *Series) At(i int) sim.Time { return sim.Time(i+1) * s.Stride }
+
+// Prober samples a set of named columns every stride on a simulation
+// engine. All columns of one prober are sampled at the same instants, so
+// the resulting series align row-for-row.
+type Prober struct {
+	// StopWhen, if set, is evaluated after each tick's samples are taken;
+	// the first true ends sampling (that tick's samples are kept). It
+	// bounds the series to the interesting prefix of a run — e.g. "every
+	// flow has finished" — instead of sampling idle links to the horizon.
+	StopWhen func() bool
+
+	sim     *sim.Sim
+	stride  sim.Duration
+	cols    []func() float64
+	series  []*Series
+	tick    func()
+	stopped bool
+}
+
+// NewProber returns a prober on s with the given sampling period
+// (DefaultStride when stride <= 0). Call Add for each column, then Start.
+func NewProber(s *sim.Sim, stride sim.Duration) *Prober {
+	if stride <= 0 {
+		stride = DefaultStride
+	}
+	p := &Prober{sim: s, stride: stride}
+	p.tick = func() {
+		if p.stopped {
+			return
+		}
+		for i, f := range p.cols {
+			p.series[i].Vals = append(p.series[i].Vals, f())
+		}
+		if p.StopWhen != nil && p.StopWhen() {
+			p.stopped = true
+			return
+		}
+		p.sim.After(p.stride, p.tick)
+	}
+	return p
+}
+
+// Add registers a sampled column and returns its series.
+func (p *Prober) Add(name string, f func() float64) *Series {
+	s := &Series{Name: name, Stride: p.stride}
+	p.cols = append(p.cols, f)
+	p.series = append(p.series, s)
+	return s
+}
+
+// Start schedules the first sample one stride from now. The prober keeps
+// rescheduling itself until the simulation stops running events (RunUntil
+// never fires events beyond its horizon) or Stop is called.
+func (p *Prober) Start() {
+	if len(p.cols) == 0 {
+		return
+	}
+	p.sim.After(p.stride, p.tick)
+}
+
+// Stop ends sampling; the already-scheduled tick becomes a no-op.
+func (p *Prober) Stop() { p.stopped = true }
+
+// Series returns the prober's columns in Add order.
+func (p *Prober) Series() []*Series { return p.series }

@@ -1,0 +1,313 @@
+// Package trace is the simulators' measurement plane: per-flow completion
+// records, fixed-stride time-series probes, and a content-addressed cache
+// for sweep-cell results.
+//
+// The flow-record path is designed so that telemetry is free when it is
+// off: every protocol collector holds a Sink that is nil by default, and
+// records are passed by value into a preallocated ring, so a simulation
+// with tracing disabled executes exactly the same instruction stream as
+// before the subsystem existed (the zero-alloc engine benches pin this).
+// Probes are ordinary simulation events and only exist when a run asks
+// for them, so a probe-free run's event sequence — and therefore its
+// byte-exact output — is untouched (DESIGN.md §8).
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+
+	"pdq/internal/sim"
+)
+
+// Class is a coarse flow-size class, following the paper's 40 KB
+// short-flow cutoff (§5.3).
+type Class uint8
+
+// Flow classes.
+const (
+	ClassShort Class = iota // below the short-flow cutoff
+	ClassLong
+)
+
+func (c Class) String() string {
+	if c == ClassShort {
+		return "short"
+	}
+	return "long"
+}
+
+// FlowRecord is one flow's outcome as emitted at completion or
+// termination. It is passed and stored by value: emitting a record
+// allocates nothing once the ring exists.
+type FlowRecord struct {
+	ID          uint64
+	Src, Dst    int      // host indices in the topology
+	Size        int64    // bytes
+	Class       Class    // short/long at the paper's 40 KB cutoff
+	Start       sim.Time // arrival time
+	Finish      sim.Time // receiver got the last byte; <0 if never
+	Deadline    sim.Time // relative to Start; 0 = unconstrained
+	Met         bool     // deadline-constrained flow finished in time
+	Terminated  bool     // Early Termination / quenching gave up
+	BytesAcked  int64    // payload bytes acknowledged when the record was cut
+	Retransmits int32    // data packets resent (fast retransmit + RTO)
+	Preemptions int32    // sending→paused transitions (PDQ preemption)
+}
+
+// FCT is the completion time, valid only for finished flows.
+func (r FlowRecord) FCT() sim.Time { return r.Finish - r.Start }
+
+// Sink receives flow records. Implementations must not retain pointers
+// into the record (it is a value) and must be cheap: sinks run inside the
+// simulation loop.
+type Sink interface {
+	RecordFlow(FlowRecord)
+}
+
+// NopSink is a Sink that drops every record. It exists for callers that
+// need a non-nil sink; collectors treat a nil Sink as "tracing off" and
+// skip record assembly entirely.
+type NopSink struct{}
+
+// RecordFlow implements Sink.
+func (NopSink) RecordFlow(FlowRecord) {}
+
+// DefaultRingCap is the per-ring record capacity when none is given.
+const DefaultRingCap = 1 << 16
+
+// Ring is a pooled, append-only flow-record buffer with bounded memory:
+// records append by value into a lazily grown slice (amortized doubling,
+// so small runs stay small) and, once the capacity is reached, overwrite
+// the oldest entries without allocating. One Ring belongs to one
+// simulation (it is not synchronized).
+type Ring struct {
+	capacity int
+	buf      []FlowRecord
+	next     int    // overwrite cursor once full: index of the oldest record
+	total    uint64 // records ever appended
+}
+
+// NewRing returns a ring holding up to capacity records (DefaultRingCap
+// when capacity <= 0).
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		capacity = DefaultRingCap
+	}
+	return &Ring{capacity: capacity}
+}
+
+// RecordFlow implements Sink: append by value, overwriting the oldest
+// record once the capacity is reached. Beyond the amortized growth to
+// the high-water mark, recording allocates nothing.
+func (r *Ring) RecordFlow(rec FlowRecord) {
+	r.total++
+	if len(r.buf) < r.capacity {
+		r.buf = append(r.buf, rec)
+		return
+	}
+	r.buf[r.next] = rec
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+	}
+}
+
+// Len returns the number of records currently held.
+func (r *Ring) Len() int { return len(r.buf) }
+
+// Total returns the number of records ever appended.
+func (r *Ring) Total() uint64 { return r.total }
+
+// Dropped returns how many records were overwritten by wraparound.
+func (r *Ring) Dropped() uint64 { return r.total - uint64(len(r.buf)) }
+
+// Records returns the held records oldest-first. The slice is freshly
+// allocated; the ring keeps ownership of its buffer.
+func (r *Ring) Records() []FlowRecord {
+	out := make([]FlowRecord, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// Cell identifies where in an experiment grid a set of records was
+// measured: the scenario, the protocol row, the sweep column and the base
+// seed of that run. Run distinguishes the multiple simulations one grid
+// cell can execute — replicate index when a cell averages several
+// generator seeds, probe ordinal during a max-flows/max-rate search — so
+// record sets from different runs under one tag never blur together.
+// Col is "*" when a single simulation is shared by every column of a
+// metric-only sweep.
+type Cell struct {
+	Scenario string `json:"scenario"`
+	Row      string `json:"row"`
+	Col      string `json:"col"`
+	Seed     int64  `json:"seed"`
+	Run      int    `json:"run"`
+}
+
+// CellTrace is the telemetry captured by one simulation run: its flow
+// records and any probe series the runner attached. A CellTrace is owned
+// by the single goroutine running that cell until the run completes.
+type CellTrace struct {
+	Cell   Cell
+	Flows  *Ring     // nil when flow records are disabled
+	Probes []*Series // filled by the runner when probing is enabled
+
+	wantProbes bool
+	stride     sim.Duration
+}
+
+// WantProbes reports whether the runner should install time-series
+// probes for this cell.
+func (ct *CellTrace) WantProbes() bool { return ct != nil && ct.wantProbes }
+
+// Stride returns the probe sampling period.
+func (ct *CellTrace) Stride() sim.Duration { return ct.stride }
+
+// FlowSink returns the cell's flow-record sink, or nil when flow records
+// are disabled (callers can assign it directly to a collector's Sink).
+func (ct *CellTrace) FlowSink() Sink {
+	if ct == nil || ct.Flows == nil {
+		return nil
+	}
+	return ct.Flows
+}
+
+// DefaultStride is the probe sampling period when none is configured.
+const DefaultStride = 100 * sim.Microsecond
+
+// Trace aggregates telemetry across the (possibly concurrent) cells of
+// one or more experiment runs. OpenCell is safe for concurrent use; a
+// returned CellTrace is not shared between goroutines.
+type Trace struct {
+	FlowRecords bool         // capture per-flow records
+	Probes      bool         // capture time-series probes
+	Stride      sim.Duration // probe period; 0 = DefaultStride
+	RingCap     int          // per-cell ring capacity; 0 = DefaultRingCap
+
+	mu    sync.Mutex
+	cells []*CellTrace
+}
+
+// New returns a Trace capturing the requested telemetry kinds.
+func New(flowRecords, probes bool) *Trace {
+	return &Trace{FlowRecords: flowRecords, Probes: probes}
+}
+
+// OpenCell registers and returns the telemetry capture for one run.
+// Calling it on a nil Trace returns nil, which every consumer treats as
+// "tracing off".
+func (t *Trace) OpenCell(c Cell) *CellTrace {
+	if t == nil {
+		return nil
+	}
+	ct := &CellTrace{Cell: c, wantProbes: t.Probes, stride: t.Stride}
+	if ct.stride <= 0 {
+		ct.stride = DefaultStride
+	}
+	if t.FlowRecords {
+		ct.Flows = NewRing(t.RingCap)
+	}
+	t.mu.Lock()
+	t.cells = append(t.cells, ct)
+	t.mu.Unlock()
+	return ct
+}
+
+// Cells returns every opened cell, stable-sorted by (Scenario, Row, Col,
+// Seed, Run) so export order is deterministic regardless of which
+// goroutine finished first.
+func (t *Trace) Cells() []*CellTrace {
+	t.mu.Lock()
+	out := append([]*CellTrace(nil), t.cells...)
+	t.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool {
+		a, b := out[i].Cell, out[j].Cell
+		if a.Scenario != b.Scenario {
+			return a.Scenario < b.Scenario
+		}
+		if a.Row != b.Row {
+			return a.Row < b.Row
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Seed != b.Seed {
+			return a.Seed < b.Seed
+		}
+		return a.Run < b.Run
+	})
+	return out
+}
+
+// WriteFlows writes every captured flow record as one JSON object per
+// line (JSONL), tagged with its cell.
+func (t *Trace) WriteFlows(w io.Writer) error {
+	for _, ct := range t.Cells() {
+		if ct.Flows == nil {
+			continue
+		}
+		for _, r := range ct.Flows.Records() {
+			finish := -1.0
+			if r.Finish >= 0 {
+				finish = r.Finish.Millis()
+			}
+			_, err := fmt.Fprintf(w,
+				`{"scenario":%s,"row":%s,"col":%s,"seed":%d,"run":%d,"flow":%d,"src":%d,"dst":%d,"size":%d,"class":%q,"start_ms":%g,"finish_ms":%g,"deadline_ms":%g,"met":%t,"terminated":%t,"bytes_acked":%d,"retransmits":%d,"preemptions":%d}`+"\n",
+				jsonStr(ct.Cell.Scenario), jsonStr(ct.Cell.Row), jsonStr(ct.Cell.Col),
+				ct.Cell.Seed, ct.Cell.Run,
+				r.ID, r.Src, r.Dst, r.Size, r.Class.String(),
+				r.Start.Millis(), finish, r.Deadline.Millis(),
+				r.Met, r.Terminated, r.BytesAcked, r.Retransmits, r.Preemptions)
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteProbes writes every captured probe sample as CSV:
+// scenario,row,col,seed,run,series,t_ms,value.
+func (t *Trace) WriteProbes(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "scenario,row,col,seed,run,series,t_ms,value"); err != nil {
+		return err
+	}
+	for _, ct := range t.Cells() {
+		for _, s := range ct.Probes {
+			for i, v := range s.Vals {
+				_, err := fmt.Fprintf(w, "%s,%s,%s,%d,%d,%s,%g,%g\n",
+					csvField(ct.Cell.Scenario), csvField(ct.Cell.Row), csvField(ct.Cell.Col),
+					ct.Cell.Seed, ct.Cell.Run, csvField(s.Name), s.At(i).Millis(), v)
+				if err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// jsonStr encodes s as a JSON string literal (labels are spec-authored
+// and may contain quotes or non-ASCII bytes).
+func jsonStr(s string) string {
+	b, err := json.Marshal(s)
+	if err != nil { // cannot happen for a string
+		return `""`
+	}
+	return string(b)
+}
+
+// csvField quotes a field per RFC 4180 when it contains CSV
+// metacharacters: wrap in double quotes, double any embedded quotes.
+func csvField(s string) string {
+	if !strings.ContainsAny(s, ",\"\n\r") {
+		return s
+	}
+	return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+}

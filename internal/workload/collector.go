@@ -1,13 +1,26 @@
 package workload
 
-import "pdq/internal/sim"
+import (
+	"pdq/internal/sim"
+	"pdq/internal/trace"
+)
 
 // Collector accumulates per-flow outcomes during a simulation. Protocol
 // agents report completions and terminations into a collector shared across
 // all hosts of one experiment.
+//
+// A collector is also the simulators' telemetry emission point: when Sink
+// is non-nil, every completion or termination additionally cuts a
+// trace.FlowRecord (by value — no allocation). With the default nil Sink
+// the only telemetry cost is one nil check per flow *completion*, so the
+// packet/event hot paths are untouched (DESIGN.md §8).
 type Collector struct {
 	byID  map[uint64]*Result
 	order []uint64
+
+	// Sink receives one trace.FlowRecord per completion or termination;
+	// nil (the default) disables record assembly entirely.
+	Sink trace.Sink
 }
 
 // NewCollector returns an empty collector.
@@ -34,6 +47,10 @@ func (c *Collector) Finish(id uint64, t sim.Time) {
 	}
 	if r.Finish < 0 {
 		r.Finish = t
+		if !r.Terminated {
+			r.BytesAcked = r.Size // every byte was delivered
+			c.emit(r)
+		}
 	}
 }
 
@@ -44,9 +61,79 @@ func (c *Collector) Terminate(id uint64) {
 	if r == nil {
 		panic("workload: Terminate for unregistered flow")
 	}
-	if r.Finish < 0 {
+	if r.Finish < 0 && !r.Terminated {
 		r.Terminated = true
+		c.emit(r)
 	}
+}
+
+// AddRetransmit counts one retransmitted data packet against the flow.
+// Unknown IDs are ignored: retransmit accounting is telemetry, not
+// protocol state.
+func (c *Collector) AddRetransmit(id uint64) {
+	if r := c.byID[id]; r != nil {
+		r.Retransmits++
+	}
+}
+
+// AddPreemption counts one sending→paused transition against the flow.
+func (c *Collector) AddPreemption(id uint64) {
+	if r := c.byID[id]; r != nil {
+		r.Preemptions++
+	}
+}
+
+// SetBytesAcked records the flow's acknowledged payload bytes. Emitters
+// call it just before Terminate so a terminated flow's record carries its
+// partial progress (Finish sets it to Size on its own).
+func (c *Collector) SetBytesAcked(id uint64, n int64) {
+	if r := c.byID[id]; r != nil {
+		r.BytesAcked = n
+	}
+}
+
+// ActiveAt counts flows that have started at or before now and neither
+// finished nor terminated — the probers' active-flow series.
+func (c *Collector) ActiveAt(now sim.Time) int {
+	n := 0
+	for _, r := range c.byID {
+		if r.Start <= now && r.Finish < 0 && !r.Terminated {
+			n++
+		}
+	}
+	return n
+}
+
+// AllDone reports whether every registered flow has finished or
+// terminated — probers stop sampling once nothing remains in flight.
+func (c *Collector) AllDone() bool {
+	for _, r := range c.byID {
+		if r.Finish < 0 && !r.Terminated {
+			return false
+		}
+	}
+	return true
+}
+
+// emit cuts the flow's trace record. Called exactly once per flow, at its
+// first completion or termination.
+func (c *Collector) emit(r *Result) {
+	if c.Sink == nil {
+		return
+	}
+	cls := trace.ClassShort
+	if r.Size >= ShortFlowCutoff {
+		cls = trace.ClassLong
+	}
+	c.Sink.RecordFlow(trace.FlowRecord{
+		ID: r.ID, Src: r.Src, Dst: r.Dst,
+		Size: r.Size, Class: cls,
+		Start: r.Start, Finish: r.Finish, Deadline: r.Deadline,
+		Met: r.MetDeadline(), Terminated: r.Terminated,
+		BytesAcked:  r.BytesAcked,
+		Retransmits: r.Retransmits,
+		Preemptions: r.Preemptions,
+	})
 }
 
 // Get returns the current result for a flow.

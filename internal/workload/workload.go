@@ -34,11 +34,17 @@ func (f Flow) AbsDeadline() sim.Time {
 	return f.Start + f.Deadline
 }
 
-// Result records the outcome of one flow.
+// Result records the outcome of one flow, plus the per-flow telemetry
+// counters the protocols report through the Collector (all zero unless
+// the protocol emits them; see DESIGN.md §8).
 type Result struct {
 	Flow
 	Finish     sim.Time // time the receiver got the last byte; <0 if never
 	Terminated bool     // true if Early Termination gave up on the flow
+
+	BytesAcked  int64 // acknowledged payload bytes (Size once finished)
+	Retransmits int32 // data packets resent (fast retransmit + timeouts)
+	Preemptions int32 // sending→paused transitions (PDQ-style preemption)
 }
 
 // Done reports whether the flow delivered all its bytes.

@@ -1,13 +1,18 @@
 #!/usr/bin/env sh
 # bench.sh — run the tier-1 perf benchmarks with -benchmem and fold the
-# numbers into a JSON record (default BENCH_pr2.json) via scripts/benchjson.
+# numbers into a JSON record (default bench/BENCH_pr4.json) via
+# scripts/benchjson. Perf records live under bench/ so the repo root
+# stays clean as the record set grows (bench/BENCH_pr2.json is the PR-2
+# zero-alloc rewrite; bench/BENCH_pr4.json adds the telemetry-overhead
+# proof).
 #
 # Usage:
 #   scripts/bench.sh [record.json]
 #
 # Environment:
-#   BENCH_PATTERN  bench regex        (default: the PR-2 acceptance set
-#                                      plus the engine/allocator micro-benches)
+#   BENCH_PATTERN  bench regex        (default: the PR-2 acceptance set,
+#                                      the engine/allocator micro-benches
+#                                      and the PR-4 TraceSinkOverhead pair)
 #   BENCH_TIME     -benchtime value   (default 1s; CI smoke uses 10x)
 #   BENCH_LABEL    record slot        (before|after; default: before when the
 #                                      record is empty, after otherwise)
@@ -17,9 +22,11 @@
 set -eu
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_pr2.json}"
-PATTERN="${BENCH_PATTERN:-Fig3a\$|Fig10\$|AblationPDQVariants|EngineSchedule|FlowAllocators}"
+OUT="${1:-bench/BENCH_pr4.json}"
+PATTERN="${BENCH_PATTERN:-Fig3a\$|Fig10\$|AblationPDQVariants|EngineSchedule|FlowAllocators|TraceSinkOverhead}"
 TIME="${BENCH_TIME:-1s}"
+
+mkdir -p "$(dirname "$OUT")"
 
 CMD="go test -bench '$PATTERN' -benchmem -benchtime $TIME -run '^\$' -count 1 ."
 echo "+ $CMD" >&2

@@ -8,7 +8,7 @@
 // the improvement factors (ns/op and allocs/op, before ÷ after) are
 // recomputed for every benchmark appearing in both.
 //
-//	go test -bench . -benchmem -run '^$' . | go run ./scripts/benchjson -out BENCH_pr2.json
+//	go test -bench . -benchmem -run '^$' . | go run ./scripts/benchjson -out bench/BENCH_pr4.json
 package main
 
 import (
@@ -51,7 +51,7 @@ var benchLine = regexp.MustCompile(
 	`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op\s+(\d+) B/op\s+(\d+) allocs/op`)
 
 func main() {
-	out := flag.String("out", "BENCH_pr2.json", "record file to create or update")
+	out := flag.String("out", "bench/BENCH_pr4.json", "record file to create or update")
 	label := flag.String("label", "", `slot to fill: "before" or "after" (default: before if empty record, else after)`)
 	cmd := flag.String("cmd", "", "command line to record for reproducibility")
 	flag.Parse()
