@@ -7,11 +7,13 @@
 package pdq
 
 import (
+	"os"
 	"testing"
 
 	"pdq/internal/exp"
 	"pdq/internal/flowsim"
 	"pdq/internal/netsim"
+	"pdq/internal/scenario"
 	"pdq/internal/sim"
 	"pdq/internal/topo"
 	"pdq/internal/trace"
@@ -110,6 +112,43 @@ func BenchmarkFig11c(b *testing.B) { benchFig(b, "fig11c") }
 
 // Fig. 12: flow aging (flow level).
 func BenchmarkFig12(b *testing.B) { benchFig(b, "fig12") }
+
+// benchScenarioFile runs a shipped example scenario at Quick scale per
+// iteration — the same spec-compile-execute path `pdqsim -scenario`
+// takes, so the JSON files cannot bit-rot out of the perf record.
+func benchScenarioFile(b *testing.B, path string) {
+	b.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec, err := scenario.Load(data)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	var sink *exp.Table
+	for i := 0; i < b.N; i++ {
+		sink = scenario.MustRun(spec, exp.Opts{Quick: true, Seed: int64(i + 1)})
+	}
+	if sink == nil || len(sink.Rows) == 0 {
+		b.Fatal("empty result table")
+	}
+}
+
+// DCTCP incast sweep (examples/scenarios/dctcp-incast.json): the
+// ECN-FIFO qdisc rides the link's timestamp serializer, so this prices
+// the marking hook at figure scale.
+func BenchmarkDCTCPIncast(b *testing.B) {
+	benchScenarioFile(b, "examples/scenarios/dctcp-incast.json")
+}
+
+// pFabric websearch sweep (examples/scenarios/pfabric-websearch.json):
+// the strict-priority qdisc runs the link's scheduler path (two events
+// per packet), so this prices priority dequeue at figure scale.
+func BenchmarkPFabricWebsearch(b *testing.B) {
+	benchScenarioFile(b, "examples/scenarios/pfabric-websearch.json")
+}
 
 // Parallel-vs-serial benches for the sweep executor (internal/exp/sweep.go):
 // the same figure grid at 1 worker and at one worker per core. The ratio

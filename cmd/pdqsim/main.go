@@ -11,7 +11,7 @@
 //	pdqsim -scenario examples/scenarios/incast.json -trace flows.jsonl -probe probes.csv
 //	pdqsim -exp all -quick -cache
 //	pdqsim -dump-scenario fig3a
-//	pdqsim -list-topologies -list-patterns -list-protocols -list-metrics
+//	pdqsim -list-topologies -list-patterns -list-protocols -list-metrics -list-qdiscs
 //
 // Each experiment prints the same rows/series the paper reports (see
 // DESIGN.md §6–§8 for how the figure specs, the scenario layer and the
@@ -46,6 +46,7 @@ import (
 	"time"
 
 	"pdq/internal/exp"
+	"pdq/internal/netsim"
 	"pdq/internal/scenario"
 	"pdq/internal/sim"
 	"pdq/internal/topo"
@@ -73,11 +74,18 @@ func main() {
 		listPat     = flag.Bool("list-patterns", false, "list registered sending patterns and size distributions")
 		listPro     = flag.Bool("list-protocols", false, "list registered protocol runners and analytic baselines")
 		listMet     = flag.Bool("list-metrics", false, "list registered metrics and custom drivers")
+		listQd      = flag.Bool("list-qdiscs", false, "list registered link queue disciplines")
 	)
 	flag.Parse()
 
-	if *listTopo || *listPat || *listPro || *listMet {
-		listRegistries(*listTopo, *listPat, *listPro, *listMet)
+	if *listTopo || *listPat || *listPro || *listMet || *listQd {
+		// Every listing iterates a sorted registry (and params marshal
+		// with sorted keys), so repeated runs are byte-identical — CI
+		// diffs two invocations to keep it that way.
+		if *list {
+			listExperiments()
+		}
+		listRegistries(*listTopo, *listPat, *listPro, *listMet, *listQd)
 		return
 	}
 	if *dumpScen != "" {
@@ -148,10 +156,7 @@ func main() {
 	}
 
 	if *list || *name == "" {
-		fmt.Println("available experiments:")
-		for _, n := range exp.FigureNames() {
-			fmt.Printf("  %s\n", n)
-		}
+		listExperiments()
 		if *name == "" && !*list {
 			os.Exit(2)
 		}
@@ -260,8 +265,16 @@ func writeJSON(tables []*exp.Table) {
 	}
 }
 
+// listExperiments prints the figure registry in sorted order.
+func listExperiments() {
+	fmt.Println("available experiments:")
+	for _, n := range exp.FigureNames() {
+		fmt.Printf("  %s\n", n)
+	}
+}
+
 // listRegistries prints the scenario vocabulary: what a spec can name.
-func listRegistries(topos, pats, pros, mets bool) {
+func listRegistries(topos, pats, pros, mets, qds bool) {
 	entry := func(name, doc string, params map[string]float64) {
 		fmt.Printf("  %-22s %s\n", name, doc)
 		if len(params) > 0 {
@@ -307,6 +320,12 @@ func listRegistries(topos, pats, pros, mets bool) {
 		fmt.Println("custom drivers:")
 		for _, d := range scenario.DriverList() {
 			entry(d.Name, d.Doc, d.Params)
+		}
+	}
+	if qds {
+		fmt.Println("queue disciplines:")
+		for _, q := range netsim.QdiscList() {
+			entry(q.Name, q.Doc, q.Params)
 		}
 	}
 }

@@ -1,0 +1,116 @@
+package netsim
+
+import (
+	"testing"
+
+	"pdq/internal/sim"
+)
+
+// TestQueueWaitingSerDoneBoundary pins the serializer's tie-breaking at
+// an exact serialization boundary: an observer firing at precisely the
+// instant a packet finishes serializing (and the next one starts) must
+// see the completed packet counted — and the successor in service — if
+// and only if the observer was scheduled after the packets were
+// enqueued, exactly as the old eager event-per-transition model ordered
+// it (DESIGN.md §3).
+func TestQueueWaitingSerDoneBoundary(t *testing.T) {
+	n, a, b, path := line(t)
+	l := path[0]
+	tx := sim.Time(12 * sim.Microsecond) // 1500 B at 1 Gbps
+
+	type obs struct{ qBytes, waiting int }
+	var early, late obs
+	// Scheduled BEFORE the packets exist: same firing time as p1's
+	// serialization completion, but an earlier seq — it must not see the
+	// completion, and p1 still counts as in service.
+	n.Sim.At(tx, func() { early = obs{l.QueueBytes(), l.QueueWaiting()} })
+	n.Send(mkpkt(a, b, path, 1500)) // p1: serializes [0, 12µs)
+	n.Send(mkpkt(a, b, path, 1500)) // p2: serializes [12µs, 24µs)
+	// Scheduled AFTER the packets: later seq — it sees p1 done and p2
+	// (whose serStart ties at 12µs) in service.
+	n.Sim.At(tx, func() { late = obs{l.QueueBytes(), l.QueueWaiting()} })
+	n.Sim.Run()
+
+	if early.qBytes != 3000 || early.waiting != 1500 {
+		t.Errorf("early observer: queue %d waiting %d, want 3000/1500 (completion not yet visible)", early.qBytes, early.waiting)
+	}
+	if late.qBytes != 1500 || late.waiting != 0 {
+		t.Errorf("late observer: queue %d waiting %d, want 1500/0 (p1 done, p2 in service)", late.qBytes, late.waiting)
+	}
+}
+
+// TestDropAttributionLossFirst pins the Drops vs LossDrops split when
+// random loss and a full queue interact: the loss coin is flipped
+// before admission, so a packet "lost on the wire" never reaches the
+// tail-drop check even when the queue is overflowing — and every sent
+// packet lands in exactly one of delivered, Drops, or LossDrops.
+func TestDropAttributionLossFirst(t *testing.T) {
+	// LossRate 1 on a queue too small for a second packet: everything is
+	// a loss drop, never a tail drop.
+	n, a, b, path := line(t)
+	l := path[0]
+	l.QueueCap = 1500
+	l.LossRate = 1
+	for i := 0; i < 10; i++ {
+		n.Send(mkpkt(a, b, path, 1500))
+	}
+	n.Sim.Run()
+	if l.LossDrops() != 10 || l.Drops() != 0 {
+		t.Errorf("LossRate=1: LossDrops %d Drops %d, want 10/0", l.LossDrops(), l.Drops())
+	}
+	if got := len(b.Agent.(*collector).got); got != 0 {
+		t.Errorf("delivered %d packets, want 0", got)
+	}
+}
+
+func TestDropAttributionPartition(t *testing.T) {
+	// A coin-flip loss rate against a queue that holds two packets:
+	// surviving packets beyond the cap tail-drop, and the three counters
+	// partition the offered load exactly.
+	n, a, b, path := line(t)
+	l := path[0]
+	l.QueueCap = 3000
+	l.LossRate = 0.5
+	const N = 40
+	for i := 0; i < N; i++ {
+		n.Send(mkpkt(a, b, path, 1500)) // all at t=0: at most 2 admitted
+	}
+	n.Sim.Run()
+	delivered := len(b.Agent.(*collector).got)
+	if l.LossDrops() == 0 || l.Drops() == 0 {
+		t.Fatalf("seeded coin should produce both kinds: LossDrops %d Drops %d", l.LossDrops(), l.Drops())
+	}
+	if delivered != 2 {
+		t.Errorf("delivered %d, want 2 (queue holds two packets)", delivered)
+	}
+	if total := uint64(delivered) + l.Drops() + l.LossDrops(); total != N {
+		t.Errorf("delivered %d + Drops %d + LossDrops %d = %d, want %d",
+			delivered, l.Drops(), l.LossDrops(), total, N)
+	}
+	if l.TxPackets() != uint64(delivered) {
+		t.Errorf("TxPackets %d != delivered %d", l.TxPackets(), delivered)
+	}
+}
+
+// TestDropAttributionSchedPath runs the same partition identity under a
+// reordering discipline, whose eager accounting path is distinct from
+// the FIFO serializer's lazy one.
+func TestDropAttributionSchedPath(t *testing.T) {
+	n, a, b, path := line(t)
+	l := path[0]
+	l.SetQdisc(NewPrio(4))
+	l.QueueCap = 3000
+	l.LossRate = 0.5
+	const N = 40
+	for i := 0; i < N; i++ {
+		n.Send(mkpkt(a, b, path, 1500))
+	}
+	n.Sim.Run()
+	delivered := len(b.Agent.(*collector).got)
+	if delivered != 2 {
+		t.Errorf("delivered %d, want 2", delivered)
+	}
+	if total := uint64(delivered) + l.Drops() + l.LossDrops(); total != N {
+		t.Errorf("counters do not partition: %d delivered, %d tail, %d loss", delivered, l.Drops(), l.LossDrops())
+	}
+}

@@ -47,6 +47,14 @@ type Link struct {
 	qBytes    int      // bytes queued or serializing, as of the last advance
 	busyUntil sim.Time // when the last accepted packet finishes serializing
 
+	// Queue discipline (DESIGN.md §9). nil is the built-in tail-drop
+	// FIFO fast path; sched is set iff the discipline reorders dequeues,
+	// in which case serving is the packet on the serializer and the
+	// discipline buffers the rest.
+	qdisc   Qdisc
+	sched   Scheduler
+	serving *Packet
+
 	// Serializer FIFO, threaded through Packet.qNext: packets waiting for
 	// or undergoing serialization, in enqueue order. serDone times are
 	// monotone along the chain.
@@ -77,13 +85,39 @@ func (n *Network) NewLink(from, to Node) *Link {
 
 // GrowTo extends s with zero values until index id is valid and returns
 // the (possibly reallocated) slice. It is the shared idiom for the dense
-// per-link state tables the protocol switch logics key by Link.ID.
+// per-link state tables the protocol switch logics key by Link.ID. The
+// whole extension is appended at once, so growing a table costs at most
+// one allocation regardless of how far id is beyond the current length.
 func GrowTo[T any](s []T, id int) []T {
-	for len(s) <= id {
-		s = append(s, *new(T))
+	if need := id + 1 - len(s); need > 0 {
+		s = append(s, make([]T, need)...)
 	}
 	return s
 }
+
+// SetQdisc installs a queue discipline on l. A nil qdisc (or TailDrop,
+// its explicit form) restores the built-in tail-drop FIFO fast path.
+// The discipline must be installed while the link is idle — swapping
+// policies under in-flight packets would corrupt the serializer state.
+func (l *Link) SetQdisc(q Qdisc) {
+	if l.qHead != nil || l.serving != nil {
+		panic(fmt.Sprintf("netsim: SetQdisc on busy %v", l))
+	}
+	if q == nil {
+		l.qdisc, l.sched = nil, nil
+		return
+	}
+	if _, isDefault := q.(TailDrop); isDefault {
+		l.qdisc, l.sched = nil, nil
+		return
+	}
+	l.qdisc = q
+	l.sched, _ = q.(Scheduler)
+}
+
+// Qdisc returns the installed queue discipline; nil is the built-in
+// tail-drop FIFO.
+func (l *Link) Qdisc() Qdisc { return l.qdisc }
 
 // NewDuplexLink creates a bidirectional link (two directed links joined by
 // Peer) and returns the from→to direction.
@@ -135,6 +169,12 @@ func (l *Link) QueueBytes() int {
 // serialized — the backlog a rate controller should drain. A link running
 // at exactly its capacity has QueueWaiting ≈ 0 while QueueBytes ≈ one MTU.
 func (l *Link) QueueWaiting() int {
+	if l.sched != nil {
+		if l.serving != nil {
+			return l.qBytes - l.serving.Wire
+		}
+		return l.qBytes
+	}
 	l.advance()
 	inService := 0
 	if h := l.qHead; h != nil {
@@ -176,18 +216,33 @@ func (l *Link) String() string {
 	return fmt.Sprintf("link%d(%d->%d)", l.ID, l.From.ID(), l.To.ID())
 }
 
-// Enqueue places pkt into the link's FIFO. If the queue cannot hold the
-// packet it is tail-dropped. Random loss injection (LossRate) also occurs
-// here, covering both directions of the paper's loss experiments.
+// Enqueue places pkt into the link's queue under the installed
+// discipline (tail-drop FIFO by default): the qdisc decides admission
+// and may mark the packet; a rejected packet is dropped. Random loss
+// injection (LossRate) occurs first, covering both directions of the
+// paper's loss experiments, and is attributed to LossDrops — a packet
+// never reaches the admission check once the loss coin drops it.
 func (l *Link) Enqueue(pkt *Packet) {
 	if l.LossRate > 0 && l.net.Rand.Float64() < l.LossRate {
 		l.lossDrops++
 		return
 	}
-	l.advance()
-	if l.qBytes+pkt.Wire > l.QueueCap {
-		l.drops++
+	if l.sched != nil {
+		l.schedEnqueue(pkt)
 		return
+	}
+	l.advance()
+	if q := l.qdisc; q == nil {
+		if l.qBytes+pkt.Wire > l.QueueCap {
+			l.drops++
+			return
+		}
+	} else {
+		if !q.Admit(l, pkt, l.qBytes) {
+			l.drops++
+			return
+		}
+		q.OnEnqueue(l, pkt, l.qBytes)
 	}
 	l.qBytes += pkt.Wire
 	now := l.net.Sim.Now()
@@ -212,4 +267,57 @@ func (l *Link) Enqueue(pkt *Packet) {
 	// as the packet's position in the engine's total event order.
 	pkt.enqSeq = l.net.Sim.NextSeq() // the delivery event's seq, assigned next
 	l.net.Sim.AtRunner(done+l.PropDelay+l.ProcDelay, pkt)
+}
+
+// schedEnqueue is the reordering-discipline path: the qdisc buffers
+// waiting packets and the link serializes exactly one at a time, so
+// dequeue order is decided when the serializer frees up rather than
+// stamped at enqueue. Counters and qBytes are settled eagerly (advance
+// has nothing to walk — the intrusive FIFO stays empty on this path).
+func (l *Link) schedEnqueue(pkt *Packet) {
+	if !l.qdisc.Admit(l, pkt, l.qBytes) {
+		l.drops++
+		return
+	}
+	l.qdisc.OnEnqueue(l, pkt, l.qBytes)
+	l.qBytes += pkt.Wire
+	if l.serving == nil {
+		l.startService(pkt)
+	} else {
+		l.sched.Push(pkt)
+	}
+}
+
+// startService puts pkt on the serializer: one delivery event for the
+// packet (serialization + wire + processing delays, Packet.RunEvent)
+// plus one serialization-complete event for the link itself, which
+// settles the counters and pulls the discipline's next packet.
+func (l *Link) startService(pkt *Packet) {
+	now := l.net.Sim.Now()
+	done := now + l.TxTime(pkt.Wire)
+	pkt.serStart, pkt.serDone = now, done
+	pkt.qNext = nil
+	l.serving = pkt
+	l.busyUntil = done
+	// The ser-done event is scheduled first so it carries the earlier
+	// seq: at a (time, seq) tie — a link with zero propagation and
+	// processing delay — the packet is accounted as departed before its
+	// delivery fires, matching the fast path's enqSeq tie-break.
+	l.net.Sim.AtRunner(done, l)
+	pkt.enqSeq = l.net.Sim.NextSeq() // the delivery event's seq, assigned next
+	l.net.Sim.AtRunner(done+l.PropDelay+l.ProcDelay, pkt)
+}
+
+// RunEvent implements sim.Runner for the reordering-discipline path: it
+// fires when the serving packet finishes serializing, accounts it, and
+// starts the discipline's next pick.
+func (l *Link) RunEvent() {
+	p := l.serving
+	l.qBytes -= p.Wire
+	l.txPackets++
+	l.txBytes += uint64(p.Wire)
+	l.serving = nil
+	if next := l.sched.Pop(); next != nil {
+		l.startService(next)
+	}
 }

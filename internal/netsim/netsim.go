@@ -113,6 +113,17 @@ type Packet struct {
 
 	Hdr any // protocol scheduling header (e.g. *core.Header), may be nil
 
+	// ECN bits (RFC 3168 analogues, DESIGN.md §9): CE (congestion
+	// experienced) is set by a marking queue discipline when the packet
+	// enqueues into a backlog above threshold; the receiver echoes it
+	// back as ECE on the acknowledgment (DCTCP).
+	CE  bool
+	ECE bool
+
+	// Prio is the strict-priority band for Scheduler disciplines
+	// (0 = highest). pFabric stamps it from the flow's remaining size.
+	Prio uint8
+
 	// EchoSentAt is the send timestamp of the forward packet, copied into
 	// its acknowledgment by the receiver (like a TCP timestamp option) so
 	// the sender can measure RTT without per-packet sender state.

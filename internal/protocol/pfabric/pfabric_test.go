@@ -1,0 +1,148 @@
+package pfabric
+
+import (
+	"testing"
+
+	"pdq/internal/netsim"
+	"pdq/internal/protocol/tcp"
+	"pdq/internal/sim"
+	"pdq/internal/topo"
+	"pdq/internal/workload"
+)
+
+func TestBandFor(t *testing.T) {
+	cases := []struct {
+		remaining, bands int
+		want             uint8
+	}{
+		{0, 8, 0}, {1, 8, 0}, {2, 8, 1}, {3, 8, 1}, {4, 8, 2},
+		{7, 8, 2}, {8, 8, 3}, {255, 8, 7}, {256, 8, 7}, {1 << 20, 8, 7},
+		{5, 2, 1}, {1, 2, 0},
+	}
+	for _, c := range cases {
+		if got := BandFor(c.remaining, c.bands); got != c.want {
+			t.Errorf("BandFor(%d, %d) = %d, want %d", c.remaining, c.bands, got, c.want)
+		}
+	}
+	// Monotone: more remaining never raises priority (lowers the band).
+	prev := uint8(0)
+	for r := 1; r < 1000; r++ {
+		b := BandFor(r, 8)
+		if b < prev {
+			t.Fatalf("BandFor not monotone at %d: %d < %d", r, b, prev)
+		}
+		prev = b
+	}
+}
+
+func TestInstallSetsPrioQdisc(t *testing.T) {
+	tp := topo.SingleBottleneck(2, 1)
+	Install(tp, Config{Bands: 4})
+	for _, l := range tp.Net.Links() {
+		q, ok := l.Qdisc().(*netsim.Prio)
+		if !ok {
+			t.Fatalf("%v: qdisc %T, want *netsim.Prio", l, l.Qdisc())
+		}
+		if q.Bands() != 4 {
+			t.Fatalf("%v: %d bands, want 4", l, q.Bands())
+		}
+	}
+}
+
+func run(t *testing.T, tp *topo.Topology, flows []workload.Flow, horizon sim.Time) []workload.Result {
+	t.Helper()
+	sys := Install(tp, Config{})
+	for _, f := range flows {
+		sys.Start(f)
+	}
+	tp.Sim().RunUntil(horizon)
+	return sys.Results()
+}
+
+func TestSingleFlowCompletes(t *testing.T) {
+	tp := topo.SingleBottleneck(1, 1)
+	rs := run(t, tp, []workload.Flow{{ID: 1, Src: 0, Dst: 1, Size: 1 << 20}}, sim.Second)
+	if !rs[0].Done() {
+		t.Fatal("flow incomplete")
+	}
+	if rs[0].PrioPackets == 0 {
+		t.Error("no priority-stamped packets counted")
+	}
+	// Near-BDP initial window: barely any slow-start ramp over the raw
+	// 8.7 ms transfer.
+	if rs[0].FCT() < 8*sim.Millisecond || rs[0].FCT() > 20*sim.Millisecond {
+		t.Errorf("FCT %v unexpected", rs[0].FCT())
+	}
+}
+
+// TestShortFlowsPreemptLong is pFabric's core claim: short flows
+// arriving behind a bulk transfer cut the queue and finish near their
+// ideal time, where TCP makes them wait out the elephant's backlog.
+func TestShortFlowsPreemptLong(t *testing.T) {
+	mk := func() []workload.Flow {
+		flows := []workload.Flow{{ID: 1, Src: 0, Dst: 2, Size: 8 << 20}}
+		// Shorts start once the long flow has filled the bottleneck queue.
+		for i := 0; i < 8; i++ {
+			flows = append(flows, workload.Flow{
+				ID: uint64(i + 2), Src: 1, Dst: 2, Size: 20 << 10,
+				Start: 10*sim.Millisecond + sim.Time(i)*sim.Millisecond,
+			})
+		}
+		return flows
+	}
+
+	rsP := run(t, topo.SingleBottleneck(2, 1), mk(), 10*sim.Second)
+
+	tpT := topo.SingleBottleneck(2, 1)
+	sysT := tcp.Install(tpT, tcp.Config{})
+	for _, f := range mk() {
+		sysT.Start(f)
+	}
+	tpT.Sim().RunUntil(10 * sim.Second)
+	rsT := sysT.Results()
+
+	worst := func(rs []workload.Result) sim.Time {
+		var w sim.Time
+		for _, r := range rs[1:] {
+			if !r.Done() {
+				t.Fatalf("short flow %d incomplete", r.ID)
+			}
+			if r.FCT() > w {
+				w = r.FCT()
+			}
+		}
+		return w
+	}
+	wP, wT := worst(rsP), worst(rsT)
+	if !rsP[0].Done() {
+		t.Fatal("pFabric long flow incomplete")
+	}
+	if wP >= wT {
+		t.Errorf("pFabric worst short FCT %v not below TCP's %v", wP, wT)
+	}
+	// With strict priority the shorts see an almost idle link: a 20 KB
+	// flow is ~14 packets, well under 2 ms end to end.
+	if wP > 2*sim.Millisecond {
+		t.Errorf("pFabric worst short FCT %v, want near-isolation (<2ms)", wP)
+	}
+}
+
+func TestManyFlowsAllComplete(t *testing.T) {
+	// Mixed sizes over a tree: completion despite priority starvation
+	// pressure on the long flows (the kernel's RTO keeps them alive).
+	tp := topo.SingleRootedTree(4, 3, 1)
+	var flows []workload.Flow
+	sizes := []int64{10 << 10, 100 << 10, 1 << 20}
+	for i := 0; i < 12; i++ {
+		flows = append(flows, workload.Flow{
+			ID: uint64(i + 1), Src: i, Dst: (i + 5) % 12, Size: sizes[i%3],
+			Start: sim.Time(i) * 100 * sim.Microsecond,
+		})
+	}
+	rs := run(t, tp, flows, 30*sim.Second)
+	for i, r := range rs {
+		if !r.Done() {
+			t.Fatalf("flow %d never completed", i)
+		}
+	}
+}

@@ -4,9 +4,12 @@
 // timeout recovery with a small configurable RTOmin to mitigate the TCP
 // incast problem, as suggested by Vasudevan et al. [18].
 //
-// The receiver acknowledges every data packet with a cumulative ACK (no
-// delayed ACKs), which matches the simulators used by the papers in this
-// line of work.
+// The congestion/retransmission machinery lives in Kernel (kernel.go),
+// an embeddable core shared with the protocols layered on TCP
+// (internal/protocol/dctcp, internal/protocol/pfabric); this file is
+// the plain-Reno shell around it. The receiver acknowledges every data
+// packet with a cumulative ACK (no delayed ACKs), which matches the
+// simulators used by the papers in this line of work.
 package tcp
 
 import (
@@ -28,7 +31,9 @@ type Config struct {
 	MaxCwnd  float64 // cap in MSS, default 1024 (a 1.5 MB window)
 }
 
-func (c Config) withDefaults() Config {
+// WithDefaults fills unset fields with the Reno defaults. Protocols
+// embedding the kernel call it before overriding their own defaults.
+func (c Config) WithDefaults() Config {
 	if c.RTOmin == 0 {
 		c.RTOmin = sim.Millisecond
 	}
@@ -56,11 +61,11 @@ type System struct {
 // Install attaches TCP to every host of the topology (switches are plain
 // FIFO tail-drop forwarders).
 func Install(t *topo.Topology, cfg Config) *System {
-	s := &System{Cfg: cfg.withDefaults(), Topo: t, Sim: t.Sim(), Collector: workload.NewCollector()}
+	s := &System{Cfg: cfg.WithDefaults(), Topo: t, Sim: t.Sim(), Collector: workload.NewCollector()}
 	for _, h := range t.Hosts {
 		ag := &agent{sys: s, host: h,
-			sends: map[netsim.FlowID]*sender{},
-			recvs: map[netsim.FlowID]*receiver{},
+			sends: map[netsim.FlowID]*Conn{},
+			recvs: map[netsim.FlowID]*Receiver{},
 		}
 		h.Agent = ag
 		s.agents = append(s.agents, ag)
@@ -81,15 +86,11 @@ func (s *System) launch(f workload.Flow) {
 	src, dst := s.agents[f.Src], s.agents[f.Dst]
 	path := s.Topo.Path(s.Topo.Hosts[f.Src], s.Topo.Hosts[f.Dst])
 	n := int((f.Size + netsim.MSS - 1) / netsim.MSS)
-	dst.recvs[netsim.FlowID(f.ID)] = &receiver{sys: s, flow: f, numPkts: n, got: make([]bool, n)}
-	snd := &sender{
-		sys: s, flow: f, path: path, numPkts: n,
-		cwnd:     s.Cfg.InitCwnd,
-		ssthresh: s.Cfg.MaxCwnd,
-	}
-	snd.rtoFn = snd.onRTO
+	dst.recvs[netsim.FlowID(f.ID)] = NewReceiver(s.Topo.Net, s.Collector, f, n)
+	snd := &Conn{Net: s.Topo.Net, Flow: f, Path: path, ExtraHdr: HdrWire}
+	snd.Init(s.Sim, s.Cfg, s.Collector, f.ID, n, snd.SendSeg)
 	src.sends[netsim.FlowID(f.ID)] = snd
-	snd.trySend()
+	snd.TrySend()
 }
 
 // Results returns a snapshot of all flow outcomes.
@@ -101,249 +102,20 @@ func (s *System) FlowCollector() *workload.Collector { return s.Collector }
 type agent struct {
 	sys   *System
 	host  *netsim.Host
-	sends map[netsim.FlowID]*sender
-	recvs map[netsim.FlowID]*receiver
+	sends map[netsim.FlowID]*Conn
+	recvs map[netsim.FlowID]*Receiver
 }
 
 func (a *agent) Receive(pkt *netsim.Packet, ingress *netsim.Link) {
 	if pkt.Kind == netsim.DATA {
 		if r := a.recvs[pkt.Flow]; r != nil {
-			r.onData(pkt)
+			r.OnData(pkt)
 		}
 		return
 	}
 	if pkt.Kind == netsim.ACK {
 		if snd := a.sends[pkt.Flow]; snd != nil {
-			snd.onAck(pkt)
+			snd.ProcessAck(int(pkt.Seq/netsim.MSS), pkt.EchoSentAt)
 		}
 	}
-}
-
-// sender is one TCP Reno connection (window units are whole MSS packets).
-type sender struct {
-	sys     *System
-	flow    workload.Flow
-	path    []*netsim.Link
-	numPkts int
-
-	sndUna, sndNext int
-	cwnd, ssthresh  float64
-	dupAcks         int
-	inRecovery      bool
-	recover         int // highest packet outstanding when loss was detected
-
-	srtt, rttvar sim.Time
-	backoff      sim.Time
-	rtoPending   bool
-	rtoEv        sim.EventRef
-	rtoFn        func() // pre-bound onRTO; armRTO runs once per ACK
-	done         bool
-}
-
-func (t *sender) payload(i int) int {
-	if i < t.numPkts-1 {
-		return netsim.MSS
-	}
-	return int(t.flow.Size - int64(t.numPkts-1)*netsim.MSS)
-}
-
-func (t *sender) rto() sim.Time {
-	var r sim.Time
-	if t.srtt == 0 {
-		r = 3 * t.sys.Cfg.InitRTT
-	} else {
-		r = t.srtt + 4*t.rttvar
-	}
-	if r < t.sys.Cfg.RTOmin {
-		r = t.sys.Cfg.RTOmin
-	}
-	if t.backoff > 0 {
-		r += t.backoff
-	}
-	return r
-}
-
-func (t *sender) sendPkt(idx int) {
-	pay := t.payload(idx)
-	t.sys.Topo.Net.Send(&netsim.Packet{
-		Flow:       netsim.FlowID(t.flow.ID),
-		Kind:       netsim.DATA,
-		Src:        t.path[0].From.ID(),
-		Dst:        t.path[len(t.path)-1].To.ID(),
-		Seq:        int64(idx) * netsim.MSS,
-		Payload:    pay,
-		Wire:       pay + netsim.IPTCPHeader + HdrWire,
-		Path:       t.path,
-		EchoSentAt: t.sys.Sim.Now(),
-	})
-}
-
-// trySend fills the congestion window with back-to-back packets (the
-// access link queue paces the burst) and keeps the RTO armed.
-func (t *sender) trySend() {
-	if t.done {
-		return
-	}
-	for t.sndNext < t.numPkts && t.sndNext-t.sndUna < int(t.cwnd) {
-		t.sendPkt(t.sndNext)
-		t.sndNext++
-	}
-	if t.sndNext > t.sndUna {
-		t.armRTO()
-	}
-}
-
-func (t *sender) armRTO() {
-	if t.rtoPending {
-		t.sys.Sim.Cancel(t.rtoEv)
-	}
-	t.rtoPending = true
-	t.rtoEv = t.sys.Sim.After(t.rto(), t.rtoFn)
-}
-
-func (t *sender) onRTO() {
-	t.rtoPending = false
-	if t.done || t.sndUna >= t.numPkts {
-		return
-	}
-	// Timeout: multiplicative backoff, collapse to slow start and
-	// go-back-N from the first unacknowledged packet.
-	t.ssthresh = maxf(float64(t.sndNext-t.sndUna)/2, 2)
-	t.cwnd = 1
-	t.dupAcks = 0
-	t.inRecovery = false
-	if t.backoff == 0 {
-		t.backoff = t.rto()
-	} else {
-		t.backoff *= 2
-	}
-	t.sndNext = t.sndUna
-	t.sys.Collector.AddRetransmit(t.flow.ID) // go-back-N resend counts once
-	t.trySend()
-}
-
-func (t *sender) onAck(pkt *netsim.Packet) {
-	if t.done {
-		return
-	}
-	if pkt.EchoSentAt > 0 {
-		sample := t.sys.Sim.Now() - pkt.EchoSentAt
-		if t.srtt == 0 {
-			t.srtt = sample
-			t.rttvar = sample / 2
-		} else {
-			d := t.srtt - sample
-			if d < 0 {
-				d = -d
-			}
-			t.rttvar = (3*t.rttvar + d) / 4
-			t.srtt = (7*t.srtt + sample) / 8
-		}
-	}
-	ackIdx := int(pkt.Seq / netsim.MSS) // cumulative: next expected packet
-	switch {
-	case ackIdx > t.sndUna:
-		t.backoff = 0
-		t.sndUna = ackIdx
-		if t.sndNext < t.sndUna {
-			t.sndNext = t.sndUna
-		}
-		if t.inRecovery {
-			if ackIdx > t.recover {
-				t.inRecovery = false
-				t.cwnd = t.ssthresh
-				t.dupAcks = 0
-			} else {
-				// NewReno partial ACK: retransmit the next hole.
-				t.sys.Collector.AddRetransmit(t.flow.ID)
-				t.sendPkt(t.sndUna)
-				t.cwnd = maxf(t.cwnd-float64(ackIdx-t.sndUna)+1, 1)
-			}
-		} else {
-			t.dupAcks = 0
-			if t.cwnd < t.ssthresh {
-				t.cwnd++ // slow start
-			} else {
-				t.cwnd += 1 / t.cwnd // congestion avoidance
-			}
-		}
-		if t.cwnd > t.sys.Cfg.MaxCwnd {
-			t.cwnd = t.sys.Cfg.MaxCwnd
-		}
-		if t.sndUna >= t.numPkts {
-			t.done = true
-			t.sys.Sim.Cancel(t.rtoEv)
-			return
-		}
-		t.armRTO()
-	case ackIdx == t.sndUna && t.sndNext > t.sndUna:
-		t.dupAcks++
-		if t.inRecovery {
-			t.cwnd++ // fast recovery inflation
-		} else if t.dupAcks == 3 {
-			// Fast retransmit.
-			t.ssthresh = maxf(float64(t.sndNext-t.sndUna)/2, 2)
-			t.cwnd = t.ssthresh + 3
-			t.inRecovery = true
-			t.recover = t.sndNext
-			t.sys.Collector.AddRetransmit(t.flow.ID)
-			t.sendPkt(t.sndUna)
-		}
-	}
-	t.trySend()
-}
-
-func maxf(a, b float64) float64 {
-	if a > b {
-		return a
-	}
-	return b
-}
-
-// receiver tracks in-order delivery and sends one cumulative ACK per data
-// packet.
-type receiver struct {
-	sys     *System
-	flow    workload.Flow
-	numPkts int
-	got     []bool
-	gotB    int64
-	rcvNext int
-	done    bool
-	revPath []*netsim.Link
-}
-
-func (r *receiver) payload(i int) int {
-	if i < r.numPkts-1 {
-		return netsim.MSS
-	}
-	return int(r.flow.Size - int64(r.numPkts-1)*netsim.MSS)
-}
-
-func (r *receiver) onData(pkt *netsim.Packet) {
-	idx := int(pkt.Seq / netsim.MSS)
-	if idx >= 0 && idx < r.numPkts && !r.got[idx] {
-		r.got[idx] = true
-		r.gotB += int64(r.payload(idx))
-		for r.rcvNext < r.numPkts && r.got[r.rcvNext] {
-			r.rcvNext++
-		}
-		if !r.done && r.gotB >= r.flow.Size {
-			r.done = true
-			r.sys.Collector.Finish(r.flow.ID, r.sys.Sim.Now())
-		}
-	}
-	if r.revPath == nil {
-		r.revPath = netsim.ReversePath(pkt.Path)
-	}
-	r.sys.Topo.Net.Send(&netsim.Packet{
-		Flow:       pkt.Flow,
-		Kind:       netsim.ACK,
-		Src:        pkt.Src,
-		Dst:        pkt.Dst,
-		Seq:        int64(r.rcvNext) * netsim.MSS,
-		Wire:       netsim.ControlWire,
-		Path:       r.revPath,
-		EchoSentAt: pkt.EchoSentAt,
-	})
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"pdq/internal/netsim"
 	"pdq/internal/params"
 	"pdq/internal/sim"
 	"pdq/internal/topo"
@@ -18,6 +19,14 @@ import (
 type RunCtx struct {
 	Horizon sim.Time
 	Cell    *trace.CellTrace
+
+	// Qdisc, when non-nil, is the row's `qdisc:` override: packet-level
+	// runners install a fresh instance on every link of the built
+	// topology after protocol installation, so it wins over whatever
+	// discipline the protocol installs by default (e.g. DCTCP's ECN
+	// FIFO). Flow-level runners have no packet queues; specs pairing
+	// them with a qdisc fail at compile time.
+	Qdisc func() netsim.Qdisc
 }
 
 // RunnerFunc runs one protocol over a set of flows on a freshly built

@@ -18,6 +18,7 @@ import (
 	"strings"
 	"sync"
 
+	"pdq/internal/netsim"
 	"pdq/internal/params"
 	"pdq/internal/sim"
 	"pdq/internal/stats"
@@ -97,6 +98,8 @@ type rowKey struct {
 	Metric       string             `json:"metric,omitempty"`
 	MetricParams map[string]float64 `json:"metric_params,omitempty"`
 	Level        string             `json:"level,omitempty"`
+	Qdisc        string             `json:"qdisc,omitempty"`
+	QdiscParams  map[string]float64 `json:"qdisc_params,omitempty"`
 }
 
 // engKey is the run-level cache-key material shared by every cell.
@@ -132,6 +135,8 @@ type row struct {
 	cols     int
 	level    string // runner simulator level: "packet" or "flow"
 	analytic func(flows []workload.Flow) float64
+	// qdisc is the row's `qdisc:` override factory, nil when unset.
+	qdisc func() netsim.Qdisc
 	// runner and metric are bound per column (runner and metric params
 	// can carry the sweep axis); entry c evaluates column c. Fixed rows
 	// only have entry 0.
@@ -551,6 +556,9 @@ func compileRow(s *Spec, ps ProtoSpec, cols []column) (*row, error) {
 		if ps.Runner != "" {
 			return nil, fmt.Errorf("row %q has both runner and analytic", r.label)
 		}
+		if ps.Qdisc != nil {
+			return nil, fmt.Errorf("row %q: analytic baselines run no simulation, qdisc has no effect", r.label)
+		}
 		if r.label == "" {
 			r.label = ps.Analytic
 		}
@@ -574,6 +582,16 @@ func compileRow(s *Spec, ps ProtoSpec, cols []column) (*row, error) {
 	}
 	if s.HorizonMs <= 0 {
 		return nil, fmt.Errorf("row %q needs horizon_ms > 0", r.label)
+	}
+	var qdiscName string
+	var qdiscParams map[string]float64
+	if ps.Qdisc != nil {
+		f, qp, err := netsim.MakeQdisc(ps.Qdisc.Name, ps.Qdisc.Params)
+		if err != nil {
+			return nil, fmt.Errorf("row %q: %w", r.label, err)
+		}
+		r.qdisc = f
+		qdiscName, qdiscParams = ps.Qdisc.Name, qp
 	}
 	n := len(cols)
 	if ps.Fixed {
@@ -605,12 +623,17 @@ func compileRow(s *Spec, ps ProtoSpec, cols []column) (*row, error) {
 		if err != nil {
 			return nil, err
 		}
+		if level != "packet" && ps.Qdisc != nil {
+			return nil, fmt.Errorf("row %q: qdisc %q needs a packet-level runner, %q is %s-level",
+				r.label, ps.Qdisc.Name, ps.Runner, level)
+		}
 		r.level = level
 		r.runner = append(r.runner, bound)
 		r.metric = append(r.metric, metric)
 		r.keys = append(r.keys, rowKey{
 			Runner: ps.Runner, Params: rp,
 			Metric: mspec.Name, MetricParams: mp, Level: level,
+			Qdisc: qdiscName, QdiscParams: qdiscParams,
 		})
 	}
 	return r, nil
@@ -634,7 +657,7 @@ func bindRunner(name string, given map[string]float64) (func(seed int64) RunnerF
 // capture with (colLabel, run) — run distinguishes replicates and search
 // probes sharing one grid-cell tag.
 func (e *engine) simulate(r *row, at int, build func() *topo.Topology, flows []workload.Flow, seed int64, colLabel string, run int) []workload.Result {
-	rc := RunCtx{Horizon: e.horizon}
+	rc := RunCtx{Horizon: e.horizon, Qdisc: r.qdisc}
 	if e.trace != nil {
 		rc.Cell = e.trace.OpenCell(trace.Cell{
 			Scenario: e.spec.Name, Row: r.label, Col: colLabel, Seed: seed, Run: run,

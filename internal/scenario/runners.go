@@ -5,7 +5,10 @@ import (
 
 	"pdq/internal/core"
 	"pdq/internal/flowsim"
+	"pdq/internal/netsim"
 	"pdq/internal/protocol/d3"
+	"pdq/internal/protocol/dctcp"
+	"pdq/internal/protocol/pfabric"
 	"pdq/internal/protocol/rcp"
 	"pdq/internal/protocol/tcp"
 	"pdq/internal/sim"
@@ -61,6 +64,13 @@ func mkPacket(install func(t *topo.Topology) protoSystem) RunnerFunc {
 	return func(build func() *topo.Topology, flows []workload.Flow, rc RunCtx) []workload.Result {
 		t := build()
 		sys := install(t)
+		if rc.Qdisc != nil {
+			// Per-row `qdisc:` override: applied after install so it wins
+			// over the protocol's own default discipline.
+			for _, l := range t.Net.Links() {
+				l.SetQdisc(rc.Qdisc())
+			}
+		}
 		attachTelemetry(rc.Cell, t, sys.FlowCollector())
 		for _, f := range flows {
 			sys.Start(f)
@@ -138,6 +148,37 @@ func init() {
 		Name: "TCP", Doc: "TCP NewReno-style baseline (packet level)", Level: "packet",
 		Make: func(map[string]float64, int64) RunnerFunc {
 			return mkPacket(func(t *topo.Topology) protoSystem { return tcp.Install(t, tcp.Config{}) })
+		},
+	})
+	RegisterRunner(RunnerEntry{
+		Name: "DCTCP", Doc: "DCTCP: ECN threshold marking at switches, g-weighted α window cut (packet level)", Level: "packet",
+		Params: map[string]float64{
+			"g":            dctcp.DefaultG,
+			"threshold_kb": float64(netsim.DefaultECNThreshold) / 1024,
+		},
+		Make: func(p map[string]float64, _ int64) RunnerFunc {
+			return mkPacket(func(t *topo.Topology) protoSystem {
+				return dctcp.Install(t, dctcp.Config{G: p["g"], Threshold: int(p["threshold_kb"] * 1024)})
+			})
+		},
+	})
+	RegisterRunner(RunnerEntry{
+		Name: "pFabric", Doc: "pFabric: remaining-size packet priorities, strict-priority switches, minimal rate control (packet level)", Level: "packet",
+		Params: map[string]float64{
+			"bands":     float64(netsim.DefaultPrioBands),
+			"init_cwnd": pfabric.DefaultInitCwnd,
+			"rtomin_us": float64(pfabric.DefaultRTOmin) / float64(sim.Microsecond),
+		},
+		Make: func(p map[string]float64, _ int64) RunnerFunc {
+			return mkPacket(func(t *topo.Topology) protoSystem {
+				return pfabric.Install(t, pfabric.Config{
+					Bands: int(p["bands"]),
+					TCP: tcp.Config{
+						InitCwnd: p["init_cwnd"],
+						RTOmin:   sim.Time(p["rtomin_us"] * float64(sim.Microsecond)),
+					},
+				})
+			})
 		},
 	})
 

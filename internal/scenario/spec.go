@@ -120,6 +120,13 @@ type MetricSpec struct {
 	Params map[string]float64 `json:"params,omitempty"`
 }
 
+// QdiscSpec names a registered link queue discipline (the netsim qdisc
+// registry: tail-drop, ecn, prio).
+type QdiscSpec struct {
+	Name   string             `json:"name"`
+	Params map[string]float64 `json:"params,omitempty"`
+}
+
 // ProtoSpec is one table row: a registered runner (packet- or flow-level)
 // or a registered analytic baseline. In JSON a bare string "PDQ(Full)" is
 // shorthand for {"runner": "PDQ(Full)"}.
@@ -134,6 +141,11 @@ type ProtoSpec struct {
 	Params   map[string]float64 `json:"params,omitempty"`
 	// Metric overrides the spec-level metric for this row.
 	Metric *MetricSpec `json:"metric,omitempty"`
+	// Qdisc overrides the link queue discipline for this row's runs
+	// (packet-level runners only): every link of the built topology gets
+	// a fresh instance after protocol installation, replacing both the
+	// tail-drop default and any discipline the protocol installs itself.
+	Qdisc *QdiscSpec `json:"qdisc,omitempty"`
 	// Fixed rows ignore the sweep axis: every column evaluates the base
 	// spec (constant baselines like Fig. 12's RCP rows).
 	Fixed bool `json:"fixed,omitempty"`

@@ -56,6 +56,8 @@ type FlowRecord struct {
 	BytesAcked  int64    // payload bytes acknowledged when the record was cut
 	Retransmits int32    // data packets resent (fast retransmit + RTO)
 	Preemptions int32    // sending→paused transitions (PDQ preemption)
+	ECNMarks    int32    // ECN-marked acknowledgments received (DCTCP ECE echo)
+	PrioPackets int32    // data packets sent with an explicit priority stamp (pFabric)
 }
 
 // FCT is the completion time, valid only for finished flows.
@@ -258,12 +260,13 @@ func (t *Trace) WriteFlows(w io.Writer) error {
 				finish = r.Finish.Millis()
 			}
 			_, err := fmt.Fprintf(w,
-				`{"scenario":%s,"row":%s,"col":%s,"seed":%d,"run":%d,"flow":%d,"src":%d,"dst":%d,"size":%d,"class":%q,"start_ms":%g,"finish_ms":%g,"deadline_ms":%g,"met":%t,"terminated":%t,"bytes_acked":%d,"retransmits":%d,"preemptions":%d}`+"\n",
+				`{"scenario":%s,"row":%s,"col":%s,"seed":%d,"run":%d,"flow":%d,"src":%d,"dst":%d,"size":%d,"class":%q,"start_ms":%g,"finish_ms":%g,"deadline_ms":%g,"met":%t,"terminated":%t,"bytes_acked":%d,"retransmits":%d,"preemptions":%d,"ecn_marks":%d,"prio_packets":%d}`+"\n",
 				jsonStr(ct.Cell.Scenario), jsonStr(ct.Cell.Row), jsonStr(ct.Cell.Col),
 				ct.Cell.Seed, ct.Cell.Run,
 				r.ID, r.Src, r.Dst, r.Size, r.Class.String(),
 				r.Start.Millis(), finish, r.Deadline.Millis(),
-				r.Met, r.Terminated, r.BytesAcked, r.Retransmits, r.Preemptions)
+				r.Met, r.Terminated, r.BytesAcked, r.Retransmits, r.Preemptions,
+				r.ECNMarks, r.PrioPackets)
 			if err != nil {
 				return err
 			}

@@ -83,6 +83,22 @@ func (c *Collector) AddPreemption(id uint64) {
 	}
 }
 
+// AddECNMark counts one ECN-marked acknowledgment (ECE echo) against
+// the flow — DCTCP's congestion signal.
+func (c *Collector) AddECNMark(id uint64) {
+	if r := c.byID[id]; r != nil {
+		r.ECNMarks++
+	}
+}
+
+// AddPrioPacket counts one data packet sent with an explicit priority
+// stamp against the flow — pFabric's remaining-size priorities.
+func (c *Collector) AddPrioPacket(id uint64) {
+	if r := c.byID[id]; r != nil {
+		r.PrioPackets++
+	}
+}
+
 // SetBytesAcked records the flow's acknowledged payload bytes. Emitters
 // call it just before Terminate so a terminated flow's record carries its
 // partial progress (Finish sets it to Size on its own).
@@ -133,6 +149,8 @@ func (c *Collector) emit(r *Result) {
 		BytesAcked:  r.BytesAcked,
 		Retransmits: r.Retransmits,
 		Preemptions: r.Preemptions,
+		ECNMarks:    r.ECNMarks,
+		PrioPackets: r.PrioPackets,
 	})
 }
 

@@ -45,6 +45,8 @@ type Result struct {
 	BytesAcked  int64 // acknowledged payload bytes (Size once finished)
 	Retransmits int32 // data packets resent (fast retransmit + timeouts)
 	Preemptions int32 // sending→paused transitions (PDQ-style preemption)
+	ECNMarks    int32 // ECN-marked acknowledgments received (DCTCP's ECE echo)
+	PrioPackets int32 // data packets sent with an explicit priority stamp (pFabric)
 }
 
 // Done reports whether the flow delivered all its bytes.

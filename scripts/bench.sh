@@ -1,18 +1,20 @@
 #!/usr/bin/env sh
 # bench.sh — run the tier-1 perf benchmarks with -benchmem and fold the
-# numbers into a JSON record (default bench/BENCH_pr4.json) via
+# numbers into a JSON record (default bench/BENCH_pr5.json) via
 # scripts/benchjson. Perf records live under bench/ so the repo root
 # stays clean as the record set grows (bench/BENCH_pr2.json is the PR-2
 # zero-alloc rewrite; bench/BENCH_pr4.json adds the telemetry-overhead
-# proof).
+# proof; bench/BENCH_pr5.json adds the qdisc-layer figure benches —
+# DCTCP's marking FIFO and pFabric's strict-priority scheduler path).
 #
 # Usage:
 #   scripts/bench.sh [record.json]
 #
 # Environment:
 #   BENCH_PATTERN  bench regex        (default: the PR-2 acceptance set,
-#                                      the engine/allocator micro-benches
-#                                      and the PR-4 TraceSinkOverhead pair)
+#                                      the engine/allocator micro-benches,
+#                                      the PR-4 TraceSinkOverhead pair and
+#                                      the PR-5 DCTCP/pFabric figure benches)
 #   BENCH_TIME     -benchtime value   (default 1s; CI smoke uses 10x)
 #   BENCH_LABEL    record slot        (before|after; default: before when the
 #                                      record is empty, after otherwise)
@@ -22,8 +24,8 @@
 set -eu
 cd "$(dirname "$0")/.."
 
-OUT="${1:-bench/BENCH_pr4.json}"
-PATTERN="${BENCH_PATTERN:-Fig3a\$|Fig10\$|AblationPDQVariants|EngineSchedule|FlowAllocators|TraceSinkOverhead}"
+OUT="${1:-bench/BENCH_pr5.json}"
+PATTERN="${BENCH_PATTERN:-Fig3a\$|Fig10\$|AblationPDQVariants|EngineSchedule|FlowAllocators|TraceSinkOverhead|DCTCPIncast|PFabricWebsearch}"
 TIME="${BENCH_TIME:-1s}"
 
 mkdir -p "$(dirname "$OUT")"
