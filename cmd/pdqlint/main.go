@@ -1,0 +1,158 @@
+// Command pdqlint runs the repository's custom static-analysis suite
+// (internal/lint) over the module: the determinism and zero-allocation
+// invariants the golden tests and benches enforce dynamically, checked
+// at the source level (DESIGN.md §10).
+//
+// Usage:
+//
+//	pdqlint ./...
+//	pdqlint -analyzers nodeterm,hotpath ./...
+//	pdqlint ./internal/netsim ./internal/sim
+//
+// Exit status: 0 when clean, 1 when any diagnostic fires, 2 on usage or
+// load errors (including type errors in the tree — analysis over a
+// broken tree is not trustworthy).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"pdq/internal/lint"
+)
+
+func main() {
+	analyzers := flag.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+	listFlag := flag.Bool("list", false, "list analyzers and exit")
+	flag.Parse()
+
+	if *listFlag {
+		for _, a := range lint.All() {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	as, err := lint.ByName(*analyzers)
+	if err != nil {
+		fail(2, "%v", err)
+	}
+
+	args := flag.Args()
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	root, modPath, err := lint.FindModule(".")
+	if err != nil {
+		fail(2, "pdqlint: %v", err)
+	}
+	loader := lint.NewLoader(root, modPath)
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		fail(2, "pdqlint: %v", err)
+	}
+	pkgs, err = filterPackages(pkgs, args, root, modPath)
+	if err != nil {
+		fail(2, "pdqlint: %v", err)
+	}
+
+	broken := false
+	for _, p := range pkgs {
+		for _, terr := range p.TypeErrors {
+			broken = true
+			fmt.Fprintf(os.Stderr, "pdqlint: type error: %v\n", terr)
+		}
+	}
+	if broken {
+		fail(2, "pdqlint: tree does not type-check; fix the errors above first")
+	}
+
+	diags, err := lint.Run(pkgs, as)
+	if err != nil {
+		fail(2, "pdqlint: %v", err)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}
+
+// filterPackages narrows the loaded set to the requested patterns:
+// "./..." keeps everything, "./dir/..." keeps the subtree, "./dir" the
+// single package.
+func filterPackages(pkgs []*lint.Package, patterns []string, root, modPath string) ([]*lint.Package, error) {
+	keep := map[string]bool{}
+	all := false
+	for _, pat := range patterns {
+		if pat == "./..." || pat == "..." {
+			all = true
+			continue
+		}
+		recursive := false
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			recursive = true
+			pat = rest
+		}
+		rel, err := patternRel(pat, root)
+		if err != nil {
+			return nil, err
+		}
+		path := modPath
+		if rel != "." {
+			path = modPath + "/" + filepath.ToSlash(rel)
+		}
+		keep[path] = true
+		if recursive {
+			keep[path+"/..."] = true
+		}
+	}
+	if all {
+		return pkgs, nil
+	}
+	var out []*lint.Package
+	for _, p := range pkgs {
+		if matches(p.Path, keep) {
+			out = append(out, p)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no packages match %v", patterns)
+	}
+	return out, nil
+}
+
+func patternRel(pat, root string) (string, error) {
+	abs, err := filepath.Abs(pat)
+	if err != nil {
+		return "", err
+	}
+	rel, err := filepath.Rel(root, abs)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return "", fmt.Errorf("pattern %q is outside the module", pat)
+	}
+	return rel, nil
+}
+
+func matches(path string, keep map[string]bool) bool {
+	if keep[path] {
+		return true
+	}
+	for pat := range keep {
+		if prefix, ok := strings.CutSuffix(pat, "/..."); ok {
+			if path == prefix || strings.HasPrefix(path, prefix+"/") {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func fail(code int, format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(code)
+}

@@ -46,9 +46,7 @@ import (
 	"time"
 
 	"pdq/internal/exp"
-	"pdq/internal/netsim"
 	"pdq/internal/scenario"
-	"pdq/internal/sim"
 	"pdq/internal/topo"
 	"pdq/internal/trace"
 	"pdq/internal/workload"
@@ -108,7 +106,7 @@ func main() {
 	var tr *trace.Trace
 	if *traceOut != "" || *probeOut != "" {
 		tr = trace.New(*traceOut != "", *probeOut != "")
-		tr.Stride = sim.Time(*probeStride * float64(sim.Microsecond))
+		tr.SetStrideMicros(*probeStride)
 		opts.Trace = tr
 	}
 	var cache *trace.Cache
@@ -324,7 +322,7 @@ func listRegistries(topos, pats, pros, mets, qds bool) {
 	}
 	if qds {
 		fmt.Println("queue disciplines:")
-		for _, q := range netsim.QdiscList() {
+		for _, q := range scenario.QdiscList() {
 			entry(q.Name, q.Doc, q.Params)
 		}
 	}

@@ -1,0 +1,31 @@
+package flowsim
+
+import (
+	"testing"
+
+	"pdq/internal/sim"
+	"pdq/internal/topo"
+	"pdq/internal/workload"
+)
+
+// TestStepSteadyStateAllocs pins the zero-allocation contract of the
+// fluid simulator's step: with the allocator scratch grown to its
+// high-water mark and a stable set of active flows (sizes far beyond
+// the horizon, so nothing completes), advancing the clock must not
+// allocate.
+func TestStepSteadyStateAllocs(t *testing.T) {
+	tp := topo.SingleBottleneck(8, 1)
+	s := New(tp, NewPDQ(CritPerfect, 1))
+	for i := 0; i < 4; i++ {
+		s.Start(workload.Flow{ID: uint64(i + 1), Src: i, Dst: 8, Size: 1 << 40})
+	}
+	h := 100 * sim.Millisecond
+	s.Run(h) // warm-up: admit every flow, grow the scratch
+	allocs := testing.AllocsPerRun(100, func() {
+		h += sim.Millisecond
+		s.Run(h)
+	})
+	if allocs > 0 {
+		t.Errorf("steady-state step allocates %.1f times per run, want 0", allocs)
+	}
+}

@@ -186,8 +186,12 @@ func (s *Sim) Start(f workload.Flow) {
 
 // Run advances the simulation to the horizon or until all flows finish.
 func (s *Sim) Run(horizon sim.Time) {
-	queued := s.pending[s.next:]
-	sort.SliceStable(queued, func(i, j int) bool { return queued[i].Start < queued[j].Start })
+	// Only sort when un-admitted flows remain: sort.SliceStable builds
+	// its reflect swapper even for empty slices, which would make every
+	// later Run call allocate.
+	if queued := s.pending[s.next:]; len(queued) > 1 {
+		sort.SliceStable(queued, func(i, j int) bool { return queued[i].Start < queued[j].Start })
+	}
 	for s.now < horizon && (s.next < len(s.pending) || len(s.active) > 0) {
 		s.step()
 	}
@@ -199,6 +203,9 @@ func (s *Sim) Results() []workload.Result { return s.Collector.Results() }
 // FlowCollector exposes the collector for telemetry attachment.
 func (s *Sim) FlowCollector() *workload.Collector { return s.Collector }
 
+// step advances the fluid simulation by one allocation interval.
+//
+//pdq:hotpath
 func (s *Sim) step() {
 	next := s.now + s.Step
 	// Admit flows whose init completes within this step. The cursor (with
@@ -329,8 +336,19 @@ func NewPDQ(mode CritMode, seed int64) *PDQ {
 // Name implements Allocator.
 func (p *PDQ) Name() string { return "PDQ" }
 
+// ensureLess binds the criticality comparator for a PDQ built as a
+// literal rather than via NewPDQ. Binding a method value allocates, so
+// it happens once here — outside the annotated allocation loop.
+func (p *PDQ) ensureLess() {
+	if p.lessFn == nil {
+		p.lessFn = p.less
+	}
+}
+
 // Allocate implements Allocator: sort by criticality, then grant each flow
 // min(NIC rate, residual capacity along its path), in order (§3).
+//
+//pdq:hotpath
 func (p *PDQ) Allocate(now sim.Time, flows []*FlowState, cap func(*netsim.Link) float64) {
 	for _, f := range flows {
 		switch p.Mode {
@@ -343,9 +361,7 @@ func (p *PDQ) Allocate(now sim.Time, flows []*FlowState, cap func(*netsim.Link) 
 			f.crit = math.Floor(sent/float64(50<<10)) + 1
 		}
 	}
-	if p.lessFn == nil { // PDQ built as a literal rather than via NewPDQ
-		p.lessFn = p.less
-	}
+	p.ensureLess()
 	sc := &p.sc
 	sc.begin()
 	ordered := sc.orderedCopy(flows)
@@ -428,6 +444,8 @@ func (*RCP) Name() string { return "RCP" }
 
 // Allocate implements Allocator by progressive filling (max-min fairness),
 // respecting NIC limits.
+//
+//pdq:hotpath
 func (p *RCP) Allocate(now sim.Time, flows []*FlowState, cap func(*netsim.Link) float64) {
 	sc := &p.sc
 	sc.begin()
@@ -531,6 +549,8 @@ func arrivalLess(a, b *FlowState) bool {
 }
 
 // Allocate implements Allocator.
+//
+//pdq:hotpath
 func (p *D3) Allocate(now sim.Time, flows []*FlowState, cap func(*netsim.Link) float64) {
 	sc := &p.sc
 	sc.begin()

@@ -1,0 +1,50 @@
+package lint
+
+import (
+	"strconv"
+	"strings"
+)
+
+// DirectDep keeps the simulation engine swappable (ROADMAP item 1: the
+// sharded event engine will replace internal/sim under the same
+// scenario-layer surface): packages under cmd/ may not import
+// internal/sim or internal/netsim directly. Commands speak the
+// scenario-layer vocabulary (specs, registries, tables, telemetry);
+// only the scenario layer and the protocol implementations may touch
+// the engine. Everything else under internal/ (topo, trace, workload,
+// exp, scenario) stays importable from commands.
+var DirectDep = &Analyzer{
+	Name: "directdep",
+	Doc:  "cmd/* must not import internal/sim or internal/netsim directly; go through the scenario layer",
+	Run:  runDirectDep,
+}
+
+func runDirectDep(pass *Pass) error {
+	if !hasSegment(pass.Pkg.Path, "cmd") {
+		return nil
+	}
+	for _, file := range pass.Pkg.Files {
+		for _, imp := range file.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if eng := engineImport(path); eng != "" {
+				pass.Reportf(imp.Pos(),
+					"cmd packages must not import %s directly; go through the scenario layer so the engine stays swappable", eng)
+			}
+		}
+	}
+	return nil
+}
+
+// engineImport reports which engine package path names, or "".
+func engineImport(path string) string {
+	segs := strings.Split(path, "/")
+	for i := 0; i+1 < len(segs); i++ {
+		if segs[i] == "internal" && (segs[i+1] == "sim" || segs[i+1] == "netsim") && i+2 == len(segs) {
+			return "internal/" + segs[i+1]
+		}
+	}
+	return ""
+}

@@ -1,0 +1,13 @@
+// Command bad imports the engine directly from cmd/, which directdep
+// forbids.
+package main
+
+import (
+	"internal/netsim" // want "must not import internal/netsim directly"
+	"internal/sim"    // want "must not import internal/sim directly"
+)
+
+func main() {
+	l := netsim.Link{Rate: 1}
+	_ = sim.Now() + l.Rate
+}

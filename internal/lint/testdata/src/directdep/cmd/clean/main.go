@@ -1,0 +1,8 @@
+// Command clean goes through the scenario layer, the sanctioned route.
+package main
+
+import "scenario"
+
+func main() {
+	_ = scenario.Run()
+}

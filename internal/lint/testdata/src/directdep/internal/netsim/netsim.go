@@ -1,0 +1,4 @@
+// Package netsim stands in for the packet layer.
+package netsim
+
+type Link struct{ Rate int64 }

@@ -1,0 +1,13 @@
+// Package scenario is the sanctioned indirection layer: it may import
+// the engine, and commands import it instead.
+package scenario
+
+import (
+	"internal/netsim"
+	"internal/sim"
+)
+
+func Run() int64 {
+	l := netsim.Link{Rate: 1}
+	return sim.Now() + l.Rate
+}

@@ -1,0 +1,58 @@
+// Package clean exercises constructs the hotpath analyzer must accept:
+// amortized append growth, concrete composite literals, capture-free
+// function literals, called methods, and unannotated functions doing
+// whatever they like.
+package clean
+
+import "sort"
+
+type point struct{ x, y int }
+
+type counter struct{ n int }
+
+func (c *counter) Add(d int) { c.n += d }
+
+//pdq:hotpath
+func Grow(buf []int, vals []int) []int {
+	for _, v := range vals {
+		buf = append(buf, v*2) // amortized growth is allowed
+	}
+	return buf
+}
+
+//pdq:hotpath
+func Lit(a, b int) point {
+	return point{x: a, y: b} // concrete struct literal: no boxing
+}
+
+//pdq:hotpath
+func Apply(vals []float64) float64 {
+	return fold(vals, func(v float64) float64 { return v * 2 }) // capture-free
+}
+
+//pdq:hotpath
+func Called(c *counter, d int) {
+	c.Add(d) // direct method call, not a bound method value
+}
+
+// Cold is unannotated: hot-path rules do not apply.
+func Cold(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		out[k] = m[k]
+	}
+	return out
+}
+
+func fold(vals []float64, f func(float64) float64) float64 {
+	t := 0.0
+	for _, v := range vals {
+		t += f(v)
+	}
+	return t
+}

@@ -1,0 +1,42 @@
+// Package bad trips every nodeterm check. The // want comments are the
+// fixture expectations consumed by internal/lint's fixture harness.
+package bad
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+func Clock() int64 {
+	t := time.Now() // want "time.Now reads the wall clock"
+	return t.UnixNano()
+}
+
+func Nap() {
+	time.Sleep(time.Millisecond) // want "time.Sleep reads the wall clock"
+}
+
+func Roll() int {
+	return rand.Intn(6) // want "rand.Intn draws from the process-global source"
+}
+
+func Dump(m map[string]int) {
+	for k, v := range m { // want "ordering-sensitive sink"
+		fmt.Println(k, v)
+	}
+}
+
+func Collect(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want "via append and the slice is never sorted"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func Stream(m map[string]int, out chan<- string) {
+	for k := range m { // want "ordering-sensitive sink"
+		out <- k
+	}
+}

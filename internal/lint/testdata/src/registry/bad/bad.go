@@ -1,0 +1,19 @@
+// Package bad trips every registry check: registration outside init,
+// computed names, and a missing Name field.
+package bad
+
+import "reg"
+
+var suffix = pick()
+
+func pick() string { return "x" }
+
+func init() {
+	reg.RegisterEntry(reg.Entry{Name: "entry-" + suffix}) // want "Name must be a string literal"
+	reg.RegisterName("name-"+suffix, "doc")               // want "registered name must be a string literal"
+	reg.RegisterEntry(reg.Entry{Doc: "anonymous"})        // want "no Name field set"
+}
+
+func Setup() {
+	reg.RegisterEntry(reg.Entry{Name: "late"}) // want "called outside func init"
+}

@@ -1,0 +1,13 @@
+// Package clean registers with literal and const names from init — the
+// sanctioned shapes.
+package clean
+
+import "reg"
+
+const aliasName = "const-named"
+
+func init() {
+	reg.RegisterEntry(reg.Entry{Name: "fixed", Doc: "literal name"})
+	reg.RegisterName("also-fixed", "plain-parameter form")
+	reg.RegisterName(aliasName, "constant-expression name")
+}

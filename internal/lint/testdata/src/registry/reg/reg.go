@@ -1,0 +1,14 @@
+// Package reg is the fixture's module-internal registry surface: both a
+// composite-entry form and a plain name-parameter form.
+package reg
+
+type Entry struct {
+	Name string
+	Doc  string
+}
+
+var entries = map[string]Entry{}
+
+func RegisterEntry(e Entry) { entries[e.Name] = e }
+
+func RegisterName(name, doc string) { entries[name] = Entry{Name: name, Doc: doc} }

@@ -1,0 +1,30 @@
+package netsim
+
+import "testing"
+
+// discard is an Agent that drops deliveries without recording them, so
+// the measurement below sees only the link path, not test bookkeeping.
+type discard struct{}
+
+func (discard) Receive(pkt *Packet, ingress *Link) {}
+
+// TestEnqueueSteadyStateAllocs pins the zero-allocation contract of the
+// tail-drop fast path: once the event pool has warmed up, pushing a
+// packet through Enqueue and delivering it across both hops (link FIFO,
+// serialization accounting, the pooled delivery event, switch
+// forwarding) must not allocate.
+func TestEnqueueSteadyStateAllocs(t *testing.T) {
+	n, a, b, path := line(t)
+	a.Agent, b.Agent = discard{}, discard{}
+	pkt := mkpkt(a, b, path, 1500)
+	deliver := func() {
+		pkt.Hop = 0
+		path[0].Enqueue(pkt)
+		n.Sim.Run()
+	}
+	deliver()
+	allocs := testing.AllocsPerRun(100, deliver)
+	if allocs > 0 {
+		t.Errorf("steady-state Enqueue/delivery allocates %.1f times per run, want 0", allocs)
+	}
+}

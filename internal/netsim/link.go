@@ -143,6 +143,8 @@ func (l *Link) SetRate(bps int64) {
 // was an event scheduled when the packet was enqueued, so an observer event
 // also firing at t sees the completion if and only if the packet was
 // enqueued first.
+//
+//pdq:hotpath
 func (l *Link) advance() {
 	now := l.net.Sim.Now()
 	seq := l.net.Sim.EventSeq()
@@ -222,6 +224,8 @@ func (l *Link) String() string {
 // injection (LossRate) occurs first, covering both directions of the
 // paper's loss experiments, and is attributed to LossDrops — a packet
 // never reaches the admission check once the loss coin drops it.
+//
+//pdq:hotpath
 func (l *Link) Enqueue(pkt *Packet) {
 	if l.LossRate > 0 && l.net.Rand.Float64() < l.LossRate {
 		l.lossDrops++
@@ -274,6 +278,8 @@ func (l *Link) Enqueue(pkt *Packet) {
 // dequeue order is decided when the serializer frees up rather than
 // stamped at enqueue. Counters and qBytes are settled eagerly (advance
 // has nothing to walk — the intrusive FIFO stays empty on this path).
+//
+//pdq:hotpath
 func (l *Link) schedEnqueue(pkt *Packet) {
 	if !l.qdisc.Admit(l, pkt, l.qBytes) {
 		l.drops++
@@ -292,6 +298,8 @@ func (l *Link) schedEnqueue(pkt *Packet) {
 // packet (serialization + wire + processing delays, Packet.RunEvent)
 // plus one serialization-complete event for the link itself, which
 // settles the counters and pulls the discipline's next packet.
+//
+//pdq:hotpath
 func (l *Link) startService(pkt *Packet) {
 	now := l.net.Sim.Now()
 	done := now + l.TxTime(pkt.Wire)
@@ -311,6 +319,8 @@ func (l *Link) startService(pkt *Packet) {
 // RunEvent implements sim.Runner for the reordering-discipline path: it
 // fires when the serving packet finishes serializing, accounts it, and
 // starts the discipline's next pick.
+//
+//pdq:hotpath
 func (l *Link) RunEvent() {
 	p := l.serving
 	l.qBytes -= p.Wire

@@ -144,6 +144,8 @@ type Packet struct {
 // Scheduling the packet itself as the callback keeps per-packet delivery
 // allocation-free. The link is settled first so the packet is unlinked from
 // its serializer FIFO before it can be enqueued on the next hop.
+//
+//pdq:hotpath
 func (p *Packet) RunEvent() {
 	ingress := p.Path[p.Hop]
 	ingress.advance()

@@ -1,0 +1,5 @@
+//go:build !race
+
+package netsim
+
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package netsim
+
+// raceEnabled reports whether the race detector is active; its
+// instrumentation changes allocation counts, so exact-count guards
+// skip under it (the zero-alloc guards still hold and still run).
+const raceEnabled = true

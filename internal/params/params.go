@@ -16,11 +16,13 @@ func Resolve(kind, name string, declared, given map[string]float64) (map[string]
 	for k, v := range declared {
 		p[k] = v
 	}
-	for k, v := range given {
+	// Sorted iteration so the reported unknown key (and hence the error
+	// bytes) is the same on every run.
+	for _, k := range SortedKeys(given) {
 		if _, ok := declared[k]; !ok {
 			return nil, fmt.Errorf("%s %q: unknown parameter %q (accepts %v)", kind, name, k, SortedKeys(declared))
 		}
-		p[k] = v
+		p[k] = given[k]
 	}
 	return p, nil
 }

@@ -178,6 +178,11 @@ func DriverList() []DriverEntry { return listOf(drivers, DriverNames()) }
 // FlowGenList returns the registered flow generators sorted by name.
 func FlowGenList() []FlowGenEntry { return listOf(flowGens, FlowGenNames()) }
 
+// QdiscList re-exports the link-layer queue-discipline registry sorted
+// by name, so commands can enumerate it without importing the engine
+// directly.
+func QdiscList() []netsim.QdiscEntry { return netsim.QdiscList() }
+
 func listOf[E any](reg map[string]E, names []string) []E {
 	out := make([]E, 0, len(names))
 	for _, n := range names {

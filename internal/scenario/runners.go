@@ -80,52 +80,63 @@ func mkPacket(install func(t *topo.Topology) protoSystem) RunnerFunc {
 	}
 }
 
-// registerPDQ registers one PDQ variant. Every variant accepts a
-// `subflows` parameter (Multipath PDQ, §6); 0 leaves the config default
-// of one subflow.
-func registerPDQ(name, doc string, cfg func() core.Config) {
-	RegisterRunner(RunnerEntry{
-		Name: name, Doc: doc, Level: "packet",
-		Params: map[string]float64{"subflows": 0},
-		Make: func(p map[string]float64, _ int64) RunnerFunc {
-			c := cfg()
-			c.Subflows = int(p["subflows"])
-			return mkPacket(func(t *topo.Topology) protoSystem { return core.Install(t, c) })
-		},
-	})
+// pdqMake binds one PDQ variant's config constructor into a Make
+// function. Every variant accepts a `subflows` parameter (Multipath
+// PDQ, §6); 0 leaves the config default of one subflow. The
+// registrations stay inline in init with literal names so the registry
+// analyzer can enumerate them statically.
+func pdqMake(cfg func() core.Config) func(p map[string]float64, seed int64) RunnerFunc {
+	return func(p map[string]float64, _ int64) RunnerFunc {
+		c := cfg()
+		c.Subflows = int(p["subflows"])
+		return mkPacket(func(t *topo.Topology) protoSystem { return core.Install(t, c) })
+	}
 }
 
-// registerFlow registers one flow-level allocator family. A fresh
-// allocator is built per invocation, matching the packet-level runners'
-// fresh-state-per-run semantics. The flow-level simulator steps its own
-// clock (no event engine), so it emits flow records but no time-series
-// probes.
-func registerFlow(name, doc string, params map[string]float64, alloc func(p map[string]float64, seed int64) flowsim.Allocator) {
-	RegisterRunner(RunnerEntry{
-		Name: name, Doc: doc, Level: "flow",
-		Params: params,
-		Make: func(p map[string]float64, seed int64) RunnerFunc {
-			return func(build func() *topo.Topology, flows []workload.Flow, rc RunCtx) []workload.Result {
-				s := flowsim.New(build(), alloc(p, seed))
-				s.ET = p["et"] != 0
-				if rc.Cell != nil {
-					s.Collector.Sink = rc.Cell.FlowSink()
-				}
-				for _, f := range flows {
-					s.Start(f)
-				}
-				s.Run(rc.Horizon)
-				return s.Results()
+// pdqParams returns the parameter surface every PDQ variant accepts.
+func pdqParams() map[string]float64 {
+	return map[string]float64{"subflows": 0}
+}
+
+// flowMake binds one flow-level allocator family into a Make function.
+// A fresh allocator is built per invocation, matching the packet-level
+// runners' fresh-state-per-run semantics. The flow-level simulator
+// steps its own clock (no event engine), so it emits flow records but
+// no time-series probes.
+func flowMake(alloc func(p map[string]float64, seed int64) flowsim.Allocator) func(p map[string]float64, seed int64) RunnerFunc {
+	return func(p map[string]float64, seed int64) RunnerFunc {
+		return func(build func() *topo.Topology, flows []workload.Flow, rc RunCtx) []workload.Result {
+			s := flowsim.New(build(), alloc(p, seed))
+			s.ET = p["et"] != 0
+			if rc.Cell != nil {
+				s.Collector.Sink = rc.Cell.FlowSink()
 			}
-		},
-	})
+			for _, f := range flows {
+				s.Start(f)
+			}
+			s.Run(rc.Horizon)
+			return s.Results()
+		}
+	}
 }
 
 func init() {
-	registerPDQ("PDQ(Full)", "PDQ with Early Start, Early Termination and Suppressed Probing", core.Full)
-	registerPDQ("PDQ(ES+ET)", "PDQ with Early Start and Early Termination", core.ESET)
-	registerPDQ("PDQ(ES)", "PDQ with Early Start only", core.ES)
-	registerPDQ("PDQ(Basic)", "preemptive scheduling without the §4 optimizations", core.Basic)
+	RegisterRunner(RunnerEntry{
+		Name: "PDQ(Full)", Doc: "PDQ with Early Start, Early Termination and Suppressed Probing", Level: "packet",
+		Params: pdqParams(), Make: pdqMake(core.Full),
+	})
+	RegisterRunner(RunnerEntry{
+		Name: "PDQ(ES+ET)", Doc: "PDQ with Early Start and Early Termination", Level: "packet",
+		Params: pdqParams(), Make: pdqMake(core.ESET),
+	})
+	RegisterRunner(RunnerEntry{
+		Name: "PDQ(ES)", Doc: "PDQ with Early Start only", Level: "packet",
+		Params: pdqParams(), Make: pdqMake(core.ES),
+	})
+	RegisterRunner(RunnerEntry{
+		Name: "PDQ(Basic)", Doc: "preemptive scheduling without the §4 optimizations", Level: "packet",
+		Params: pdqParams(), Make: pdqMake(core.Basic),
+	})
 	RegisterRunner(RunnerEntry{
 		Name: "D3", Doc: "Deadline-Driven Delivery (packet level)", Level: "packet",
 		Make: func(map[string]float64, int64) RunnerFunc {
@@ -182,18 +193,23 @@ func init() {
 		},
 	})
 
-	registerFlow("flow:PDQ",
-		"flow-level PDQ: crit 0=perfect 1=random 2=size-estimation; aging is Fig. 12's α; et enables Early Termination",
-		map[string]float64{"crit": 0, "aging": 0, "et": 0},
-		func(p map[string]float64, seed int64) flowsim.Allocator {
+	RegisterRunner(RunnerEntry{
+		Name: "flow:PDQ", Doc: "flow-level PDQ: crit 0=perfect 1=random 2=size-estimation; aging is Fig. 12's α; et enables Early Termination", Level: "flow",
+		Params: map[string]float64{"crit": 0, "aging": 0, "et": 0},
+		Make: flowMake(func(p map[string]float64, seed int64) flowsim.Allocator {
 			a := flowsim.NewPDQ(flowsim.CritMode(int(p["crit"])), seed)
 			a.AgingRate = p["aging"]
 			return a
-		})
-	registerFlow("flow:RCP", "flow-level max-min fair sharing (RCP; also D3 without deadlines)",
-		map[string]float64{"et": 0},
-		func(map[string]float64, int64) flowsim.Allocator { return flowsim.NewRCP() })
-	registerFlow("flow:D3", "flow-level D3: arrival-order reservation plus fair share of the rest",
-		map[string]float64{"et": 0},
-		func(map[string]float64, int64) flowsim.Allocator { return flowsim.NewD3() })
+		}),
+	})
+	RegisterRunner(RunnerEntry{
+		Name: "flow:RCP", Doc: "flow-level max-min fair sharing (RCP; also D3 without deadlines)", Level: "flow",
+		Params: map[string]float64{"et": 0},
+		Make:   flowMake(func(map[string]float64, int64) flowsim.Allocator { return flowsim.NewRCP() }),
+	})
+	RegisterRunner(RunnerEntry{
+		Name: "flow:D3", Doc: "flow-level D3: arrival-order reservation plus fair share of the rest", Level: "flow",
+		Params: map[string]float64{"et": 0},
+		Make:   flowMake(func(map[string]float64, int64) flowsim.Allocator { return flowsim.NewD3() }),
+	})
 }

@@ -1,0 +1,29 @@
+package sim
+
+import "testing"
+
+// TestCancelSteadyStateAllocs pins the zero-allocation contract of the
+// schedule/cancel pair: once the slot pool has reached its high-water
+// mark, scheduling a batch of events and canceling all of them must not
+// allocate (protocol senders cancel and reschedule retransmission
+// timers on every ACK).
+func TestCancelSteadyStateAllocs(t *testing.T) {
+	s := New()
+	fn := func() {}
+	refs := make([]EventRef, 32)
+	warm := func() {
+		for i := range refs {
+			refs[i] = s.At(Time(i+1), fn)
+		}
+		for _, r := range refs {
+			if !s.Cancel(r) {
+				t.Fatal("cancel of a pending event failed")
+			}
+		}
+	}
+	warm()
+	allocs := testing.AllocsPerRun(100, warm)
+	if allocs > 0 {
+		t.Errorf("steady-state schedule/cancel allocates %.1f times per run, want 0", allocs)
+	}
+}

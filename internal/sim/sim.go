@@ -160,6 +160,8 @@ func (s *Sim) less(a, b int32) bool {
 }
 
 // siftUp moves the slot at heap position i toward the root.
+//
+//pdq:hotpath
 func (s *Sim) siftUp(i int) {
 	slot := s.order[i]
 	for i > 0 {
@@ -177,6 +179,8 @@ func (s *Sim) siftUp(i int) {
 
 // siftDown moves the slot at heap position i toward the leaves and reports
 // whether it moved.
+//
+//pdq:hotpath
 func (s *Sim) siftDown(i int) bool {
 	start := i
 	n := len(s.order)
@@ -209,6 +213,8 @@ func (s *Sim) siftDown(i int) bool {
 }
 
 // heapRemove deletes heap position i, restoring the heap property.
+//
+//pdq:hotpath
 func (s *Sim) heapRemove(i int) {
 	n := len(s.order) - 1
 	last := s.order[n]
@@ -225,6 +231,8 @@ func (s *Sim) heapRemove(i int) {
 
 // popMin removes the earliest event from the heap and returns its slot.
 // The slot is NOT released; the caller still owns its fields.
+//
+//pdq:hotpath
 func (s *Sim) popMin() int32 {
 	top := s.order[0]
 	n := len(s.order) - 1
@@ -241,6 +249,8 @@ func (s *Sim) popMin() int32 {
 
 // release recycles a slot: the callback is dropped (so it can be collected)
 // and the generation advances, invalidating outstanding refs.
+//
+//pdq:hotpath
 func (s *Sim) release(slot int32) {
 	ev := &s.pool[slot]
 	ev.fn = nil
@@ -252,9 +262,11 @@ func (s *Sim) release(slot int32) {
 
 // schedule grabs a pooled slot for an event at (t, next seq) and pushes it
 // onto the heap, returning the slot.
+//
+//pdq:hotpath
 func (s *Sim) schedule(t Time) int32 {
 	if t < s.now {
-		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, s.now))
+		s.panicPast(t)
 	}
 	var slot int32
 	if n := len(s.free); n > 0 {
@@ -273,8 +285,16 @@ func (s *Sim) schedule(t Time) int32 {
 	return slot
 }
 
+// panicPast is schedule's cold failure path, kept out of the annotated
+// hot function so it stays free of fmt.
+func (s *Sim) panicPast(t Time) {
+	panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, s.now))
+}
+
 // At schedules fn to run at absolute time t. Scheduling in the past (t <
 // Now) panics: it is always a logic error in a discrete-event simulation.
+//
+//pdq:hotpath
 func (s *Sim) At(t Time, fn func()) EventRef {
 	if fn == nil {
 		panic("sim: scheduling nil function")
@@ -288,6 +308,8 @@ func (s *Sim) At(t Time, fn func()) EventRef {
 // AtRunner schedules r.RunEvent to run at absolute time t. Unlike At with a
 // method value, storing the Runner interface does not allocate, so
 // per-object hot paths (one delivery event per packet) stay allocation-free.
+//
+//pdq:hotpath
 func (s *Sim) AtRunner(t Time, r Runner) EventRef {
 	if r == nil {
 		panic("sim: scheduling nil runner")
@@ -304,6 +326,8 @@ func (s *Sim) After(d Duration, fn func()) EventRef { return s.At(s.now+d, fn) }
 // Cancel removes a scheduled event. Canceling an already-fired or
 // already-canceled event is a no-op. It reports whether the event was
 // actually removed.
+//
+//pdq:hotpath
 func (s *Sim) Cancel(r EventRef) bool {
 	slot := r.slot - 1
 	if slot < 0 || int(slot) >= len(s.pool) {
@@ -351,6 +375,8 @@ func (s *Sim) RunUntil(end Time) {
 // fire executes the event at the head of the queue, recycling its slot
 // before the callback runs so the callback can immediately reschedule into
 // it. The event's seq is published through EventSeq for the duration.
+//
+//pdq:hotpath
 func (s *Sim) fire(next *event) {
 	at, seq, fn, runner := next.at, next.seq, next.fn, next.runner
 	s.release(s.popMin())

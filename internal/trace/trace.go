@@ -105,6 +105,8 @@ func NewRing(capacity int) *Ring {
 // RecordFlow implements Sink: append by value, overwriting the oldest
 // record once the capacity is reached. Beyond the amortized growth to
 // the high-water mark, recording allocates nothing.
+//
+//pdq:hotpath
 func (r *Ring) RecordFlow(rec FlowRecord) {
 	r.total++
 	if len(r.buf) < r.capacity {
@@ -199,6 +201,13 @@ type Trace struct {
 // New returns a Trace capturing the requested telemetry kinds.
 func New(flowRecords, probes bool) *Trace {
 	return &Trace{FlowRecords: flowRecords, Probes: probes}
+}
+
+// SetStrideMicros sets the probe sampling period from a microsecond
+// count, so commands can configure tracing without importing the
+// engine's time types directly.
+func (t *Trace) SetStrideMicros(us float64) {
+	t.Stride = sim.Duration(us * float64(sim.Microsecond))
 }
 
 // OpenCell registers and returns the telemetry capture for one run.

@@ -1,0 +1,7 @@
+#!/bin/sh
+# lint.sh runs pdqlint (internal/lint) over the whole module. Exit 0
+# means the tree upholds the determinism and zero-alloc invariants; any
+# diagnostic prints as file:line:col: message (analyzer) and exits 1.
+set -eu
+cd "$(dirname "$0")/.."
+exec go run ./cmd/pdqlint "$@" ./...
