@@ -35,6 +35,18 @@ func (l *SwitchLogic) state(link *netsim.Link) *linkState {
 	return st
 }
 
+// ResetLinkState implements the fault layer's SoftStateResetter: a switch
+// crash discards the link's entire PDQ state — flow list, rate controller,
+// dampening history and the RCP fallback estimate. Nothing else is needed:
+// the state is soft (paper §3.3.1), so the next forward packet re-admits
+// its flow into a fresh linkState and the switch converges back from the
+// traffic itself.
+func (l *SwitchLogic) ResetLinkState(link *netsim.Link) {
+	if link.ID < len(l.states) {
+		l.states[link.ID] = nil
+	}
+}
+
 // StateOf exposes a link's flow-list length and rate-controller value for
 // measurement (tests, DESIGN.md §4 memory accounting).
 func (l *SwitchLogic) StateOf(link *netsim.Link) (listLen int, c int64) {

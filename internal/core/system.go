@@ -114,6 +114,56 @@ func (s *System) launch(f workload.Flow) {
 	}
 }
 
+// OnLinkState implements the fault layer's PathUpdater (structurally —
+// core does not import fault): when a link goes down, every active sender
+// whose path crosses it is failed over to the shortest surviving route,
+// when one exists. Senders keep their old path when the topology offers
+// no alternative (single-bottleneck stars); they stall against the dead
+// link and recover by RTO once it returns — PDQ's soft-state story needs
+// no extra signaling. Restorations are a no-op: surviving routes stay
+// valid, and keeping them avoids churn. The per-sender reroute is
+// idempotent and independent of visit order, so iterating the agents'
+// send maps directly is safe.
+func (s *System) OnLinkState(l *netsim.Link, down bool) {
+	if !down {
+		return
+	}
+	for _, ag := range s.agents {
+		for _, sh := range ag.sends {
+			s.failover(sh, l)
+		}
+	}
+}
+
+// failover reroutes the subflows of sh that traverse either direction of
+// the failed link l.
+func (s *System) failover(sh *flowShared, l *netsim.Link) {
+	var fresh []*netsim.Link
+	for _, sub := range sh.subs {
+		if !pathUses(sub.path, l) {
+			continue
+		}
+		if fresh == nil {
+			src, dst := s.Topo.Hosts[sh.flow.Src], s.Topo.Hosts[sh.flow.Dst]
+			fresh = s.Topo.PathExcluding(src, dst, (*netsim.Link).Down)
+			if fresh == nil {
+				return // no surviving route; stall and recover by RTO
+			}
+		}
+		sub.path = fresh
+	}
+}
+
+// pathUses reports whether path traverses l in either direction.
+func pathUses(path []*netsim.Link, l *netsim.Link) bool {
+	for _, x := range path {
+		if x == l || x == l.Peer {
+			return true
+		}
+	}
+	return false
+}
+
 // Results returns a snapshot of all flow outcomes.
 func (s *System) Results() []workload.Result { return s.Collector.Results() }
 

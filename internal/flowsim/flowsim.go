@@ -151,6 +151,15 @@ func (sc *scratch) frozenFor(n int) []bool {
 	return f
 }
 
+// Hook is a scheduled environment mutation — fault injection at the fluid
+// level: Fn runs at the first step boundary at or after At, before that
+// step's allocation, so a capacity change is visible to the very next
+// equilibrium computation.
+type Hook struct {
+	At sim.Time
+	Fn func(*Sim)
+}
+
 // Sim runs a flow-level simulation over a topology.
 type Sim struct {
 	Topo  *topo.Topology
@@ -165,6 +174,9 @@ type Sim struct {
 	next      int          // cursor into pending: first un-admitted flow
 	active    []*FlowState
 	now       sim.Time
+
+	hooks    []Hook // sorted by At once AddHook settles; see ApplyFaults
+	nextHook int
 }
 
 // New creates a flow-level simulation.
@@ -197,6 +209,18 @@ func (s *Sim) Run(horizon sim.Time) {
 	}
 }
 
+// AddHook schedules an environment mutation. All hooks must be added
+// before the first Run call; they execute in At order (ties in insertion
+// order), each exactly once.
+func (s *Sim) AddHook(at sim.Time, fn func(*Sim)) {
+	s.hooks = append(s.hooks, Hook{At: at, Fn: fn})
+	// Keep the slice sorted by At (stable): hooks are few, insertion sort
+	// at append time keeps step()'s cursor scan trivial.
+	for i := len(s.hooks) - 1; i > 0 && s.hooks[i].At < s.hooks[i-1].At; i-- {
+		s.hooks[i], s.hooks[i-1] = s.hooks[i-1], s.hooks[i]
+	}
+}
+
 // Results returns a snapshot of flow outcomes.
 func (s *Sim) Results() []workload.Result { return s.Collector.Results() }
 
@@ -208,6 +232,15 @@ func (s *Sim) FlowCollector() *workload.Collector { return s.Collector }
 //pdq:hotpath
 func (s *Sim) step() {
 	next := s.now + s.Step
+	// Fire environment hooks due before this step's allocation. During an
+	// idle fast-skip the clock may jump past several hook times at once;
+	// those hooks fire at the top of the following step, still before any
+	// flow is allocated capacity.
+	for s.nextHook < len(s.hooks) && s.hooks[s.nextHook].At < next {
+		h := s.hooks[s.nextHook]
+		s.nextHook++
+		h.Fn(s)
+	}
 	// Admit flows whose init completes within this step. The cursor (with
 	// admitted slots nilled out) lets long-running sims release admitted
 	// flows to the GC; re-slicing the queue instead would pin the whole
@@ -253,7 +286,7 @@ func (s *Sim) step() {
 	// equilibrium flow sending rates" at a 1 ms time scale.
 	t := s.now
 	for t < next && len(s.active) > 0 {
-		s.Alloc.Allocate(t, s.active, func(l *netsim.Link) float64 { return float64(l.Rate) })
+		s.Alloc.Allocate(t, s.active, linkCap)
 		for _, f := range s.active {
 			if f.Rate > 0 {
 				f.sending = true
@@ -294,6 +327,16 @@ func (s *Sim) step() {
 		t += dt
 	}
 	s.now = next
+}
+
+// linkCap is the capacity function handed to allocators: a link's full
+// rate, or zero while fault injection has it down — the fluid analog of
+// every packet on the link being lost.
+func linkCap(l *netsim.Link) float64 {
+	if l.Down() {
+		return 0
+	}
+	return float64(l.Rate)
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,100 @@
+package netsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"pdq/internal/sim"
+)
+
+func TestLinkDownDropsAtEnqueue(t *testing.T) {
+	n, a, b, path := line(t)
+	path[0].SetDown(true)
+	if !path[0].Down() {
+		t.Fatal("SetDown(true) not visible via Down()")
+	}
+	n.Send(mkpkt(a, b, path, 1500))
+	n.Sim.Run()
+	if cb := b.Agent.(*collector); len(cb.got) != 0 {
+		t.Fatalf("delivered %d packets over a down link, want 0", len(cb.got))
+	}
+	if d := path[0].FaultDrops(); d != 1 {
+		t.Fatalf("FaultDrops = %d, want 1", d)
+	}
+	if d := path[0].LossDrops(); d != 0 {
+		t.Fatalf("fault drops leaked into loss drops: LossDrops = %d, want 0", d)
+	}
+}
+
+func TestLinkDownDropsInFlight(t *testing.T) {
+	n, a, b, path := line(t)
+	n.Send(mkpkt(a, b, path, 1500))
+	// The first hop delivers at ~37µs; failing the link at 5µs catches
+	// the packet in flight.
+	n.Sim.At(5*sim.Microsecond, func() { path[0].SetDown(true) })
+	n.Sim.Run()
+	if cb := b.Agent.(*collector); len(cb.got) != 0 {
+		t.Fatalf("delivered %d packets through a mid-flight failure, want 0", len(cb.got))
+	}
+	if d := path[0].FaultDrops(); d != 1 {
+		t.Fatalf("FaultDrops = %d, want 1", d)
+	}
+}
+
+func TestLinkDownUpRestoresDelivery(t *testing.T) {
+	n, a, b, path := line(t)
+	path[0].SetDown(true)
+	path[0].SetDown(false)
+	n.Send(mkpkt(a, b, path, 1500))
+	n.Sim.Run()
+	if cb := b.Agent.(*collector); len(cb.got) != 1 {
+		t.Fatalf("delivered %d packets after recovery, want 1", len(cb.got))
+	}
+}
+
+func TestGilbertElliottDeterministic(t *testing.T) {
+	mk := func() *GilbertElliott {
+		return &GilbertElliott{PGB: 0.3, PBG: 0.4, LossGood: 0.01, LossBad: 0.9}
+	}
+	g1, g2 := mk(), mk()
+	r1 := rand.New(rand.NewSource(7))
+	r2 := rand.New(rand.NewSource(7))
+	drops, sawBad := 0, false
+	for i := 0; i < 10000; i++ {
+		d1, d2 := g1.Drop(r1), g2.Drop(r2)
+		if d1 != d2 {
+			t.Fatalf("draw %d diverged under identical seeds", i)
+		}
+		if d1 {
+			drops++
+		}
+		if g1.Bad() {
+			sawBad = true
+		}
+	}
+	if !sawBad {
+		t.Error("chain never entered the bad state")
+	}
+	if drops == 0 || drops == 10000 {
+		t.Errorf("drops = %d of 10000: chain is degenerate", drops)
+	}
+}
+
+func TestGilbertElliottOnLink(t *testing.T) {
+	n, a, b, path := line(t)
+	// Deterministic chain: the loss draw happens in the current state
+	// before the transition draw, so the first packet passes in the good
+	// state, the chain then moves to bad (PGB=1) and absorbs every later
+	// packet (LossBad=1, PBG=0).
+	path[0].SetGE(&GilbertElliott{PGB: 1, PBG: 0, LossGood: 0, LossBad: 1})
+	for i := 0; i < 5; i++ {
+		n.Send(mkpkt(a, b, path, 1500))
+	}
+	n.Sim.Run()
+	if cb := b.Agent.(*collector); len(cb.got) != 1 {
+		t.Fatalf("delivered %d packets, want 1 (first packet passes before the chain turns bad)", len(cb.got))
+	}
+	if d := path[0].LossDrops(); d != 4 {
+		t.Fatalf("LossDrops = %d, want 4 (GE losses count as loss drops)", d)
+	}
+}

@@ -60,11 +60,20 @@ type Link struct {
 	// monotone along the chain.
 	qHead, qTail *Packet
 
+	// Fault-injection state (DESIGN.md §11). down drops every packet
+	// touching the link — at enqueue and at delivery, so in-flight packets
+	// are lost too. ge, when non-nil, replaces nothing: it runs alongside
+	// LossRate as an independent Gilbert-Elliott burst-loss process. Both
+	// cost one nil/false check on the fault-free hot path.
+	down bool
+	ge   *GilbertElliott
+
 	// Counters, settled as of the last advance; read via the methods below.
-	txPackets uint64
-	txBytes   uint64
-	drops     uint64
-	lossDrops uint64
+	txPackets  uint64
+	txBytes    uint64
+	drops      uint64
+	lossDrops  uint64
+	faultDrops uint64
 }
 
 // NewLink creates a single directed link with default parameters.
@@ -205,8 +214,28 @@ func (l *Link) TxBytes() uint64 {
 // Drops returns the number of tail-dropped packets.
 func (l *Link) Drops() uint64 { return l.drops }
 
-// LossDrops returns the number of random losses injected via LossRate.
+// LossDrops returns the number of random losses injected via LossRate or
+// an installed Gilbert-Elliott process.
 func (l *Link) LossDrops() uint64 { return l.lossDrops }
+
+// FaultDrops returns the number of packets lost because the link was down.
+func (l *Link) FaultDrops() uint64 { return l.faultDrops }
+
+// SetDown fails or restores this direction of the link. A down link drops
+// packets at enqueue and loses packets already in flight at their delivery
+// instant; it does not disturb serializer bookkeeping, so restoring the
+// link resumes normal service with the queue state the failure left
+// behind. Fault injection fails both directions by calling SetDown on the
+// link and its Peer.
+func (l *Link) SetDown(down bool) { l.down = down }
+
+// Down reports whether this direction of the link is failed.
+func (l *Link) Down() bool { return l.down }
+
+// SetGE installs (or, with nil, removes) a Gilbert-Elliott burst-loss
+// process on this direction of the link. Drops are counted in LossDrops,
+// like the Bernoulli LossRate coin.
+func (l *Link) SetGE(g *GilbertElliott) { l.ge = g }
 
 // TxTime returns the serialization delay of a packet of the given wire size.
 func (l *Link) TxTime(wire int) sim.Time {
@@ -220,14 +249,25 @@ func (l *Link) String() string {
 
 // Enqueue places pkt into the link's queue under the installed
 // discipline (tail-drop FIFO by default): the qdisc decides admission
-// and may mark the packet; a rejected packet is dropped. Random loss
-// injection (LossRate) occurs first, covering both directions of the
+// and may mark the packet; a rejected packet is dropped. A down link
+// drops first — deterministically, before any loss coin, so fault windows
+// never perturb the RNG stream of packets that would have been lost
+// anyway. Random loss injection (LossRate, then an installed
+// Gilbert-Elliott process) runs next, covering both directions of the
 // paper's loss experiments, and is attributed to LossDrops — a packet
-// never reaches the admission check once the loss coin drops it.
+// never reaches the admission check once a loss coin drops it.
 //
 //pdq:hotpath
 func (l *Link) Enqueue(pkt *Packet) {
+	if l.down {
+		l.faultDrops++
+		return
+	}
 	if l.LossRate > 0 && l.net.Rand.Float64() < l.LossRate {
+		l.lossDrops++
+		return
+	}
+	if l.ge != nil && l.ge.Drop(l.net.Rand) {
 		l.lossDrops++
 		return
 	}

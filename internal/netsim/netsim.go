@@ -143,12 +143,18 @@ type Packet struct {
 // traversed its current link (serialization + propagation + processing).
 // Scheduling the packet itself as the callback keeps per-packet delivery
 // allocation-free. The link is settled first so the packet is unlinked from
-// its serializer FIFO before it can be enqueued on the next hop.
+// its serializer FIFO before it can be enqueued on the next hop. A packet
+// in flight on a link that went down mid-traversal is lost at delivery
+// time — the failure severs the wire under it.
 //
 //pdq:hotpath
 func (p *Packet) RunEvent() {
 	ingress := p.Path[p.Hop]
 	ingress.advance()
+	if ingress.down {
+		ingress.faultDrops++
+		return
+	}
 	ingress.To.Receive(p, ingress)
 }
 

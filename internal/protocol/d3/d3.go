@@ -279,6 +279,15 @@ func (l *logic) state(link *netsim.Link) *linkState {
 	return st
 }
 
+// ResetLinkState implements the fault layer's SoftStateResetter: a switch
+// crash discards the link's reservation table, rebuilt as flows
+// renegotiate on their next forward packets.
+func (l *logic) ResetLinkState(link *netsim.Link) {
+	if link.ID < len(l.states) {
+		l.states[link.ID] = nil
+	}
+}
+
 // Process implements netsim.SwitchLogic: each forward packet renegotiates
 // the flow's reservation on the egress link.
 func (l *logic) Process(at netsim.Node, pkt *netsim.Packet, ingress, egress *netsim.Link) bool {

@@ -177,6 +177,15 @@ func (l *logic) state(link *netsim.Link) *linkState {
 	return st
 }
 
+// ResetLinkState implements the fault layer's SoftStateResetter: a switch
+// crash discards the link's flow count and rate estimate, rebuilt from
+// subsequent traffic.
+func (l *logic) ResetLinkState(link *netsim.Link) {
+	if link.ID < len(l.states) {
+		l.states[link.ID] = nil
+	}
+}
+
 // Process implements netsim.SwitchLogic: forward packets have their rate
 // field lowered to the link's fair share; TERM removes the flow from the
 // exact count.

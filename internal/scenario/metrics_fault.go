@@ -1,0 +1,66 @@
+// Fault-experiment metrics: how long flows take to recover after an
+// injected failure clears, and how much goodput survives during one.
+
+package scenario
+
+import (
+	"pdq/internal/sim"
+	"pdq/internal/workload"
+)
+
+func init() {
+	RegisterMetric(MetricEntry{
+		Name: "recovery-ms",
+		Doc:  "ms from after_ms to the first flow completion at or past it — recovery latency once a fault clears; -1 if nothing completes after",
+		Params: map[string]float64{
+			"after_ms": 0,
+		},
+		Fn: func(rs []workload.Result, _ []workload.Flow, p map[string]float64) float64 {
+			after := sim.Time(p["after_ms"] * float64(sim.Millisecond))
+			best := sim.Time(-1)
+			for _, r := range rs {
+				if r.Finish < after {
+					continue
+				}
+				if best < 0 || r.Finish < best {
+					best = r.Finish
+				}
+			}
+			if best < 0 {
+				return -1
+			}
+			return (best - after).Millis()
+		},
+	})
+	RegisterMetric(MetricEntry{
+		Name: "goodput-gbps",
+		Doc:  "aggregate goodput over [from_ms, to_ms): bytes of flows finishing in the window over its length; to_ms=0 means the whole run",
+		Params: map[string]float64{
+			"from_ms": 0,
+			"to_ms":   0,
+		},
+		Fn: func(rs []workload.Result, _ []workload.Flow, p map[string]float64) float64 {
+			from := sim.Time(p["from_ms"] * float64(sim.Millisecond))
+			to := sim.Time(p["to_ms"] * float64(sim.Millisecond))
+			if to <= from {
+				// Whole run: window ends at the last completion.
+				for _, r := range rs {
+					if r.Finish > to {
+						to = r.Finish
+					}
+				}
+				if to <= from {
+					return 0
+				}
+			}
+			var bytes int64
+			for _, r := range rs {
+				if r.Finish >= from && r.Finish < to {
+					bytes += r.Size
+				}
+			}
+			secs := float64(to-from) / float64(sim.Second)
+			return float64(bytes*8) / secs / 1e9
+		},
+	})
+}

@@ -36,6 +36,21 @@ type Opts struct {
 	// re-running a sweep only recomputes cells whose inputs changed.
 	// Custom drivers (non-grid scenarios) always recompute.
 	Cache *trace.Cache
+
+	// MaxEvents bounds each simulated cell's event count (packet engine
+	// only — the fluid simulator is horizon-bounded by construction). A
+	// cell exceeding it fails with a diagnostic instead of running away;
+	// the budget is deterministic, so a tripping cell trips identically at
+	// any worker count. 0 = unlimited.
+	MaxEvents uint64
+
+	// Watchdog, when non-nil, arms a wall-clock limit around each
+	// simulated cell. The factory is injected by the command layer — the
+	// engine itself never reads a wall clock — and receives the cell's
+	// interrupt function, returning a stop function the runner defers.
+	// An interrupted cell yields NaN plus a diagnostic; wall-clock trips
+	// are inherently nondeterministic, a safety valve, not a result.
+	Watchdog func(interrupt func()) (stop func())
 }
 
 // BaseSeed resolves the Seed sentinel: 0 means DefaultSeed.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"pdq/internal/fault"
 	"pdq/internal/netsim"
 	"pdq/internal/params"
 	"pdq/internal/sim"
@@ -27,6 +28,16 @@ type RunCtx struct {
 	// FIFO). Flow-level runners have no packet queues; specs pairing
 	// them with a qdisc fail at compile time.
 	Qdisc func() netsim.Qdisc
+
+	// Faults is the cell's compiled fault schedule, nil for a fault-free
+	// run. Runners apply it after protocol installation and before any
+	// flow starts (DESIGN.md §11).
+	Faults *fault.Schedule
+
+	// MaxEvents and Watchdog are the runaway-cell guards (Opts fields of
+	// the same names); packet-level runners arm them around RunUntil.
+	MaxEvents uint64
+	Watchdog  func(interrupt func()) (stop func())
 }
 
 // RunnerFunc runs one protocol over a set of flows on a freshly built

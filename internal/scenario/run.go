@@ -18,6 +18,7 @@ import (
 	"strings"
 	"sync"
 
+	"pdq/internal/fault"
 	"pdq/internal/netsim"
 	"pdq/internal/params"
 	"pdq/internal/sim"
@@ -87,6 +88,9 @@ type colKey struct {
 	PoissonRate    float64            `json:"poisson_rate,omitempty"`
 	WindowMs       float64            `json:"window_ms,omitempty"`
 	Hi             int                `json:"hi,omitempty"`
+	// Faults is the column's resolved fault schedule: a faulted cell must
+	// content-address differently from its fault-free twin.
+	Faults []fault.Event `json:"faults,omitempty"`
 }
 
 // rowKey is the resolved per-row (per-column, when an axis patches the
@@ -125,6 +129,7 @@ type column struct {
 	hi           int                // max-flows bound, resolved per column
 	runnerPatch  map[string]float64 // "runner:<param>" axis value, nil otherwise
 	metricPatch  map[string]float64 // "metric:<param>" axis value, nil otherwise
+	faults       *fault.Schedule    // compiled fault schedule, nil when the spec has none
 	key          colKey             // resolved cache-key material
 }
 
@@ -160,6 +165,8 @@ type engine struct {
 	trace     *trace.Trace
 	cache     *trace.Cache
 	keyEng    engKey
+	maxEvents uint64
+	watchdog  func(interrupt func()) (stop func())
 
 	// shareSims is set when the sweep axis is metric-only: every column
 	// runs the identical simulation and differs only in the metric
@@ -195,6 +202,8 @@ func compile(s *Spec, o Opts) (*engine, error) {
 		horizon:   sim.Time(quickFloat(s.HorizonMs, s.QuickHorizonMs, o.Quick) * float64(sim.Millisecond)),
 		trace:     o.Trace,
 		cache:     o.Cache,
+		maxEvents: o.MaxEvents,
+		watchdog:  o.Watchdog,
 	}
 	if e.trace != nil {
 		// A cache hit skips the simulation that would emit the records, so
@@ -521,6 +530,20 @@ func compileColumn(s *Spec, o Opts, axis string, v float64, cs *SweepCase) (*col
 		}
 	}
 
+	// Faults: resolve the spec's schedule against this column's topology
+	// size so a bad target fails at compile time, not mid-sweep.
+	if len(s.Faults) > 0 {
+		sch, err := compileFaults(s.Faults, col.hosts, func() int {
+			// Only a switch-crash fault needs the switch count, and the
+			// builder registry exposes no accessor: build the topology once.
+			return len(b.Build(tp, o.BaseSeed()).Switches)
+		})
+		if err != nil {
+			return nil, err
+		}
+		col.faults = sch
+	}
+
 	col.hi = quickInt(s.Eval.Hi, s.Eval.QuickHi, o.Quick)
 	if s.Eval.HiPerHost > 0 {
 		col.hi = int(s.Eval.HiPerHost * float64(col.hosts))
@@ -536,7 +559,47 @@ func compileColumn(s *Spec, o Opts, axis string, v float64, cs *SweepCase) (*col
 		Poisson: w.Arrival != nil, PoissonRate: arrivalRate, WindowMs: arrivalWindowMs,
 		Hi: col.hi,
 	}
+	if col.faults != nil {
+		col.key.Faults = col.faults.Events
+	}
 	return col, nil
+}
+
+// msTime converts a spec-level millisecond value to simulator time.
+func msTime(v float64) sim.Time { return sim.Time(v * float64(sim.Millisecond)) }
+
+// compileFaults resolves a spec's faults block into a validated schedule.
+// switches is evaluated lazily: only a switch-crash fault needs the
+// count, and obtaining it costs one topology build.
+func compileFaults(specs []FaultSpec, hosts int, switches func() int) (*fault.Schedule, error) {
+	sch := &fault.Schedule{Events: make([]fault.Event, 0, len(specs))}
+	needSwitches := false
+	for i, fs := range specs {
+		var ev fault.Event
+		switch fs.Kind {
+		case "link-down":
+			ev = fault.Event{Kind: fault.LinkDown, Host: fs.Host,
+				Down: msTime(fs.DownMs), Up: msTime(fs.UpMs)}
+		case "switch-crash":
+			needSwitches = true
+			ev = fault.Event{Kind: fault.SwitchCrash, Switch: fs.Switch,
+				At: msTime(fs.AtMs), Restart: msTime(fs.RestartMs)}
+		case "gilbert-loss":
+			ev = fault.Event{Kind: fault.GilbertLoss, Host: fs.Host,
+				PGB: fs.PGB, PBG: fs.PBG, LossGood: fs.LossGood, LossBad: fs.LossBad}
+		default:
+			return nil, fmt.Errorf("fault %d: unknown kind %q (available: link-down, switch-crash, gilbert-loss)", i, fs.Kind)
+		}
+		sch.Events = append(sch.Events, ev)
+	}
+	nSwitches := 0
+	if needSwitches {
+		nSwitches = switches()
+	}
+	if err := sch.Validate(hosts, nSwitches); err != nil {
+		return nil, err
+	}
+	return sch, nil
 }
 
 // overrideParam copies params with one key replaced.
@@ -656,8 +719,9 @@ func bindRunner(name string, given map[string]float64) (func(seed int64) RunnerF
 // simulate executes one simulation for a row, tagging its telemetry
 // capture with (colLabel, run) — run distinguishes replicates and search
 // probes sharing one grid-cell tag.
-func (e *engine) simulate(r *row, at int, build func() *topo.Topology, flows []workload.Flow, seed int64, colLabel string, run int) []workload.Result {
-	rc := RunCtx{Horizon: e.horizon, Qdisc: r.qdisc}
+func (e *engine) simulate(r *row, at int, col *column, build func() *topo.Topology, flows []workload.Flow, seed int64, colLabel string, run int) []workload.Result {
+	rc := RunCtx{Horizon: e.horizon, Qdisc: r.qdisc, Faults: col.faults,
+		MaxEvents: e.maxEvents, Watchdog: e.watchdog}
 	if e.trace != nil {
 		rc.Cell = e.trace.OpenCell(trace.Cell{
 			Scenario: e.spec.Name, Row: r.label, Col: colLabel, Seed: seed, Run: run,
@@ -684,11 +748,11 @@ func (e *engine) sharedRun(key simMemoKey, run func() []workload.Result) []workl
 
 // value evaluates one (row, column) pair on one flow set. at indexes the
 // row's per-column runner/metric bindings.
-func (e *engine) value(r *row, at int, build func() *topo.Topology, flows []workload.Flow, seed int64, colLabel string, run int) float64 {
+func (e *engine) value(r *row, at int, col *column, build func() *topo.Topology, flows []workload.Flow, seed int64, colLabel string, run int) float64 {
 	if r.analytic != nil {
 		return r.analytic(flows)
 	}
-	rs := e.simulate(r, at, build, flows, seed, colLabel, run)
+	rs := e.simulate(r, at, col, build, flows, seed, colLabel, run)
 	return r.metric[at](rs, flows)
 }
 
@@ -770,10 +834,10 @@ func (e *engine) compute(ri, ci int, seed int64) float64 {
 				// identical, so one run per (row, replicate) serves the
 				// whole axis (traced cells carry Col "*").
 				rs = e.sharedRun(simMemoKey{row: ri, rep: s, seed: seed}, func() []workload.Result {
-					return e.simulate(r, at, build, flows, seed, "*", s)
+					return e.simulate(r, at, col, build, flows, seed, "*", s)
 				})
 			} else {
-				rs = e.simulate(r, at, build, flows, seed, colLabel, s)
+				rs = e.simulate(r, at, col, build, flows, seed, colLabel, s)
 			}
 			sum += r.metric[at](rs, flows)
 		}
@@ -782,13 +846,13 @@ func (e *engine) compute(ri, ci int, seed int64) float64 {
 		run := 0
 		return float64(stats.MaxN(1, col.hi, func(n int) bool {
 			run++
-			return e.value(r, at, build, col.gen(seed, n, 0), seed, colLabel, run-1) >= e.threshold
+			return e.value(r, at, col, build, col.gen(seed, n, 0), seed, colLabel, run-1) >= e.threshold
 		}))
 	default: // "max-rate"
 		run := 0
 		n := stats.MaxN(1, e.steps, func(n int) bool {
 			run++
-			return e.value(r, at, build, col.gen(seed, 0, float64(n)*e.rateStep), seed, colLabel, run-1) >= e.threshold
+			return e.value(r, at, col, build, col.gen(seed, 0, float64(n)*e.rateStep), seed, colLabel, run-1) >= e.threshold
 		})
 		return float64(n) * e.rateStep
 	}
@@ -801,7 +865,14 @@ func (e *engine) run(o Opts) *Table {
 	for _, c := range e.cols {
 		t.Cols = append(t.Cols, c.label)
 	}
-	raw := runGrid(o, len(e.rows), nCols, e.cell)
+	raw, failed := runGrid(o, len(e.rows), nCols, e.cell)
+	for _, fe := range failed {
+		ri, ci := fe.Trial/nCols, fe.Trial%nCols
+		t.Errors = append(t.Errors, CellError{
+			Row: e.rows[ri].label, Col: e.cols[ci].label,
+			Rep: fe.Rep, Seed: fe.Seed, Msg: fe.Msg,
+		})
+	}
 	switch e.spec.Normalize {
 	case "base-row":
 		// Every column is normalized to the first row's value in that

@@ -71,13 +71,32 @@ func mkPacket(install func(t *topo.Topology) protoSystem) RunnerFunc {
 				l.SetQdisc(rc.Qdisc())
 			}
 		}
+		// Faults are applied after installation and before telemetry or any
+		// flow start — always the same code position, so fault event
+		// sequence numbers are deterministic (DESIGN.md §11).
+		rc.Faults.Apply(t, sys, rc.Cell)
 		attachTelemetry(rc.Cell, t, sys.FlowCollector())
 		for _, f := range flows {
 			sys.Start(f)
 		}
-		t.Sim().RunUntil(rc.Horizon)
+		runEngine(t.Sim(), rc)
 		return sys.Results()
 	}
+}
+
+// runEngine drives one packet-level simulation to its horizon with the
+// runaway-cell guards armed: the deterministic event budget and, when the
+// command layer injected one, the wall-clock watchdog. Both trip by
+// panicking; the sweep executor recovers the panic into NaN plus a
+// diagnostic.
+func runEngine(s *sim.Sim, rc RunCtx) {
+	if rc.MaxEvents > 0 {
+		s.SetMaxEvents(rc.MaxEvents)
+	}
+	if rc.Watchdog != nil {
+		defer rc.Watchdog(s.Interrupt)()
+	}
+	s.RunUntil(rc.Horizon)
 }
 
 // pdqMake binds one PDQ variant's config constructor into a Make
@@ -110,6 +129,9 @@ func flowMake(alloc func(p map[string]float64, seed int64) flowsim.Allocator) fu
 			s.ET = p["et"] != 0
 			if rc.Cell != nil {
 				s.Collector.Sink = rc.Cell.FlowSink()
+			}
+			if !rc.Faults.Empty() {
+				s.ApplyFaults(rc.Faults, rc.Cell)
 			}
 			for _, f := range flows {
 				s.Start(f)

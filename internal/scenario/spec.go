@@ -43,6 +43,32 @@ type Spec struct {
 	// (divide every column by the first row's value in that column), or
 	// "first-cell" (divide everything by cell (0,0)).
 	Normalize string `json:"normalize,omitempty"`
+	// Faults is the deterministic fault schedule injected into every
+	// simulated cell (DESIGN.md §11). Validated at compile time against
+	// each column's topology.
+	Faults []FaultSpec `json:"faults,omitempty"`
+}
+
+// FaultSpec is one declarative fault, times in milliseconds. Kind selects
+// which fields apply:
+//
+//   - "link-down": Host's access link fails over [DownMs, UpMs);
+//   - "switch-crash": Switch loses its soft state at AtMs and, when
+//     RestartMs > 0, is unreachable for that long;
+//   - "gilbert-loss": Host's access link runs a Gilbert-Elliott burst-loss
+//     process (per-packet probabilities) for the whole run.
+type FaultSpec struct {
+	Kind      string  `json:"kind"`
+	Host      int     `json:"host,omitempty"` // negative counts from the last host
+	Switch    int     `json:"switch,omitempty"`
+	DownMs    float64 `json:"down_ms,omitempty"`
+	UpMs      float64 `json:"up_ms,omitempty"`
+	AtMs      float64 `json:"at_ms,omitempty"`
+	RestartMs float64 `json:"restart_ms,omitempty"`
+	PGB       float64 `json:"p_gb,omitempty"`
+	PBG       float64 `json:"p_bg,omitempty"`
+	LossGood  float64 `json:"loss_good,omitempty"`
+	LossBad   float64 `json:"loss_bad,omitempty"`
 }
 
 // TopoSpec names a registered topology family.

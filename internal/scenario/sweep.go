@@ -9,6 +9,7 @@
 package scenario
 
 import (
+	"fmt"
 	"math"
 	"runtime"
 	"sync"
@@ -67,18 +68,42 @@ func Gather[T any](workers int, fns []func() T) []T {
 	return out
 }
 
+// TrialError describes one failed replicate of a sweep trial: a panic
+// inside the trial (a bug, an exhausted event budget, a watchdog
+// interrupt) captured instead of crashing the sweep. The replicate's
+// sample becomes NaN, so the failure stays visible in the aggregate.
+type TrialError struct {
+	Trial int    // index into the trials slice (row-major cell index in a grid)
+	Rep   int    // replicate index within the trial
+	Seed  int64  // the replicate's base seed
+	Msg   string // the recovered panic value
+}
+
 // RunTrials evaluates every trial across Opts.Parallel workers,
 // replicating each one over Opts.Trials base seeds (o.BaseSeed(),
 // o.BaseSeed()+stride, ...), and returns mean ± stderr per trial in input
 // order. With Trials <= 1 each cell runs exactly once at o.BaseSeed(), so
-// the resulting tables match a serial sweep byte for byte.
+// the resulting tables match a serial sweep byte for byte. Failed
+// replicates contribute NaN; use RunTrialsErr to see why they failed.
 func RunTrials(o Opts, trials []Trial) []Stat {
+	st, _ := RunTrialsErr(o, trials)
+	return st
+}
+
+// RunTrialsErr is RunTrials with failure capture: each replicate runs
+// under a recover, so one panicking cell yields NaN plus a TrialError
+// while every other cell completes — the executor's half of
+// partial-table emission (DESIGN.md §11). Errors are reported in trial
+// order regardless of which worker hit them.
+func RunTrialsErr(o Opts, trials []Trial) ([]Stat, []TrialError) {
 	k := o.trials()
 	fns := make([]func() float64, 0, len(trials)*k)
-	for _, tr := range trials {
+	slots := make([]TrialError, len(trials)*k) // Msg == "" marks success
+	for ti, tr := range trials {
 		for r := 0; r < k; r++ {
-			tr, seed := tr, o.seed()+int64(r)*TrialSeedStride
-			fns = append(fns, func() float64 { return tr(seed) })
+			ti, r, tr, seed := ti, r, tr, o.seed()+int64(r)*TrialSeedStride
+			slot := &slots[len(fns)]
+			fns = append(fns, func() float64 { return runTrial(tr, seed, ti, r, slot) })
 		}
 	}
 	samples := Gather(o.workers(), fns)
@@ -86,7 +111,37 @@ func RunTrials(o Opts, trials []Trial) []Stat {
 	for i := range trials {
 		out[i] = summarize(samples[i*k : (i+1)*k])
 	}
-	return out
+	var failed []TrialError
+	for i := range slots {
+		if slots[i].Msg != "" {
+			failed = append(failed, slots[i])
+		}
+	}
+	return out, failed
+}
+
+// runTrial executes one replicate, converting a panic into NaN plus a
+// diagnostic in slot.
+func runTrial(tr Trial, seed int64, ti, rep int, slot *TrialError) (v float64) {
+	defer func() {
+		if r := recover(); r != nil {
+			*slot = TrialError{Trial: ti, Rep: rep, Seed: seed, Msg: panicMsg(r)}
+			v = math.NaN()
+		}
+	}()
+	return tr(seed)
+}
+
+// panicMsg renders a recovered panic value for a diagnostic row.
+func panicMsg(r any) string {
+	switch x := r.(type) {
+	case error:
+		return x.Error()
+	case string:
+		return x
+	default:
+		return fmt.Sprintf("%v", x)
+	}
 }
 
 // summarize reduces one cell's replicates to mean ± standard error.
@@ -109,8 +164,9 @@ func summarize(xs []float64) Stat {
 }
 
 // runGrid evaluates an nRows×nCols cell grid concurrently and returns
-// the per-cell stats in row-major order.
-func runGrid(o Opts, nRows, nCols int, cell func(row, col int, seed int64) float64) []Stat {
+// the per-cell stats in row-major order, plus any captured per-replicate
+// failures (TrialError.Trial is the row-major cell index).
+func runGrid(o Opts, nRows, nCols int, cell func(row, col int, seed int64) float64) ([]Stat, []TrialError) {
 	trials := make([]Trial, 0, nRows*nCols)
 	for r := 0; r < nRows; r++ {
 		for c := 0; c < nCols; c++ {
@@ -118,7 +174,7 @@ func runGrid(o Opts, nRows, nCols int, cell func(row, col int, seed int64) float
 			trials = append(trials, func(seed int64) float64 { return cell(r, c, seed) })
 		}
 	}
-	return RunTrials(o, trials)
+	return RunTrialsErr(o, trials)
 }
 
 // statRow converts one row's per-point stats into a table row, attaching

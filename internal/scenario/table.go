@@ -14,6 +14,17 @@ type Row struct {
 	Errs []float64 `json:"errs,omitempty"`
 }
 
+// CellError is one failed grid-cell replicate attached to an otherwise
+// complete table: the cell's value is NaN and the rest of the sweep ran
+// to completion (partial-table emission, DESIGN.md §11).
+type CellError struct {
+	Row  string `json:"row"`
+	Col  string `json:"col"`
+	Rep  int    `json:"rep,omitempty"`
+	Seed int64  `json:"seed,omitempty"`
+	Msg  string `json:"msg"`
+}
+
 // Table is a reproduced figure/table: a header plus labeled float rows.
 type Table struct {
 	Name   string   `json:"name"`
@@ -21,7 +32,14 @@ type Table struct {
 	Cols   []string `json:"cols"`
 	Rows   []Row    `json:"rows"`
 	Digits int      `json:"-"` // formatting precision; default 2
+
+	// Errors lists the cells whose replicates failed (panic, event
+	// budget, watchdog); empty for a clean run.
+	Errors []CellError `json:"errors,omitempty"`
 }
+
+// Partial reports whether any cell failed.
+func (t *Table) Partial() bool { return len(t.Errors) > 0 }
 
 // Get returns the value at (rowLabel, col), panicking if absent — the
 // shape tests use it. It stops at the first matching column and panics on
@@ -78,6 +96,9 @@ func (t *Table) String() string {
 			}
 		}
 		b.WriteByte('\n')
+	}
+	for _, e := range t.Errors {
+		fmt.Fprintf(&b, "! failed cell %s × %s (rep %d, seed %d): %s\n", e.Row, e.Col, e.Rep, e.Seed, e.Msg)
 	}
 	return b.String()
 }

@@ -21,6 +21,7 @@ package sim
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 )
 
 // Time is a simulation timestamp in nanoseconds since simulation start.
@@ -115,7 +116,57 @@ type Sim struct {
 	order  []int32 // 4-ary min-heap of occupied slots, keyed by (at, seq)
 	nRun   uint64
 	halted bool
+
+	// maxEvents, when nonzero, bounds the total number of events this Sim
+	// may execute; exceeding it panics with EventLimitError. It is the
+	// deterministic half of the runaway-cell watchdog (DESIGN.md §11).
+	maxEvents uint64
+	// interrupted is the wall-clock watchdog flag, set from any goroutine
+	// via Interrupt and polled by RunUntil every interruptStride events.
+	interrupted atomic.Bool
 }
+
+// interruptStride is how often (in events) RunUntil polls the interrupt
+// flag: a power of two so the check compiles to a mask, rare enough that
+// the atomic load is invisible in the event-loop profile.
+const interruptStride = 1024
+
+// EventLimitError is the panic value RunUntil raises when the event budget
+// set by SetMaxEvents is exhausted. The sweep executor converts it into a
+// NaN cell plus a diagnostic instead of crashing the process.
+type EventLimitError struct {
+	Events uint64 // events executed when the budget tripped
+	At     Time   // simulation time at the trip point
+}
+
+func (e EventLimitError) Error() string {
+	return fmt.Sprintf("sim: event budget exhausted after %d events at t=%v", e.Events, e.At)
+}
+
+// InterruptError is the panic value RunUntil raises after Interrupt was
+// called — typically by a wall-clock watchdog armed outside the engine.
+type InterruptError struct {
+	Events uint64 // events executed when the interrupt was observed
+	At     Time   // simulation time at the interrupt point
+}
+
+func (e InterruptError) Error() string {
+	return fmt.Sprintf("sim: run interrupted after %d events at t=%v", e.Events, e.At)
+}
+
+// SetMaxEvents bounds the total number of events the Sim may execute; once
+// Processed reaches n, RunUntil panics with EventLimitError. Zero (the
+// default) means unlimited. The bound is on the Sim's lifetime event count,
+// not per RunUntil call, so a budget set before the run covers the whole
+// cell regardless of how the horizon is chopped up.
+func (s *Sim) SetMaxEvents(n uint64) { s.maxEvents = n }
+
+// Interrupt requests that the running simulation stop with an
+// InterruptError panic. Unlike every other Sim method it is safe to call
+// from another goroutine: it only sets an atomic flag, which RunUntil polls
+// between events. The panic surfaces on the simulation goroutine within
+// interruptStride events; an idle Sim panics on its next RunUntil.
+func (s *Sim) Interrupt() { s.interrupted.Store(true) }
 
 // New returns a new simulator with the clock at zero.
 func New() *Sim { return &Sim{} }
@@ -363,6 +414,12 @@ func (s *Sim) Run() { s.RunUntil(MaxTime) }
 func (s *Sim) RunUntil(end Time) {
 	s.halted = false
 	for len(s.order) > 0 && !s.halted {
+		if s.maxEvents != 0 && s.nRun >= s.maxEvents {
+			panic(EventLimitError{Events: s.nRun, At: s.now})
+		}
+		if s.nRun&(interruptStride-1) == 0 && s.interrupted.Load() {
+			panic(InterruptError{Events: s.nRun, At: s.now})
+		}
 		next := &s.pool[s.order[0]]
 		if next.at > end {
 			s.now = end

@@ -1,0 +1,97 @@
+package sim
+
+import "testing"
+
+func TestMaxEventsPanics(t *testing.T) {
+	s := New()
+	s.SetMaxEvents(10)
+	ran := 0
+	var tick func()
+	tick = func() { ran++; s.After(1, tick) }
+	s.After(1, tick)
+	defer func() {
+		e, ok := recover().(EventLimitError)
+		if !ok {
+			t.Fatalf("want EventLimitError, ran %d events without one", ran)
+		}
+		if e.Events != 10 {
+			t.Errorf("Events = %d, want 10", e.Events)
+		}
+		if e.At != 10 {
+			t.Errorf("At = %v, want 10", e.At)
+		}
+		if e.Error() == "" {
+			t.Error("empty diagnostic")
+		}
+	}()
+	s.Run()
+}
+
+func TestMaxEventsZeroIsUnlimited(t *testing.T) {
+	s := New()
+	for i := 0; i < 100; i++ {
+		s.At(Time(i), func() {})
+	}
+	s.Run() // must not panic
+	if s.Processed() != 100 {
+		t.Fatalf("Processed = %d, want 100", s.Processed())
+	}
+}
+
+func TestMaxEventsCountsAcrossRuns(t *testing.T) {
+	// The budget is a lifetime event count, not per-RunUntil: a runner
+	// resuming a sim cannot reset its cell's budget by accident.
+	s := New()
+	s.SetMaxEvents(3)
+	for i := 1; i <= 4; i++ {
+		s.At(Time(i), func() {})
+	}
+	s.RunUntil(2) // 2 events, under budget
+	defer func() {
+		if _, ok := recover().(EventLimitError); !ok {
+			t.Fatal("second RunUntil did not trip the lifetime budget")
+		}
+	}()
+	s.RunUntil(4) // third event runs, fourth trips the budget
+}
+
+func TestInterruptPanics(t *testing.T) {
+	s := New()
+	s.At(1, func() {})
+	s.Interrupt() // nRun starts at 0, a stride boundary, so the poll fires
+	defer func() {
+		e, ok := recover().(InterruptError)
+		if !ok {
+			t.Fatal("want InterruptError")
+		}
+		if e.Error() == "" {
+			t.Error("empty diagnostic")
+		}
+	}()
+	s.Run()
+}
+
+func TestInterruptPolledAtStride(t *testing.T) {
+	// An interrupt raised mid-run is seen at the next stride boundary.
+	s := New()
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n == 5 {
+			s.Interrupt()
+		}
+		s.After(1, tick)
+	}
+	s.After(1, tick)
+	defer func() {
+		e, ok := recover().(InterruptError)
+		if !ok {
+			t.Fatal("want InterruptError")
+		}
+		if e.Events != 1024 {
+			t.Errorf("interrupted after %d events, want 1024 (next stride boundary)", e.Events)
+		}
+	}()
+	s.Run()
+}

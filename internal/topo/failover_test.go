@@ -1,0 +1,72 @@
+package topo
+
+import (
+	"testing"
+
+	"pdq/internal/netsim"
+)
+
+func pathHas(p []*netsim.Link, l *netsim.Link) bool {
+	for _, x := range p {
+		if x == l || x == l.Peer {
+			return true
+		}
+	}
+	return false
+}
+
+func TestPathExcludingFindsAlternate(t *testing.T) {
+	tp := FatTree(4, 1)
+	a, b := tp.Hosts[0], tp.Hosts[len(tp.Hosts)-1] // different pods: core crossing
+	orig := tp.Path(a, b)
+	validatePath(t, tp, a, b, orig)
+	// Fail a core-facing hop of the original path; the fat tree has
+	// parallel cores, so a detour must exist.
+	failed := orig[2]
+	alt := tp.PathExcluding(a, b, func(l *netsim.Link) bool { return l == failed || l == failed.Peer })
+	if alt == nil {
+		t.Fatal("no alternate path found in a fat tree with parallel cores")
+	}
+	validatePath(t, tp, a, b, alt)
+	if pathHas(alt, failed) {
+		t.Fatal("alternate path still crosses the failed link")
+	}
+	if len(alt) != len(orig) {
+		t.Errorf("alternate path length %d, want %d (ECMP detour keeps distance)", len(alt), len(orig))
+	}
+}
+
+func TestPathExcludingDeterministic(t *testing.T) {
+	tp := FatTree(4, 1)
+	a, b := tp.Hosts[0], tp.Hosts[len(tp.Hosts)-1]
+	failed := tp.Path(a, b)[2]
+	blocked := func(l *netsim.Link) bool { return l == failed || l == failed.Peer }
+	first := tp.PathExcluding(a, b, blocked)
+	for i := 0; i < 5; i++ {
+		again := tp.PathExcluding(a, b, blocked)
+		if len(again) != len(first) {
+			t.Fatal("PathExcluding not deterministic")
+		}
+		for j := range again {
+			if again[j] != first[j] {
+				t.Fatal("PathExcluding not deterministic")
+			}
+		}
+	}
+}
+
+func TestPathExcludingNoRoute(t *testing.T) {
+	tp := SingleBottleneck(2, 1)
+	a, b := tp.Hosts[0], tp.Hosts[2]
+	acc := a.Access
+	if p := tp.PathExcluding(a, b, func(l *netsim.Link) bool { return l == acc || l == acc.Peer }); p != nil {
+		t.Fatalf("got a path around the only access link: %v", p)
+	}
+}
+
+func TestPathExcludingNothingBlocked(t *testing.T) {
+	tp := SingleBottleneck(3, 1)
+	a, b := tp.Hosts[0], tp.Hosts[3]
+	p := tp.PathExcluding(a, b, func(*netsim.Link) bool { return false })
+	validatePath(t, tp, a, b, p)
+}

@@ -155,6 +155,67 @@ func (t *Topology) pathVia(a, b netsim.NodeID, pick func([]*netsim.Link) *netsim
 	return path
 }
 
+// PathExcluding returns a deterministic shortest path of directed links
+// from host a to host b that avoids every link for which blocked returns
+// true — failover route recomputation around failed links (DESIGN.md §11).
+// It runs a fresh BFS on the surviving subgraph (the cached distance
+// tables assume the full topology), so it allocates; call it on fault
+// events, not per packet. Ties are broken by lowest link ID, matching
+// Path. It returns nil when no route survives.
+func (t *Topology) PathExcluding(a, b *netsim.Host, blocked func(*netsim.Link) bool) []*netsim.Link {
+	src, dst := a.ID(), b.ID()
+	if src == dst {
+		return nil
+	}
+	// BFS from dst, like distTo, so the forward walk below can descend the
+	// distance field. Expanding node u here traverses the u→v link, but the
+	// forward path through that edge uses its reverse direction — the
+	// peer — so the peer is what must survive the block predicate.
+	n := t.Net.NumNodes()
+	d := make([]int32, n)
+	for i := range d {
+		d[i] = -1
+	}
+	d[dst] = 0
+	queue := make([]netsim.NodeID, 0, n)
+	queue = append(queue, dst)
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, l := range t.Adjacent(u) {
+			if l.Peer == nil || blocked(l.Peer) {
+				continue
+			}
+			if v := l.To.ID(); d[v] < 0 {
+				d[v] = d[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	if d[src] < 0 {
+		return nil
+	}
+	path := make([]*netsim.Link, 0, d[src])
+	u := src
+	for u != dst {
+		var next *netsim.Link
+		// Adjacency lists are in link-creation order, i.e. ascending link
+		// ID, so the first admissible descent is the lowest-ID tie-break.
+		for _, l := range t.Adjacent(u) {
+			if !blocked(l) && d[l.To.ID()] == d[u]-1 {
+				next = l
+				break
+			}
+		}
+		if next == nil {
+			return nil
+		}
+		path = append(path, next)
+		u = next.To.ID()
+	}
+	return path
+}
+
 // Paths returns up to maxK distinct equal-cost shortest paths from a to b,
 // deterministically derived from (a, b). The first returned path equals
 // Path(a, b). Used by M-PDQ to assign subflows to ECMP paths.

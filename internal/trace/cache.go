@@ -3,7 +3,9 @@ package trace
 import (
 	"crypto/sha256"
 	"encoding/hex"
+	"errors"
 	"fmt"
+	"io/fs"
 	"math"
 	"os"
 	"path/filepath"
@@ -26,6 +28,23 @@ import (
 type Cache struct {
 	dir                  string
 	hits, misses, errors atomic.Uint64
+
+	// Backoff, when non-nil, is called between I/O retry attempts
+	// (attempt counts from 1). The engine never sleeps itself — internal
+	// packages are wall-clock-free by lint rule — so the command layer
+	// injects the delay policy; a nil Backoff retries immediately.
+	Backoff func(attempt int)
+}
+
+// cacheAttempts bounds the retry loop around transient cache I/O: the
+// first try plus two retries. Missing entries and corrupt content are not
+// transient and are never retried.
+const cacheAttempts = 3
+
+func (c *Cache) backoff(attempt int) {
+	if c.Backoff != nil {
+		c.Backoff(attempt)
+	}
 }
 
 // NewCache opens (creating if needed) a cache rooted at dir.
@@ -72,17 +91,33 @@ func (c *Cache) path(key string) string {
 }
 
 // GetFloat looks up a cached scalar. A malformed or unreadable entry is
-// a miss, never an error.
+// a miss, never an error. A missing entry is the ordinary miss and is not
+// retried; any other read error is treated as transient (NFS hiccup,
+// EMFILE) and retried with backoff before degrading to recomputation.
 func (c *Cache) GetFloat(key string) (float64, bool) {
-	data, err := os.ReadFile(c.path(key))
-	if err != nil {
-		c.misses.Add(1)
-		return 0, false
+	var data []byte
+	for attempt := 1; ; attempt++ {
+		var err error
+		data, err = os.ReadFile(c.path(key))
+		if err == nil {
+			break
+		}
+		if errors.Is(err, fs.ErrNotExist) {
+			c.misses.Add(1)
+			return 0, false
+		}
+		if attempt >= cacheAttempts {
+			c.errors.Add(1)
+			c.misses.Add(1)
+			return 0, false
+		}
+		c.backoff(attempt)
 	}
 	bits, err := strconv.ParseUint(strings.TrimSpace(string(data)), 16, 64)
 	if err != nil || len(strings.TrimSpace(string(data))) != 16 {
 		// Corrupt entry: drop it so the recomputed value can take its
-		// place, and fall back to recomputation.
+		// place, and fall back to recomputation. No retry — re-reading
+		// the same bytes cannot help.
 		os.Remove(c.path(key))
 		c.errors.Add(1)
 		c.misses.Add(1)
@@ -93,28 +128,41 @@ func (c *Cache) GetFloat(key string) (float64, bool) {
 }
 
 // PutFloat stores a scalar under key, atomically (write temp + rename)
-// so readers never observe a torn entry. Failures are silently dropped:
-// a cache that cannot write simply does not accelerate.
+// so readers never observe a torn entry. Transient failures are retried
+// with backoff; persistent failures are silently dropped beyond the error
+// counter — a cache that cannot write simply does not accelerate.
 func (c *Cache) PutFloat(key string, v float64) {
+	for attempt := 1; ; attempt++ {
+		if c.putOnce(key, v) {
+			return
+		}
+		if attempt >= cacheAttempts {
+			c.errors.Add(1)
+			return
+		}
+		c.backoff(attempt)
+	}
+}
+
+// putOnce is one attempt of the atomic temp-write-and-rename sequence.
+func (c *Cache) putOnce(key string, v float64) bool {
 	p := c.path(key)
 	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
-		c.errors.Add(1)
-		return
+		return false
 	}
 	tmp, err := os.CreateTemp(filepath.Dir(p), ".tmp-*")
 	if err != nil {
-		c.errors.Add(1)
-		return
+		return false
 	}
 	_, werr := fmt.Fprintf(tmp, "%016x\n", math.Float64bits(v))
 	cerr := tmp.Close()
 	if werr != nil || cerr != nil {
 		os.Remove(tmp.Name())
-		c.errors.Add(1)
-		return
+		return false
 	}
 	if err := os.Rename(tmp.Name(), p); err != nil {
 		os.Remove(tmp.Name())
-		c.errors.Add(1)
+		return false
 	}
+	return true
 }

@@ -154,16 +154,39 @@ type Cell struct {
 	Run      int    `json:"run"`
 }
 
+// FaultRecord is one fault transition observed during a run: a link (or
+// the set of links around a crashed switch) going down or coming back.
+// Paired with flow records, it is the trace-plane raw material for
+// recovery-time analysis: recovery is the gap between a Down=false record
+// and the first flow completion after it.
+type FaultRecord struct {
+	Kind   string   // "link-down", "switch-crash", "gilbert-loss"
+	Target string   // e.g. "host3" or "switch0"
+	At     sim.Time // scheduled transition time
+	Down   bool     // true at failure onset, false at recovery/restart
+}
+
 // CellTrace is the telemetry captured by one simulation run: its flow
-// records and any probe series the runner attached. A CellTrace is owned
-// by the single goroutine running that cell until the run completes.
+// records, any probe series the runner attached, and the fault
+// transitions injected into it. A CellTrace is owned by the single
+// goroutine running that cell until the run completes.
 type CellTrace struct {
 	Cell   Cell
 	Flows  *Ring     // nil when flow records are disabled
 	Probes []*Series // filled by the runner when probing is enabled
+	Faults []FaultRecord
 
 	wantProbes bool
 	stride     sim.Duration
+}
+
+// RecordFault appends a fault transition to the cell's trace. Safe on a
+// nil receiver (tracing off).
+func (ct *CellTrace) RecordFault(r FaultRecord) {
+	if ct == nil {
+		return
+	}
+	ct.Faults = append(ct.Faults, r)
 }
 
 // WantProbes reports whether the runner should install time-series
@@ -276,6 +299,24 @@ func (t *Trace) WriteFlows(w io.Writer) error {
 				r.Start.Millis(), finish, r.Deadline.Millis(),
 				r.Met, r.Terminated, r.BytesAcked, r.Retransmits, r.Preemptions,
 				r.ECNMarks, r.PrioPackets)
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteFaults writes every injected fault transition as one JSON object
+// per line (JSONL), tagged with its cell.
+func (t *Trace) WriteFaults(w io.Writer) error {
+	for _, ct := range t.Cells() {
+		for _, f := range ct.Faults {
+			_, err := fmt.Fprintf(w,
+				`{"scenario":%s,"row":%s,"col":%s,"seed":%d,"run":%d,"kind":%s,"target":%s,"t_ms":%g,"down":%t}`+"\n",
+				jsonStr(ct.Cell.Scenario), jsonStr(ct.Cell.Row), jsonStr(ct.Cell.Col),
+				ct.Cell.Seed, ct.Cell.Run,
+				jsonStr(f.Kind), jsonStr(f.Target), f.At.Millis(), f.Down)
 			if err != nil {
 				return err
 			}

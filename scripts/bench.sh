@@ -1,11 +1,14 @@
 #!/usr/bin/env sh
 # bench.sh — run the tier-1 perf benchmarks with -benchmem and fold the
-# numbers into a JSON record (default bench/BENCH_pr5.json) via
+# numbers into a JSON record (default bench/BENCH_pr7.json) via
 # scripts/benchjson. Perf records live under bench/ so the repo root
 # stays clean as the record set grows (bench/BENCH_pr2.json is the PR-2
 # zero-alloc rewrite; bench/BENCH_pr4.json adds the telemetry-overhead
 # proof; bench/BENCH_pr5.json adds the qdisc-layer figure benches —
-# DCTCP's marking FIFO and pFabric's strict-priority scheduler path).
+# DCTCP's marking FIFO and pFabric's strict-priority scheduler path;
+# bench/BENCH_pr7.json guards the fault-injection hooks: present but
+# disabled, they must keep Fig3a within noise of the pr5 record and the
+# engine benches at 0 allocs/op).
 #
 # Usage:
 #   scripts/bench.sh [record.json]
@@ -24,7 +27,7 @@
 set -eu
 cd "$(dirname "$0")/.."
 
-OUT="${1:-bench/BENCH_pr5.json}"
+OUT="${1:-bench/BENCH_pr7.json}"
 PATTERN="${BENCH_PATTERN:-Fig3a\$|Fig10\$|AblationPDQVariants|EngineSchedule|FlowAllocators|TraceSinkOverhead|DCTCPIncast|PFabricWebsearch}"
 TIME="${BENCH_TIME:-1s}"
 
