@@ -7,6 +7,7 @@
 //	pdqsim -exp fig3a [-seed 7]
 //	pdqsim -exp all -quick
 //	pdqsim -exp all -quick -parallel 8 -trials 5 -json
+//	pdqsim -scenario examples/scenarios/fattree-k16-sharded.json -shards 8 -sched wheel
 //	pdqsim -scenario examples/scenarios/incast.json -quick
 //	pdqsim -scenario examples/scenarios/incast.json -trace flows.jsonl -probe probes.csv
 //	pdqsim -exp all -quick -cache
@@ -60,6 +61,8 @@ func main() {
 		quick       = flag.Bool("quick", false, "run reduced sweeps (seconds instead of minutes)")
 		seed        = flag.Int64("seed", 0, "base RNG seed (0 = default seed 1)")
 		parallel    = flag.Int("parallel", 0, "sweep worker count (0 = one per core, 1 = serial)")
+		shards      = flag.Int("shards", 0, "event-engine shards per simulation (0/1 = single engine; only shard-safe runners shard, output is byte-identical at any count)")
+		sched       = flag.String("sched", "", "engine timer backend: heap (default) or wheel (identical firing order, different cost profile)")
 		trials      = flag.Int("trials", 1, "replicates per sweep point (reports mean ± stderr)")
 		jsonOut     = flag.Bool("json", false, "emit tables as JSON instead of text")
 		traceOut    = flag.String("trace", "", "write per-flow completion records to this JSONL file")
@@ -104,7 +107,8 @@ func main() {
 		return
 	}
 
-	opts := exp.Opts{Quick: *quick, Seed: *seed, Parallel: *parallel, Trials: *trials, MaxEvents: *maxEvents}
+	opts := exp.Opts{Quick: *quick, Seed: *seed, Parallel: *parallel, Trials: *trials,
+		MaxEvents: *maxEvents, Shards: *shards, Sched: *sched}
 	if *cellTimeout > 0 {
 		// The engine never reads a wall clock (pdqlint enforces it); the
 		// watchdog factory injects one from out here. Each cell arms a
@@ -336,7 +340,11 @@ func listRegistries(topos, pats, pros, mets, qds bool) {
 	if pros {
 		fmt.Println("protocol runners:")
 		for _, r := range scenario.RunnerList() {
-			entry(fmt.Sprintf("%s [%s]", r.Name, r.Level), r.Doc, r.Params)
+			tag := r.Level
+			if r.ShardSafe {
+				tag += ", shardable"
+			}
+			entry(fmt.Sprintf("%s [%s]", r.Name, tag), r.Doc, r.Params)
 		}
 		fmt.Println("analytic baselines:")
 		for _, a := range scenario.AnalyticList() {

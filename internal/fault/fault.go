@@ -17,6 +17,7 @@ package fault
 
 import (
 	"fmt"
+	"sort"
 
 	"pdq/internal/netsim"
 	"pdq/internal/sim"
@@ -88,6 +89,21 @@ type Schedule struct {
 
 // Empty reports whether the schedule injects nothing.
 func (s *Schedule) Empty() bool { return s == nil || len(s.Events) == 0 }
+
+// HasRandomLoss reports whether the schedule injects stochastic loss
+// (Gilbert-Elliott bursts). Such a schedule draws coins from the
+// network-global RNG stream, so it pins the cell to the single engine.
+func (s *Schedule) HasRandomLoss() bool {
+	if s == nil {
+		return false
+	}
+	for _, e := range s.Events {
+		if e.Kind == GilbertLoss {
+			return true
+		}
+	}
+	return false
+}
 
 // hostIndex resolves a possibly-negative host index (negative counts from
 // the end, -1 = last host).
@@ -176,6 +192,10 @@ func (s *Schedule) Apply(t *topo.Topology, sys any, ct *trace.CellTrace) {
 	if s.Empty() {
 		return
 	}
+	if t.Net.Sharded() {
+		s.applySharded(t, sys)
+		return
+	}
 	pu, _ := sys.(PathUpdater)
 	sm := t.Sim()
 	for _, ev := range s.Events {
@@ -250,6 +270,92 @@ func (s *Schedule) Apply(t *topo.Topology, sys any, ct *trace.CellTrace) {
 			if link.Peer != nil {
 				link.Peer.SetGE(&netsim.GilbertElliott{PGB: ev.PGB, PBG: ev.PBG, LossGood: ev.LossGood, LossBad: ev.LossBad})
 			}
+		}
+	}
+}
+
+// applySharded installs the schedule into a sharded run (DESIGN.md §12.5).
+// Fault state is split by ownership: each affected link direction gets (a)
+// an immutable downPlan — the sorted toggle timeline — read by delivery
+// events on the To shard, and (b) toggle events for its From-owned down
+// flag, scheduled on the owner shard's engine. Both views realize the same
+// timeline, and a toggle at exactly t precedes same-instant packet events
+// on both sides (setup events carry lower seqs; downAt uses <=), so drops
+// match the single-engine run exactly.
+//
+// Tracing forces the legacy path (scenario falls back whenever a cell
+// trace is attached), so no fault records are emitted here. Protocols
+// needing link-state callbacks or soft-state resets are not shard-safe;
+// reaching this branch with one is a scenario-layer routing bug.
+func (s *Schedule) applySharded(t *topo.Topology, sys any) {
+	if _, ok := sys.(PathUpdater); ok {
+		panic("fault: sharded run with a path-updating protocol system")
+	}
+	type assign struct {
+		at   sim.Time
+		down bool
+	}
+	net := t.Net
+	plans := make([][]assign, len(net.Links()))
+	addBoth := func(l *netsim.Link, at sim.Time, down bool) {
+		plans[l.ID] = append(plans[l.ID], assign{at, down})
+		if l.Peer != nil {
+			plans[l.Peer.ID] = append(plans[l.Peer.ID], assign{at, down})
+		}
+	}
+	for _, ev := range s.Events {
+		switch ev.Kind {
+		case LinkDown:
+			link := t.Hosts[hostIndex(ev.Host, len(t.Hosts))].Access
+			addBoth(link, ev.Down, true)
+			addBoth(link, ev.Up, false)
+		case SwitchCrash:
+			sw := t.Switches[ev.Switch]
+			if _, ok := sw.Logic.(SoftStateResetter); ok {
+				panic("fault: sharded switch-crash on a soft-state switch logic")
+			}
+			if ev.Restart > 0 {
+				for _, l := range t.Adjacent(sw.ID()) {
+					addBoth(l, ev.At, true)
+					addBoth(l, ev.At+ev.Restart, false)
+				}
+			}
+		case GilbertLoss:
+			// EnableSharding already rejects links with loss processes;
+			// the scenario layer routes loss schedules to the legacy path.
+			panic("fault: gilbert-loss under sharding")
+		}
+	}
+	// Per direction: collapse the assignments (stable by time, last spec
+	// event wins at equal instants, exactly the legacy flag's final state)
+	// into an alternating toggle timeline, then install both views.
+	for _, l := range net.Links() {
+		as := plans[l.ID]
+		if len(as) == 0 {
+			continue
+		}
+		sort.SliceStable(as, func(i, j int) bool { return as[i].at < as[j].at })
+		state := false
+		var toggles []sim.Time
+		for i := 0; i < len(as); {
+			j := i
+			for j+1 < len(as) && as[j+1].at == as[i].at {
+				j++
+			}
+			if v := as[j].down; v != state {
+				state = v
+				toggles = append(toggles, as[i].at)
+			}
+			i = j + 1
+		}
+		l.SetDownPlan(toggles)
+		own := net.SimFor(l.From.ID())
+		link := l
+		down := false
+		for _, at := range toggles {
+			down = !down
+			v := down
+			own.At(at, func() { link.SetDown(v) })
 		}
 	}
 }

@@ -32,6 +32,11 @@
 //   - directdep: cmd/* must not import internal/sim or internal/netsim
 //     directly — engine access goes through the scenario layer, keeping
 //     the engine swappable.
+//   - shardsafe: internal/sim and internal/netsim may hold no mutable
+//     package-level state (error sentinels excepted) and may not
+//     synchronize — goroutines, channels, sync, sync/atomic — outside
+//     shard.go, the one file owning cross-shard coordination
+//     (//pdqlint:shardsafe-ok suppresses a justified site).
 package lint
 
 import (
@@ -86,7 +91,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 
 // All returns the full pdqlint suite in a fixed order.
 func All() []*Analyzer {
-	return []*Analyzer{NoDeterm, HotPath, Registry, DirectDep}
+	return []*Analyzer{NoDeterm, HotPath, Registry, DirectDep, ShardSafe}
 }
 
 // ByName resolves a comma-separated analyzer list ("" = all).

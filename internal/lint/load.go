@@ -34,9 +34,10 @@ type Package struct {
 	// module under analysis (as opposed to the standard library).
 	IsModule func(path string) bool
 
-	// orderedOKLines[filename] holds the lines carrying a
-	// //pdqlint:ordered-ok justification comment.
-	orderedOKLines map[string]map[int]bool
+	// suppressLines[tag][filename] holds the lines carrying a
+	// //pdqlint:<tag> justification comment (e.g. ordered-ok,
+	// shardsafe-ok).
+	suppressLines map[string]map[string]map[int]bool
 }
 
 // A Loader parses and type-checks the packages of one module without
@@ -270,23 +271,34 @@ func (li *loaderImporter) Import(path string) (*types.Package, error) {
 	return l.std.Import(path)
 }
 
-// buildComments indexes the //pdqlint:ordered-ok justification comments
-// by file and line so analyzers can test a statement's annotation in
-// O(1). A justification covers the line it is on (trailing comment) and
-// the line immediately below (comment above the statement).
+// buildComments indexes //pdqlint:<tag> justification comments by tag,
+// file and line so analyzers can test a statement's annotation in O(1).
+// A justification covers the line it is on (trailing comment) and the
+// line immediately below (comment above the statement).
 func (p *Package) buildComments() {
-	p.orderedOKLines = map[string]map[int]bool{}
+	p.suppressLines = map[string]map[string]map[int]bool{}
 	for _, f := range p.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				if !strings.Contains(c.Text, "pdqlint:ordered-ok") {
+				_, rest, ok := strings.Cut(c.Text, "pdqlint:")
+				if !ok {
 					continue
 				}
+				tag, _, _ := strings.Cut(rest, " ")
+				tag = strings.TrimSpace(tag)
+				if tag == "" {
+					continue
+				}
+				files := p.suppressLines[tag]
+				if files == nil {
+					files = map[string]map[int]bool{}
+					p.suppressLines[tag] = files
+				}
 				pos := p.Fset.Position(c.Pos())
-				lines := p.orderedOKLines[pos.Filename]
+				lines := files[pos.Filename]
 				if lines == nil {
 					lines = map[int]bool{}
-					p.orderedOKLines[pos.Filename] = lines
+					files[pos.Filename] = lines
 				}
 				lines[pos.Line] = true
 			}
@@ -294,10 +306,16 @@ func (p *Package) buildComments() {
 	}
 }
 
+// suppressed reports whether pos is covered by a //pdqlint:<tag>
+// justification (same line or the line above).
+func (p *Package) suppressed(tag string, pos token.Pos) bool {
+	position := p.Fset.Position(pos)
+	lines := p.suppressLines[tag][position.Filename]
+	return lines[position.Line] || lines[position.Line-1]
+}
+
 // orderedOK reports whether pos is covered by a //pdqlint:ordered-ok
 // justification (same line or the line above).
 func (p *Package) orderedOK(pos token.Pos) bool {
-	position := p.Fset.Position(pos)
-	lines := p.orderedOKLines[position.Filename]
-	return lines[position.Line] || lines[position.Line-1]
+	return p.suppressed("ordered-ok", pos)
 }

@@ -1,0 +1,135 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strconv"
+)
+
+// ShardSafe enforces the sharded-engine isolation invariants (DESIGN.md
+// §12) in the engine packages internal/sim and internal/netsim. A shard
+// worker runs its event loop on its own goroutine with no locks:
+// correctness rests on shards sharing no mutable state and
+// synchronizing only at the window barrier owned by shard.go. Two rules
+// follow:
+//
+//  1. No package-level mutable state. A package-level var is shared by
+//     every shard in the process, so a write from one worker races all
+//     the others. Error sentinels (vars whose type is error — the
+//     errors.New idiom) are immutable by convention and stay legal.
+//     Anything else needs a //pdqlint:shardsafe-ok <reason>
+//     justification — e.g. the qdisc registry map, written only from
+//     init before any worker goroutine exists.
+//
+//  2. No ad-hoc synchronization outside shard.go. go statements, select
+//     statements, channel types and operations, and imports of sync or
+//     sync/atomic are confined to shard.go — the one file that owns
+//     cross-shard coordination — so every happens-before edge in the
+//     engine is auditable in one place. A justified exception (the
+//     watchdog interrupt flag in sim.go predates sharding) carries the
+//     same suppression comment.
+var ShardSafe = &Analyzer{
+	Name: "shardsafe",
+	Doc:  "forbid shared mutable package state and out-of-band synchronization in the engine packages",
+	Run:  runShardSafe,
+}
+
+// errorIface is the universe error interface, for recognizing sentinel
+// vars.
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+func runShardSafe(pass *Pass) error {
+	if !hasSegment(pass.Pkg.Path, "internal") {
+		return nil
+	}
+	if !hasSegment(pass.Pkg.Path, "sim") && !hasSegment(pass.Pkg.Path, "netsim") {
+		return nil
+	}
+	for _, file := range pass.Pkg.Files {
+		checkPkgVars(pass, file)
+		// shard.go is the sanctioned home of cross-shard coordination:
+		// the worker goroutines, their job/done channels, and the
+		// panic-collection atomics live there by design.
+		name := filepath.Base(pass.Fset().Position(file.Pos()).Filename)
+		if name == "shard.go" {
+			continue
+		}
+		checkSyncConstructs(pass, file)
+	}
+	return nil
+}
+
+// checkPkgVars flags package-level vars (rule 1). This applies to every
+// file, shard.go included — the barrier code keeps its state in
+// ShardGroup, not globals.
+func checkPkgVars(pass *Pass, file *ast.File) {
+	for _, decl := range file.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.VAR {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for _, name := range vs.Names {
+				if name.Name == "_" {
+					continue
+				}
+				obj := pass.Pkg.Info.ObjectOf(name)
+				if obj != nil && types.Implements(obj.Type(), errorIface) {
+					continue // error sentinel, immutable by convention
+				}
+				if pass.Pkg.suppressed("shardsafe-ok", name.Pos()) {
+					continue
+				}
+				pass.Reportf(name.Pos(),
+					"package-level var %q is shared across shards; move it into per-Sim state, make it a const, or justify with //pdqlint:shardsafe-ok", name.Name)
+			}
+		}
+	}
+}
+
+// checkSyncConstructs flags rule-2 violations in one non-shard.go file:
+// the sync and sync/atomic imports and every goroutine/channel
+// construct.
+func checkSyncConstructs(pass *Pass, file *ast.File) {
+	for _, imp := range file.Imports {
+		p, err := strconv.Unquote(imp.Path.Value)
+		if err != nil || (p != "sync" && p != "sync/atomic") {
+			continue
+		}
+		if pass.Pkg.suppressed("shardsafe-ok", imp.Pos()) {
+			continue
+		}
+		pass.Reportf(imp.Pos(),
+			"import %q outside shard.go: shard workers synchronize only at the shard.go barrier; justify with //pdqlint:shardsafe-ok", p)
+	}
+	report := func(pos token.Pos, what string) {
+		if pass.Pkg.suppressed("shardsafe-ok", pos) {
+			return
+		}
+		pass.Reportf(pos,
+			"%s outside shard.go: cross-shard coordination belongs to the shard.go barrier; justify with //pdqlint:shardsafe-ok", what)
+	}
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			report(n.Pos(), "go statement")
+		case *ast.SelectStmt:
+			report(n.Pos(), "select statement")
+		case *ast.SendStmt:
+			report(n.Pos(), "channel send")
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				report(n.Pos(), "channel receive")
+			}
+		case *ast.ChanType:
+			report(n.Pos(), "channel type")
+		}
+		return true
+	})
+}

@@ -1,0 +1,24 @@
+// shard.go is the sanctioned home of synchronization: goroutines and
+// channels here are silent. Package-level mutable state stays
+// forbidden even in this file.
+package sim
+
+import "sync"
+
+var pool sync.Pool // want "package-level var"
+
+func barrier(n int) {
+	var wg sync.WaitGroup
+	done := make(chan struct{}, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			wg.Done()
+			done <- struct{}{}
+		}()
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		<-done
+	}
+}

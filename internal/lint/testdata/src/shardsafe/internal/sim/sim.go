@@ -1,0 +1,43 @@
+// Package sim stands in for the engine core: in scope for shardsafe,
+// so everything outside shard.go must stay free of shared package
+// state and out-of-band synchronization.
+package sim
+
+import (
+	"errors"
+	"sync"        // want "outside shard.go"
+	"sync/atomic" // pdqlint:shardsafe-ok fixture: a justified import stays silent
+)
+
+// ErrHalted is an error sentinel: immutable by convention, allowed.
+var ErrHalted = errors.New("sim: halted")
+
+// registry is mutable package state with no justification.
+var registry = map[string]int{} // want "package-level var"
+
+// sizes carries a justification, so it stays silent.
+//
+//pdqlint:shardsafe-ok fixture: written only from init
+var sizes = []int{1, 2, 3}
+
+type watchdog struct {
+	stop atomic.Bool
+}
+
+func lock(m *sync.Mutex) { m.Lock() }
+
+func pipeline(w *watchdog) {
+	go w.stop.Store(true)   // want "go statement"
+	ch := make(chan int, 1) // want "channel type"
+	ch <- len(registry)     // want "channel send"
+	sizes[0] = <-ch         // want "channel receive"
+	select {                // want "select statement"
+	default:
+	}
+}
+
+// drain shows a justified construct: the annotation covers the line
+// below, silencing both the parameter's channel type and the receive.
+//
+//pdqlint:shardsafe-ok fixture: a justified construct stays silent
+func drain(ch chan int) int { return <-ch }

@@ -47,6 +47,24 @@ type Link struct {
 	qBytes    int      // bytes queued or serializing, as of the last advance
 	busyUntil sim.Time // when the last accepted packet finishes serializing
 
+	// Owner engine: the network's single Sim, or — in a sharded run — the
+	// engine of the shard owning From (DESIGN.md §12). All of the link's
+	// mutable state above and below is owned by that shard; the only
+	// cross-shard traffic is the delivery handoff through the mailbox.
+	ownSim *sim.Sim
+	// Sharded-run routing state, set by EnableSharding: the shards owning
+	// the From and To nodes, the To shard's engine (read-only use at
+	// delivery), and the per-link handoff counter making injection order
+	// canonical. dirty marks membership in the owner shard's settle list.
+	shard, toShard int32
+	dstSim         *sim.Sim
+	handoffCtr     uint32
+	dirty          bool
+	// downPlan is the static fault timeline (sorted down/up toggle times)
+	// in sharded runs: delivery-side down checks on the To shard read this
+	// immutable slice instead of the From-owned down flag.
+	downPlan []sim.Time
+
 	// Queue discipline (DESIGN.md §9). nil is the built-in tail-drop
 	// FIFO fast path; sched is set iff the discipline reorders dequeues,
 	// in which case serving is the packet on the serializer and the
@@ -74,6 +92,11 @@ type Link struct {
 	drops      uint64
 	lossDrops  uint64
 	faultDrops uint64
+	// remoteFaultDrops counts packets lost at delivery because the link
+	// was down, in sharded runs: the delivery fires on the To shard, so
+	// the count lives in a field only that shard writes. Read via
+	// FaultDrops after the run.
+	remoteFaultDrops uint64
 }
 
 // NewLink creates a single directed link with default parameters.
@@ -87,6 +110,7 @@ func (n *Network) NewLink(from, to Node) *Link {
 		ProcDelay: DefaultProcDelay,
 		QueueCap:  DefaultQueueCap,
 		net:       n,
+		ownSim:    n.Sim,
 	}
 	n.links = append(n.links, l)
 	return l
@@ -155,9 +179,31 @@ func (l *Link) SetRate(bps int64) {
 //
 //pdq:hotpath
 func (l *Link) advance() {
-	now := l.net.Sim.Now()
-	seq := l.net.Sim.EventSeq()
+	now := l.ownSim.Now()
+	seq := l.ownSim.EventSeq()
 	for p := l.qHead; p != nil && (p.serDone < now || (p.serDone == now && p.enqSeq <= seq)); p = l.qHead {
+		l.qBytes -= p.Wire
+		l.txPackets++
+		l.txBytes += uint64(p.Wire)
+		l.qHead = p.qNext
+		if l.qHead == nil {
+			l.qTail = nil
+		}
+		p.qNext = nil
+	}
+}
+
+// advanceTo settles the serializer up to barrier time t: every packet
+// whose serialization completed strictly before t is accounted and
+// unlinked. Sharded runs call it at every window start (the pre-window
+// hook), which guarantees a packet is off its ingress link's serializer
+// chain before its delivery — at least one full lookahead after serDone —
+// can fire on another shard and relink the packet onto its next hop.
+// Settling early is observationally identical to the lazy advance: the
+// settle predicate is monotone in (time, seq), and exact-instant ties
+// (serDone == t) are left for the owner shard's own advance.
+func (l *Link) advanceTo(t sim.Time) {
+	for p := l.qHead; p != nil && p.serDone < t; p = l.qHead {
 		l.qBytes -= p.Wire
 		l.txPackets++
 		l.txBytes += uint64(p.Wire)
@@ -189,10 +235,10 @@ func (l *Link) QueueWaiting() int {
 	l.advance()
 	inService := 0
 	if h := l.qHead; h != nil {
-		now := l.net.Sim.Now()
+		now := l.ownSim.Now()
 		// serStart is stamped at enqueue (like the old eager start event),
 		// so a mid-run SetRate cannot misclassify the in-service packet.
-		if h.serStart < now || (h.serStart == now && h.enqSeq <= l.net.Sim.EventSeq()) {
+		if h.serStart < now || (h.serStart == now && h.enqSeq <= l.ownSim.EventSeq()) {
 			inService = h.Wire
 		}
 	}
@@ -218,8 +264,31 @@ func (l *Link) Drops() uint64 { return l.drops }
 // an installed Gilbert-Elliott process.
 func (l *Link) LossDrops() uint64 { return l.lossDrops }
 
-// FaultDrops returns the number of packets lost because the link was down.
-func (l *Link) FaultDrops() uint64 { return l.faultDrops }
+// FaultDrops returns the number of packets lost because the link was
+// down. In sharded runs the total combines enqueue-side drops (From
+// shard) and delivery-side drops (To shard); read it after the run.
+func (l *Link) FaultDrops() uint64 { return l.faultDrops + l.remoteFaultDrops }
+
+// SetDownPlan installs the static fault timeline for sharded runs: the
+// sorted down/up toggle times of this direction. The plan is immutable
+// once the run starts — delivery events on the To shard read it in place
+// of the From-owned down flag. A toggle at exactly t affects packets
+// delivered at t, matching the single-engine order where setup-scheduled
+// fault events fire before same-instant deliveries.
+func (l *Link) SetDownPlan(toggles []sim.Time) { l.downPlan = toggles }
+
+// downAt reports whether the static fault timeline has the link down at
+// t: an odd number of toggles at or before t. Plans hold a handful of
+// entries, so the linear scan beats a binary search.
+//
+//pdq:hotpath
+func (l *Link) downAt(t sim.Time) bool {
+	n := 0
+	for n < len(l.downPlan) && l.downPlan[n] <= t {
+		n++
+	}
+	return n&1 == 1
+}
 
 // SetDown fails or restores this direction of the link. A down link drops
 // packets at enqueue and loses packets already in flight at their delivery
@@ -289,7 +358,7 @@ func (l *Link) Enqueue(pkt *Packet) {
 		q.OnEnqueue(l, pkt, l.qBytes)
 	}
 	l.qBytes += pkt.Wire
-	now := l.net.Sim.Now()
+	now := l.ownSim.Now()
 	start := now
 	if l.busyUntil > start {
 		start = l.busyUntil
@@ -309,8 +378,39 @@ func (l *Link) Enqueue(pkt *Packet) {
 	// wire and processing delays; the packet itself is the callback
 	// (Packet.RunEvent), so nothing is allocated. The event's seq doubles
 	// as the packet's position in the engine's total event order.
-	pkt.enqSeq = l.net.Sim.NextSeq() // the delivery event's seq, assigned next
-	l.net.Sim.AtRunner(done+l.PropDelay+l.ProcDelay, pkt)
+	l.emitDelivery(pkt, now, done)
+}
+
+// emitDelivery schedules pkt's delivery event. Single-engine runs
+// schedule it directly; sharded runs post it to the mailbox (even when
+// From and To share a shard — injection points must be
+// partition-independent) and enroll the link for barrier settling.
+//
+//pdq:hotpath
+func (l *Link) emitDelivery(pkt *Packet, now, done sim.Time) {
+	if sh := l.net.shard; sh != nil {
+		// NextSeq without a scheduled event still totally orders the
+		// enqueue against the owner shard's observers: any event scheduled
+		// after this instant receives a seq >= this stamp.
+		pkt.enqSeq = l.ownSim.NextSeq()
+		if !l.dirty {
+			l.dirty = true
+			l.net.dirtyLinks[l.shard] = append(l.net.dirtyLinks[l.shard], l)
+		}
+		l.handoffCtr++
+		sh.Post(int(l.shard), sim.Handoff{
+			Due:  done + l.PropDelay + l.ProcDelay,
+			Ta:   now,
+			Pa:   l.ownSim.EventTa(),
+			Link: uint32(l.ID),
+			Ctr:  l.handoffCtr,
+			To:   l.toShard,
+			R:    pkt,
+		})
+		return
+	}
+	pkt.enqSeq = l.ownSim.NextSeq() // the delivery event's seq, assigned next
+	l.ownSim.AtRunner(done+l.PropDelay+l.ProcDelay, pkt)
 }
 
 // schedEnqueue is the reordering-discipline path: the qdisc buffers
@@ -341,7 +441,7 @@ func (l *Link) schedEnqueue(pkt *Packet) {
 //
 //pdq:hotpath
 func (l *Link) startService(pkt *Packet) {
-	now := l.net.Sim.Now()
+	now := l.ownSim.Now()
 	done := now + l.TxTime(pkt.Wire)
 	pkt.serStart, pkt.serDone = now, done
 	pkt.qNext = nil
@@ -350,10 +450,11 @@ func (l *Link) startService(pkt *Packet) {
 	// The ser-done event is scheduled first so it carries the earlier
 	// seq: at a (time, seq) tie — a link with zero propagation and
 	// processing delay — the packet is accounted as departed before its
-	// delivery fires, matching the fast path's enqSeq tie-break.
-	l.net.Sim.AtRunner(done, l)
-	pkt.enqSeq = l.net.Sim.NextSeq() // the delivery event's seq, assigned next
-	l.net.Sim.AtRunner(done+l.PropDelay+l.ProcDelay, pkt)
+	// delivery fires, matching the fast path's enqSeq tie-break. It is
+	// link-local, so it stays on the owner shard in sharded runs; only
+	// the delivery crosses the mailbox.
+	l.ownSim.AtRunner(done, l)
+	l.emitDelivery(pkt, now, done)
 }
 
 // RunEvent implements sim.Runner for the reordering-discipline path: it

@@ -150,6 +150,19 @@ type Packet struct {
 //pdq:hotpath
 func (p *Packet) RunEvent() {
 	ingress := p.Path[p.Hop]
+	if ingress.net.shard != nil {
+		// Sharded delivery, firing on the To shard: the ingress link's
+		// serializer chain was settled past this packet at a barrier
+		// (advanceTo), so no From-owned state is touched here. The down
+		// check reads the immutable fault timeline instead of the
+		// From-owned flag, and the drop counter is the To-shard field.
+		if ingress.downAt(ingress.dstSim.Now()) {
+			ingress.remoteFaultDrops++
+			return
+		}
+		ingress.To.Receive(p, ingress)
+		return
+	}
 	ingress.advance()
 	if ingress.down {
 		ingress.faultDrops++
@@ -171,6 +184,14 @@ type Network struct {
 	Rand  *rand.Rand
 	nodes []Node
 	links []*Link
+
+	// Sharded-run state (DESIGN.md §12), set by EnableSharding: the shard
+	// group, the node→shard assignment, and the per-shard lists of links
+	// with unsettled serializer chains (each appended to and drained only
+	// by its owner shard).
+	shard      *sim.ShardGroup
+	shardOf    []int32
+	dirtyLinks [][]*Link
 }
 
 // NewNetwork creates an empty network driven by s, with deterministic
@@ -199,6 +220,72 @@ func (n *Network) NumNodes() int { return len(n.nodes) }
 
 // Links returns all directed links, in creation order.
 func (n *Network) Links() []*Link { return n.links }
+
+// EnableSharding partitions the network over the shard group: node id i
+// belongs to shard shardOf[i], a link is owned by its From node's shard,
+// and link deliveries flow through the group's mailbox. Call it after the
+// topology is built and before any event is scheduled. The group's
+// lookahead must lower-bound every link's propagation+processing delay —
+// the conservative window correctness condition — and random loss
+// (LossRate, Gilbert-Elliott) is rejected because it draws from the
+// network-global RNG stream.
+func (n *Network) EnableSharding(g *sim.ShardGroup, shardOf []int32) {
+	if len(shardOf) != len(n.nodes) {
+		panic(fmt.Sprintf("netsim: shard map covers %d of %d nodes", len(shardOf), len(n.nodes)))
+	}
+	for _, l := range n.links {
+		if l.LossRate > 0 || l.ge != nil {
+			panic(fmt.Sprintf("netsim: sharding with random loss on %v", l))
+		}
+		if l.PropDelay+l.ProcDelay < g.Lookahead() {
+			panic(fmt.Sprintf("netsim: %v delay %v below shard lookahead %v",
+				l, l.PropDelay+l.ProcDelay, g.Lookahead()))
+		}
+	}
+	n.shard = g
+	n.shardOf = shardOf
+	n.dirtyLinks = make([][]*Link, g.Shards())
+	for _, l := range n.links {
+		l.shard = shardOf[l.From.ID()]
+		l.toShard = shardOf[l.To.ID()]
+		l.ownSim = g.Shard(int(l.shard))
+		l.dstSim = g.Shard(int(l.toShard))
+	}
+	g.SetPreWindow(n.settleDirty)
+}
+
+// Sharded reports whether the network runs on a shard group.
+func (n *Network) Sharded() bool { return n.shard != nil }
+
+// ShardGroup returns the shard group, nil for single-engine runs.
+func (n *Network) ShardGroup() *sim.ShardGroup { return n.shard }
+
+// SimFor returns the engine owning node id: the shard's engine in a
+// sharded run, the network's single Sim otherwise. Protocol endpoints
+// schedule their local events (timers, flow launches) on it.
+func (n *Network) SimFor(id NodeID) *sim.Sim {
+	if n.shard == nil {
+		return n.Sim
+	}
+	return n.shard.Shard(int(n.shardOf[id]))
+}
+
+// settleDirty is the group's pre-window hook: each shard settles its own
+// links' serializer chains up to the window start, so packets delivered
+// on other shards during the window are already unlinked (see advanceTo).
+func (n *Network) settleDirty(shard int, windowStart sim.Time) {
+	ls := n.dirtyLinks[shard]
+	kept := ls[:0]
+	for _, l := range ls {
+		l.advanceTo(windowStart)
+		if l.qHead != nil {
+			kept = append(kept, l)
+		} else {
+			l.dirty = false
+		}
+	}
+	n.dirtyLinks[shard] = kept
+}
 
 // Send injects pkt at the head of its path. The caller must have set Path;
 // Hop is reset to 0.

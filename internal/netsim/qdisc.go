@@ -159,6 +159,7 @@ type QdiscEntry struct {
 	Make func(p map[string]float64) func() Qdisc
 }
 
+//pdqlint:shardsafe-ok written only by init-time RegisterQdisc calls, read-only once workers run
 var qdiscs = map[string]QdiscEntry{}
 
 // RegisterQdisc adds a queue discipline; duplicate names panic at init.

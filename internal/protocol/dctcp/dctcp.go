@@ -77,10 +77,40 @@ func Install(t *topo.Topology, cfg Config) *System {
 // Name implements the protocol driver interface.
 func (s *System) Name() string { return "DCTCP" }
 
-// Start registers flow f and schedules its transmission.
+// Start registers flow f and schedules its transmission. In a sharded
+// run the launch splits across the owning shard engines (startSharded).
 func (s *System) Start(f workload.Flow) {
 	s.Collector.Register(f)
+	if s.Topo.Net.Sharded() {
+		s.startSharded(f)
+		return
+	}
 	s.Sim.At(f.Start, func() { s.launch(f) })
+}
+
+// startSharded mirrors tcp.System.startSharded: receiver creation on the
+// destination shard, sender on the source shard, path resolved at setup
+// time (the topology's BFS memo is not shard-safe).
+func (s *System) startSharded(f workload.Flow) {
+	net := s.Topo.Net
+	path := s.Topo.Path(s.Topo.Hosts[f.Src], s.Topo.Hosts[f.Dst])
+	n := int((f.Size + netsim.MSS - 1) / netsim.MSS)
+	src, dst := s.agents[f.Src], s.agents[f.Dst]
+	dstSim := net.SimFor(s.Topo.Hosts[f.Dst].ID())
+	srcSim := net.SimFor(s.Topo.Hosts[f.Src].ID())
+	dstSim.At(f.Start, func() {
+		rcv := tcp.NewReceiver(net, s.Collector, f, n)
+		rcv.EchoECN = true
+		rcv.Sim = dstSim
+		dst.recvs[netsim.FlowID(f.ID)] = rcv
+	})
+	srcSim.At(f.Start, func() {
+		snd := &sender{sys: s}
+		snd.Conn = tcp.Conn{Net: net, Flow: f, Path: path}
+		snd.Init(srcSim, s.Cfg.TCP, s.Collector, f.ID, n, snd.SendSeg)
+		src.sends[netsim.FlowID(f.ID)] = snd
+		snd.TrySend()
+	})
 }
 
 func (s *System) launch(f workload.Flow) {

@@ -260,7 +260,7 @@ func (c *Conn) SendSeg(idx int) {
 		Payload:    pay,
 		Wire:       pay + netsim.IPTCPHeader + c.ExtraHdr,
 		Path:       c.Path,
-		EchoSentAt: c.Net.Sim.Now(),
+		EchoSentAt: c.Sim.Now(), // the kernel's engine: the owner shard's in sharded runs
 		Prio:       prio,
 	})
 }
@@ -279,6 +279,11 @@ type Receiver struct {
 	EchoECN bool
 	AckPrio uint8
 
+	// Sim is the engine whose clock stamps the completion: the network's
+	// single Sim by default, the destination host's shard engine in
+	// sharded runs (the launch code overrides it).
+	Sim *sim.Sim
+
 	got     []bool
 	gotB    int64
 	rcvNext int
@@ -288,7 +293,7 @@ type Receiver struct {
 
 // NewReceiver returns a receiver expecting numPkts segments of f.
 func NewReceiver(net *netsim.Network, coll *workload.Collector, f workload.Flow, numPkts int) *Receiver {
-	return &Receiver{Net: net, Coll: coll, Flow: f, NumPkts: numPkts, got: make([]bool, numPkts)}
+	return &Receiver{Net: net, Coll: coll, Flow: f, NumPkts: numPkts, Sim: net.Sim, got: make([]bool, numPkts)}
 }
 
 // OnData registers a data packet and sends the cumulative ACK back
@@ -303,7 +308,7 @@ func (r *Receiver) OnData(pkt *netsim.Packet) {
 		}
 		if !r.done && r.gotB >= r.Flow.Size {
 			r.done = true
-			r.Coll.Finish(r.Flow.ID, r.Net.Sim.Now())
+			r.Coll.Finish(r.Flow.ID, r.Sim.Now())
 		}
 	}
 	if r.revPath == nil {

@@ -76,10 +76,42 @@ func Install(t *topo.Topology, cfg Config) *System {
 // Name implements the protocol driver interface.
 func (s *System) Name() string { return "TCP" }
 
-// Start registers flow f and schedules its transmission.
+// Start registers flow f and schedules its transmission. In a sharded
+// run the launch splits across the owning shard engines (startSharded);
+// otherwise everything runs on the network's single Sim.
 func (s *System) Start(f workload.Flow) {
 	s.Collector.Register(f)
+	if s.Topo.Net.Sharded() {
+		s.startSharded(f)
+		return
+	}
 	s.Sim.At(f.Start, func() { s.launch(f) })
+}
+
+// startSharded schedules the receiver's creation on the destination
+// host's shard and the sender's on the source host's, both at f.Start.
+// The path is resolved here, at setup time, because Topology.Path
+// memoizes BFS distances — resolving it lazily from two shard workers
+// would race. The first DATA delivery is at least one lookahead after
+// f.Start, so the receiver exists before data can reach it.
+func (s *System) startSharded(f workload.Flow) {
+	net := s.Topo.Net
+	path := s.Topo.Path(s.Topo.Hosts[f.Src], s.Topo.Hosts[f.Dst])
+	n := int((f.Size + netsim.MSS - 1) / netsim.MSS)
+	src, dst := s.agents[f.Src], s.agents[f.Dst]
+	dstSim := net.SimFor(s.Topo.Hosts[f.Dst].ID())
+	srcSim := net.SimFor(s.Topo.Hosts[f.Src].ID())
+	dstSim.At(f.Start, func() {
+		r := NewReceiver(net, s.Collector, f, n)
+		r.Sim = dstSim
+		dst.recvs[netsim.FlowID(f.ID)] = r
+	})
+	srcSim.At(f.Start, func() {
+		snd := &Conn{Net: net, Flow: f, Path: path, ExtraHdr: HdrWire}
+		snd.Init(srcSim, s.Cfg, s.Collector, f.ID, n, snd.SendSeg)
+		src.sends[netsim.FlowID(f.ID)] = snd
+		snd.TrySend()
+	})
 }
 
 func (s *System) launch(f workload.Flow) {

@@ -51,6 +51,15 @@ type Opts struct {
 	// An interrupted cell yields NaN plus a diagnostic; wall-clock trips
 	// are inherently nondeterministic, a safety valve, not a result.
 	Watchdog func(interrupt func()) (stop func())
+
+	// Shards overrides the spec's shard count (DESIGN.md §12) when > 0:
+	// each packet-level cell with a shard-safe runner partitions its
+	// simulation over this many parallel event-loop shards.
+	Shards int
+
+	// Sched overrides the spec's timer backend when non-empty: "heap"
+	// (the default 4-ary heap) or "wheel" (the hierarchical timer wheel).
+	Sched string
 }
 
 // BaseSeed resolves the Seed sentinel: 0 means DefaultSeed.

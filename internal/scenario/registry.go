@@ -38,6 +38,15 @@ type RunCtx struct {
 	// the same names); packet-level runners arm them around RunUntil.
 	MaxEvents uint64
 	Watchdog  func(interrupt func()) (stop func())
+
+	// Shards is the resolved shard count for this run (DESIGN.md §12);
+	// <= 1 means the single engine. Only shard-safe packet runners act
+	// on it; everything else ignores it and stays byte-identical.
+	Shards int
+
+	// Sched is the resolved timer backend: "" or "heap" for the 4-ary
+	// heap, "wheel" for the hierarchical timer wheel.
+	Sched string
 }
 
 // RunnerFunc runs one protocol over a set of flows on a freshly built
@@ -54,6 +63,11 @@ type RunnerEntry struct {
 	Doc    string
 	Level  string             // "packet" or "flow"
 	Params map[string]float64 // accepted parameters with defaults
+	// ShardSafe marks runners whose protocol state partitions cleanly
+	// over the sharded engine (per-host agents, no global switch logic):
+	// only these act on RunCtx.Shards. Informational here — the actual
+	// gate is baked into the RunnerFunc by mkPacketShardable.
+	ShardSafe bool
 	// Make binds params and the cell's base seed into a RunnerFunc. The
 	// returned func may be invoked multiple times (replicate averaging)
 	// and must build fresh protocol state per invocation.

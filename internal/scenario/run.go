@@ -107,6 +107,8 @@ type rowKey struct {
 }
 
 // engKey is the run-level cache-key material shared by every cell.
+// Shards and Sched are folded in only at non-default values, so every
+// pre-existing cache entry keyed without them stays addressable.
 type engKey struct {
 	Salt      string  `json:"salt"`
 	Mode      string  `json:"mode,omitempty"`
@@ -114,6 +116,8 @@ type engKey struct {
 	Steps     int     `json:"steps,omitempty"`
 	RateStep  float64 `json:"rate_step,omitempty"`
 	Horizon   int64   `json:"horizon"`
+	Shards    int     `json:"shards,omitempty"`
+	Sched     string  `json:"sched,omitempty"`
 }
 
 // column is one compiled sweep point: topology construction, flow
@@ -167,6 +171,8 @@ type engine struct {
 	keyEng    engKey
 	maxEvents uint64
 	watchdog  func(interrupt func()) (stop func())
+	shards    int    // resolved shard count (Opts overrides the spec)
+	sched     string // resolved timer backend: "" (heap) or "wheel"
 
 	// shareSims is set when the sweep axis is metric-only: every column
 	// runs the identical simulation and differs only in the metric
@@ -210,9 +216,31 @@ func compile(s *Spec, o Opts) (*engine, error) {
 		// traced runs always compute.
 		e.cache = nil
 	}
+	e.shards = o.Shards
+	if e.shards == 0 {
+		e.shards = s.Shards
+	}
+	if e.shards < 0 {
+		return nil, fmt.Errorf("shards %d must be >= 0", e.shards)
+	}
+	e.sched = o.Sched
+	if e.sched == "" {
+		e.sched = s.Sched
+	}
+	switch e.sched {
+	case "", "heap":
+		e.sched = "" // one canonical spelling of the default backend
+	case "wheel":
+	default:
+		return nil, fmt.Errorf("unknown sched backend %q (available: heap, wheel)", e.sched)
+	}
 	e.keyEng = engKey{
 		Salt: cacheSalt, Mode: e.mode, Threshold: e.threshold,
 		Steps: e.steps, RateStep: e.rateStep, Horizon: int64(e.horizon),
+		Sched: e.sched,
+	}
+	if e.shards > 1 {
+		e.keyEng.Shards = e.shards
 	}
 	switch e.mode {
 	case "", "run", "max-flows", "max-rate":
@@ -721,7 +749,8 @@ func bindRunner(name string, given map[string]float64) (func(seed int64) RunnerF
 // probes sharing one grid-cell tag.
 func (e *engine) simulate(r *row, at int, col *column, build func() *topo.Topology, flows []workload.Flow, seed int64, colLabel string, run int) []workload.Result {
 	rc := RunCtx{Horizon: e.horizon, Qdisc: r.qdisc, Faults: col.faults,
-		MaxEvents: e.maxEvents, Watchdog: e.watchdog}
+		MaxEvents: e.maxEvents, Watchdog: e.watchdog,
+		Shards: e.shards, Sched: e.sched}
 	if e.trace != nil {
 		rc.Cell = e.trace.OpenCell(trace.Cell{
 			Scenario: e.spec.Name, Row: r.label, Col: colLabel, Seed: seed, Run: run,

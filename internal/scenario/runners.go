@@ -5,6 +5,7 @@ import (
 
 	"pdq/internal/core"
 	"pdq/internal/flowsim"
+	"pdq/internal/fluid"
 	"pdq/internal/netsim"
 	"pdq/internal/protocol/d3"
 	"pdq/internal/protocol/dctcp"
@@ -59,8 +60,23 @@ func attachTelemetry(ct *trace.CellTrace, t *topo.Topology, c *workload.Collecto
 	ct.Probes = p.Series()
 }
 
-// mkPacket wraps a packet-level install function into a RunnerFunc.
+// mkPacket wraps a packet-level install function into a RunnerFunc on
+// the single engine. Protocols whose state partitions cleanly over
+// shards use mkPacketShardable instead.
 func mkPacket(install func(t *topo.Topology) protoSystem) RunnerFunc {
+	return mkPacketLevel(install, false)
+}
+
+// mkPacketShardable is mkPacket for shard-safe protocols (per-host
+// agents, no cross-host switch logic, no collector field shared between
+// a flow's two endpoints): when the run context asks for shards and the
+// cell qualifies (shardGroupFor), the simulation partitions over a
+// ShardGroup; otherwise it runs the identical single-engine path.
+func mkPacketShardable(install func(t *topo.Topology) protoSystem) RunnerFunc {
+	return mkPacketLevel(install, true)
+}
+
+func mkPacketLevel(install func(t *topo.Topology) protoSystem, shardSafe bool) RunnerFunc {
 	return func(build func() *topo.Topology, flows []workload.Flow, rc RunCtx) []workload.Result {
 		t := build()
 		sys := install(t)
@@ -71,6 +87,19 @@ func mkPacket(install func(t *topo.Topology) protoSystem) RunnerFunc {
 				l.SetQdisc(rc.Qdisc())
 			}
 		}
+		// Sharding and the timer backend are decided before any event is
+		// scheduled: EnableSharding validates the topology against the
+		// lookahead, and UseWheel refuses a non-empty queue.
+		g := shardGroupFor(t, rc, shardSafe)
+		if rc.Sched == "wheel" {
+			if g != nil {
+				for i := 0; i < g.Shards(); i++ {
+					g.Shard(i).UseWheel()
+				}
+			} else {
+				t.Sim().UseWheel()
+			}
+		}
 		// Faults are applied after installation and before telemetry or any
 		// flow start — always the same code position, so fault event
 		// sequence numbers are deterministic (DESIGN.md §11).
@@ -79,9 +108,41 @@ func mkPacket(install func(t *topo.Topology) protoSystem) RunnerFunc {
 		for _, f := range flows {
 			sys.Start(f)
 		}
-		runEngine(t.Sim(), rc)
+		if g != nil {
+			runShardGroup(g, rc)
+		} else {
+			runEngine(t.Sim(), rc)
+		}
 		return sys.Results()
 	}
+}
+
+// shardGroupFor decides whether a cell shards and builds its group: the
+// runner must be shard-safe, the context must ask for more than one
+// shard, and the cell must be free of the features that need the single
+// engine — telemetry capture (probers and sinks schedule on one Sim) and
+// random loss (the loss coins draw from the network-global RNG stream).
+// The lookahead is the minimum link delay; a zero-delay topology cannot
+// shard. Every fallback runs the unmodified single-engine path.
+func shardGroupFor(t *topo.Topology, rc RunCtx, shardSafe bool) *sim.ShardGroup {
+	if !shardSafe || rc.Shards <= 1 || rc.Cell != nil {
+		return nil
+	}
+	if rc.Faults.HasRandomLoss() {
+		return nil
+	}
+	for _, l := range t.Net.Links() {
+		if l.LossRate > 0 {
+			return nil
+		}
+	}
+	look := topo.MinLinkDelay(t)
+	if look <= 0 {
+		return nil
+	}
+	g := sim.NewShardGroup(rc.Shards, look)
+	t.Net.EnableSharding(g, topo.Partition(t, rc.Shards))
+	return g
 }
 
 // runEngine drives one packet-level simulation to its horizon with the
@@ -97,6 +158,19 @@ func runEngine(s *sim.Sim, rc RunCtx) {
 		defer rc.Watchdog(s.Interrupt)()
 	}
 	s.RunUntil(rc.Horizon)
+}
+
+// runShardGroup is runEngine for a sharded cell: the same guards, armed
+// on the group (the event budget trips at barriers, which keeps it
+// deterministic at any shard count).
+func runShardGroup(g *sim.ShardGroup, rc RunCtx) {
+	if rc.MaxEvents > 0 {
+		g.SetMaxEvents(rc.MaxEvents)
+	}
+	if rc.Watchdog != nil {
+		defer rc.Watchdog(g.Interrupt)()
+	}
+	g.RunUntil(rc.Horizon)
 }
 
 // pdqMake binds one PDQ variant's config constructor into a Make
@@ -178,32 +252,32 @@ func init() {
 		},
 	})
 	RegisterRunner(RunnerEntry{
-		Name: "TCP", Doc: "TCP NewReno-style baseline (packet level)", Level: "packet",
+		Name: "TCP", Doc: "TCP NewReno-style baseline (packet level)", Level: "packet", ShardSafe: true,
 		Make: func(map[string]float64, int64) RunnerFunc {
-			return mkPacket(func(t *topo.Topology) protoSystem { return tcp.Install(t, tcp.Config{}) })
+			return mkPacketShardable(func(t *topo.Topology) protoSystem { return tcp.Install(t, tcp.Config{}) })
 		},
 	})
 	RegisterRunner(RunnerEntry{
-		Name: "DCTCP", Doc: "DCTCP: ECN threshold marking at switches, g-weighted α window cut (packet level)", Level: "packet",
+		Name: "DCTCP", Doc: "DCTCP: ECN threshold marking at switches, g-weighted α window cut (packet level)", Level: "packet", ShardSafe: true,
 		Params: map[string]float64{
 			"g":            dctcp.DefaultG,
 			"threshold_kb": float64(netsim.DefaultECNThreshold) / 1024,
 		},
 		Make: func(p map[string]float64, _ int64) RunnerFunc {
-			return mkPacket(func(t *topo.Topology) protoSystem {
+			return mkPacketShardable(func(t *topo.Topology) protoSystem {
 				return dctcp.Install(t, dctcp.Config{G: p["g"], Threshold: int(p["threshold_kb"] * 1024)})
 			})
 		},
 	})
 	RegisterRunner(RunnerEntry{
-		Name: "pFabric", Doc: "pFabric: remaining-size packet priorities, strict-priority switches, minimal rate control (packet level)", Level: "packet",
+		Name: "pFabric", Doc: "pFabric: remaining-size packet priorities, strict-priority switches, minimal rate control (packet level)", Level: "packet", ShardSafe: true,
 		Params: map[string]float64{
 			"bands":     float64(netsim.DefaultPrioBands),
 			"init_cwnd": pfabric.DefaultInitCwnd,
 			"rtomin_us": float64(pfabric.DefaultRTOmin) / float64(sim.Microsecond),
 		},
 		Make: func(p map[string]float64, _ int64) RunnerFunc {
-			return mkPacket(func(t *topo.Topology) protoSystem {
+			return mkPacketShardable(func(t *topo.Topology) protoSystem {
 				return pfabric.Install(t, pfabric.Config{
 					Bands: int(p["bands"]),
 					TCP: tcp.Config{
@@ -233,5 +307,35 @@ func init() {
 		Name: "flow:D3", Doc: "flow-level D3: arrival-order reservation plus fair share of the rest", Level: "flow",
 		Params: map[string]float64{"et": 0},
 		Make:   flowMake(func(map[string]float64, int64) flowsim.Allocator { return flowsim.NewD3() }),
+	})
+	RegisterRunner(RunnerEntry{
+		Name: "flow:fluid", Doc: "idealized single-bottleneck fluid model: policy 0=SRPT (the paper's Optimal) 1=fair sharing 2=Moore-Hodgson deadline EDF; gbps is the bottleneck rate", Level: "flow",
+		Params: map[string]float64{"policy": 0, "gbps": 1},
+		Make: func(p map[string]float64, _ int64) RunnerFunc {
+			policy := int(p["policy"])
+			bps := int64(p["gbps"] * 1e9)
+			return func(_ func() *topo.Topology, flows []workload.Flow, rc RunCtx) []workload.Result {
+				var comp fluid.Completion
+				switch policy {
+				case 0:
+					comp = fluid.SRPT(flows, bps)
+				case 1:
+					comp = fluid.FairShare(flows, bps)
+				case 2:
+					comp, _ = fluid.MooreHodgson(flows, bps)
+				default:
+					panic(fmt.Sprintf("flow:fluid: unknown policy %d", policy))
+				}
+				out := make([]workload.Result, len(flows))
+				for i, f := range flows {
+					out[i] = workload.Result{Flow: f, Finish: -1}
+					if t, ok := comp[f.ID]; ok && t <= rc.Horizon {
+						out[i].Finish = t
+						out[i].BytesAcked = f.Size
+					}
+				}
+				return out
+			}
+		},
 	})
 }

@@ -1,0 +1,127 @@
+package scenario
+
+import (
+	"testing"
+)
+
+// shardedSpec is a multi-rack packet-level cell whose traffic crosses
+// shard boundaries: a fat-tree with permutation traffic, so every flow
+// traverses at least one inter-switch link.
+func shardedSpec(runner string) *Spec {
+	return &Spec{
+		Name:     "shard-test",
+		Topology: TopoSpec{Name: "fat-tree", Params: map[string]float64{"k": 4}},
+		Workload: WorkloadSpec{
+			Pattern: PatternSpec{Name: "permutation"},
+			Sizes:   DistSpec{Name: "uniform-mean", Params: map[string]float64{"mean_kb": 30}},
+			Count:   16,
+		},
+		Protocols: []ProtoSpec{{Runner: runner}},
+		Metric:    MetricSpec{Name: "mean-fct"},
+		HorizonMs: 500,
+	}
+}
+
+// TestShardGoldenAcrossShardCounts pins the central determinism claim of
+// DESIGN.md §12: a shard-safe cell renders byte-identically at any shard
+// count, including against the unsharded single-engine path (shards 1).
+func TestShardGoldenAcrossShardCounts(t *testing.T) {
+	for _, runner := range []string{"TCP", "DCTCP", "pFabric"} {
+		t.Run(runner, func(t *testing.T) {
+			var golden string
+			for _, shards := range []int{1, 2, 4, 8} {
+				tab, err := Run(shardedSpec(runner), Opts{Shards: shards})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if tab.Partial() {
+					t.Fatalf("shards=%d: partial table:\n%s", shards, tab)
+				}
+				got := tab.String()
+				if shards == 1 {
+					golden = got
+					continue
+				}
+				if got != golden {
+					t.Errorf("shards=%d diverges from shards=1:\n--- shards=1\n%s\n--- shards=%d\n%s",
+						shards, golden, shards, got)
+				}
+			}
+		})
+	}
+}
+
+// TestShardGoldenFaulted extends the byte-identity pin to a faulted
+// cell: the static down-window timeline (fault.applySharded) must drop
+// and recover exactly the packets the legacy event path does.
+func TestShardGoldenFaulted(t *testing.T) {
+	spec := func() *Spec {
+		s := shardedSpec("TCP")
+		s.Faults = []FaultSpec{{Kind: "link-down", Host: -1, DownMs: 1, UpMs: 5}}
+		return s
+	}
+	var golden string
+	for _, shards := range []int{1, 2, 4, 8} {
+		tab, err := Run(spec(), Opts{Shards: shards})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := tab.String()
+		if shards == 1 {
+			golden = got
+			continue
+		}
+		if got != golden {
+			t.Errorf("faulted shards=%d diverges from shards=1:\n--- shards=1\n%s\n--- shards=%d\n%s",
+				shards, golden, shards, got)
+		}
+	}
+}
+
+// TestWheelMatchesHeap pins that the timer-wheel backend reproduces the
+// heap's tables byte-for-byte, sharded or not: the wheel preserves exact
+// (time, seq) firing order, so it must be invisible in results.
+func TestWheelMatchesHeap(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		heap, err := Run(shardedSpec("TCP"), Opts{Shards: shards})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wheel, err := Run(shardedSpec("TCP"), Opts{Shards: shards, Sched: "wheel"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if heap.String() != wheel.String() {
+			t.Errorf("shards=%d: wheel diverges from heap:\n--- heap\n%s\n--- wheel\n%s",
+				shards, heap, wheel)
+		}
+	}
+}
+
+// TestShardUnsafeRunnerFallsBack pins that a runner without the
+// shard-safe contract ignores the shard count entirely: PDQ keeps
+// global switch state, so it must run the single engine and match.
+func TestShardUnsafeRunnerFallsBack(t *testing.T) {
+	plain, err := Run(shardedSpec("PDQ(Full)"), Opts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := Run(shardedSpec("PDQ(Full)"), Opts{Shards: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.String() != sharded.String() {
+		t.Errorf("shard-unsafe runner changed output under -shards 8:\n--- plain\n%s\n--- sharded\n%s",
+			plain, sharded)
+	}
+}
+
+// TestShardedTraceFallsBack pins that tracing pins a cell to the single
+// engine (probers schedule on one Sim) and still renders identically.
+func TestBadSchedRejected(t *testing.T) {
+	s := shardedSpec("TCP")
+	s.Sched = "nope"
+	if _, err := Run(s, Opts{}); err == nil {
+		t.Fatal("Run accepted an unknown sched backend")
+	}
+}

@@ -47,6 +47,18 @@ type Spec struct {
 	// simulated cell (DESIGN.md §11). Validated at compile time against
 	// each column's topology.
 	Faults []FaultSpec `json:"faults,omitempty"`
+
+	// Shards partitions each packet-level simulation over this many
+	// parallel event-loop shards (DESIGN.md §12); 0 or 1 runs the single
+	// engine. Only shard-safe runners shard — others fall back to the
+	// single engine, whose output is byte-identical by construction. The
+	// pdqsim -shards flag overrides this field.
+	Shards int `json:"shards,omitempty"`
+	// Sched selects the engine's timer backend: "heap" (default, the
+	// slot-pooled 4-ary heap) or "wheel" (the hierarchical timer wheel
+	// for dense-timer regimes). Firing order is identical either way.
+	// The pdqsim -sched flag overrides this field.
+	Sched string `json:"sched,omitempty"`
 }
 
 // FaultSpec is one declarative fault, times in milliseconds. Kind selects

@@ -1,0 +1,209 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+)
+
+// The shard tests drive a synthetic token-passing model over the group:
+// every node keeps its own observation log, all behavior is a pure
+// function of the node's observed stream, and handoffs obey the
+// lookahead. The determinism contract says each node's log is invariant
+// under the shard count (DESIGN.md §12.3) — absolute engine sequence
+// numbers are not, and are deliberately not logged.
+
+const testLookahead Duration = 1000
+
+type shardRec struct {
+	at      Time
+	payload int64
+}
+
+type shardNode struct {
+	g     *ShardGroup
+	sim   *Sim
+	id    int
+	shard int
+	nodes []*shardNode
+	ctr   uint32
+	log   []shardRec
+}
+
+// mix is a deterministic hash of the node's observation, the only source
+// of "randomness" in the model (Date-free, partition-independent).
+func mix(a, b, c int64) int64 {
+	x := uint64(a)*0x9e3779b97f4a7c15 ^ uint64(b)*0xbf58476d1ce4e5b9 ^ uint64(c)*0x94d049bb133111eb
+	x ^= x >> 31
+	x *= 0xd6e8feb86659fd93
+	x ^= x >> 27
+	return int64(x >> 1)
+}
+
+type token struct {
+	n       *shardNode
+	payload int64
+	hops    int
+}
+
+func (t *token) RunEvent() {
+	n := t.n
+	now := n.sim.Now()
+	n.log = append(n.log, shardRec{at: now, payload: t.payload})
+	if t.hops <= 0 {
+		return
+	}
+	h := mix(int64(n.id), int64(now), t.payload)
+	if h&1 == 0 {
+		// A local timer, often shorter than the lookahead: same-shard
+		// scheduling is unrestricted by the window protocol.
+		d := Duration(h >> 1 & 511)
+		n.sim.After(d, func() {
+			n.log = append(n.log, shardRec{at: n.sim.Now(), payload: -h})
+		})
+	}
+	dst := n.nodes[int(uint64(h)>>9)%len(n.nodes)]
+	delay := testLookahead + Duration(uint64(h)>>16&4095)
+	n.ctr++
+	n.g.Post(n.shard, Handoff{
+		Due:  now + delay,
+		Ta:   now,
+		Link: uint32(n.id),
+		Ctr:  n.ctr,
+		To:   int32(dst.shard),
+		R:    &token{n: dst, payload: h, hops: t.hops - 1},
+	})
+}
+
+// runTokenModel runs the K-node model on the given shard count and
+// returns the per-node logs and total processed events.
+func runTokenModel(t *testing.T, nodes, shards, hops int, horizon Time) ([][]shardRec, uint64) {
+	t.Helper()
+	g := NewShardGroup(shards, testLookahead)
+	ns := make([]*shardNode, nodes)
+	for i := range ns {
+		sh := i * shards / nodes // contiguous blocks, like the topology partitioner
+		ns[i] = &shardNode{g: g, sim: g.Shard(sh), id: i, shard: sh, nodes: ns}
+	}
+	for i, n := range ns {
+		g.Post(0, Handoff{
+			Due:  Time(100 * (i + 1)),
+			Ta:   0,
+			Link: uint32(1000 + i),
+			Ctr:  1,
+			To:   int32(n.shard),
+			R:    &token{n: n, payload: int64(7919 * (i + 1)), hops: hops},
+		})
+	}
+	g.RunUntil(horizon)
+	logs := make([][]shardRec, nodes)
+	for i, n := range ns {
+		logs[i] = n.log
+	}
+	return logs, g.Processed()
+}
+
+// TestShardGroupInvariance is the core determinism test: per-node
+// observation logs and the total event count are byte-identical at shard
+// counts 1, 2, 4, 8 (and a count that does not divide the node count).
+func TestShardGroupInvariance(t *testing.T) {
+	const nodes, hops = 13, 60
+	const horizon = 500 * Millisecond
+	ref, refN := runTokenModel(t, nodes, 1, hops, horizon)
+	if refN == 0 {
+		t.Fatal("model executed no events")
+	}
+	for _, shards := range []int{2, 3, 4, 8} {
+		logs, n := runTokenModel(t, nodes, shards, hops, horizon)
+		if n != refN {
+			t.Fatalf("shards=%d: processed %d events, want %d", shards, n, refN)
+		}
+		for i := range ref {
+			if !reflect.DeepEqual(logs[i], ref[i]) {
+				t.Fatalf("shards=%d: node %d log diverges from single-shard run\n got %v\nwant %v",
+					shards, i, logs[i], ref[i])
+			}
+		}
+	}
+}
+
+// TestShardGroupMaxEvents pins the deterministic budget trip: the group
+// panics with an EventLimitError carrying the same (Events, At) at every
+// shard count, because budgets are checked at barriers and window event
+// totals are partition-independent.
+func TestShardGroupMaxEvents(t *testing.T) {
+	trip := func(shards int) (e EventLimitError) {
+		defer func() {
+			r := recover()
+			le, ok := r.(EventLimitError)
+			if !ok {
+				t.Fatalf("shards=%d: want EventLimitError panic, got %v", shards, r)
+			}
+			e = le
+		}()
+		g := NewShardGroup(shards, testLookahead)
+		ns := make([]*shardNode, 8)
+		for i := range ns {
+			sh := i * shards / len(ns)
+			ns[i] = &shardNode{g: g, sim: g.Shard(sh), id: i, shard: sh, nodes: ns}
+		}
+		for i, n := range ns {
+			g.Post(0, Handoff{
+				Due: Time(10 * (i + 1)), Link: uint32(1000 + i), Ctr: 1,
+				To: int32(n.shard), R: &token{n: n, payload: int64(i + 1), hops: 1 << 20},
+			})
+		}
+		g.SetMaxEvents(500)
+		g.RunUntil(MaxTime)
+		t.Fatalf("shards=%d: budget did not trip", shards)
+		return
+	}
+	ref := trip(1)
+	for _, shards := range []int{2, 4} {
+		if got := trip(shards); got != ref {
+			t.Fatalf("shards=%d: trip %+v, want %+v", shards, got, ref)
+		}
+	}
+}
+
+// TestShardGroupEndClock pins the group clock semantics: with events
+// beyond the horizon the clock is exactly the horizon; a drained group
+// keeps the last completed window's clock.
+func TestShardGroupEndClock(t *testing.T) {
+	g := NewShardGroup(2, testLookahead)
+	fired := 0
+	g.Shard(0).At(50, func() { fired++ })
+	g.Shard(1).At(2500, func() { fired++ })
+	g.RunUntil(100)
+	if g.Now() != 100 {
+		t.Fatalf("clock after horizon stop: want 100, got %v", g.Now())
+	}
+	if fired != 1 {
+		t.Fatalf("events fired by t=100: want 1, got %d", fired)
+	}
+	g.RunUntil(MaxTime)
+	if fired != 2 {
+		t.Fatalf("events fired at drain: want 2, got %d", fired)
+	}
+	if g.Now() >= MaxTime || g.Now() < 2500 {
+		t.Fatalf("drained clock should sit at the last window, got %v", g.Now())
+	}
+}
+
+// TestShardGroupPreWindow checks the pre-window hook runs on every shard
+// with the grid-aligned window start, before the window's events.
+func TestShardGroupPreWindow(t *testing.T) {
+	g := NewShardGroup(2, testLookahead)
+	var starts [2][]Time
+	g.SetPreWindow(func(shard int, ws Time) {
+		starts[shard] = append(starts[shard], ws)
+	})
+	g.Shard(0).At(1500, func() {})
+	g.Shard(1).At(7700, func() {})
+	g.RunUntil(MaxTime)
+	want := []Time{1000, 7000}
+	for sh := 0; sh < 2; sh++ {
+		if !reflect.DeepEqual(starts[sh], want) {
+			t.Fatalf("shard %d pre-window starts: got %v, want %v", sh, starts[sh], want)
+		}
+	}
+}

@@ -21,7 +21,7 @@ package sim
 import (
 	"fmt"
 	"math"
-	"sync/atomic"
+	"sync/atomic" //pdqlint:shardsafe-ok the watchdog interrupt flag predates sharding; Interrupt is its only cross-goroutine writer
 )
 
 // Time is a simulation timestamp in nanoseconds since simulation start.
@@ -80,8 +80,20 @@ type Runner interface {
 // event is a pooled scheduled-callback record. Records are recycled through
 // Sim.free; gen distinguishes successive occupants of the same slot.
 // Exactly one of fn and runner is set.
+//
+// ta is the scheduling instant: the simulation time at which the event was
+// scheduled. The full event order is (at, ta, seq). On a single engine the
+// ta comparison is provably redundant — seq is assigned in op order, op
+// order is monotone in simulation time, so seq order refines ta order —
+// and the pop sequence is identical to the classic (at, seq) order. Its
+// purpose is sharded runs (shard.go): a handoff injected at a barrier
+// carries the ta of the enqueue that produced it, so it sorts against the
+// destination shard's local timers exactly where the single engine — which
+// assigned the delivery's seq at that same enqueue instant — would have
+// placed it.
 type event struct {
 	at     Time
+	ta     Time // scheduling instant; orders same-at events before seq
 	seq    uint64
 	fn     func()
 	runner Runner
@@ -108,14 +120,15 @@ func (r EventRef) Valid() bool { return r.slot != 0 }
 // Sim is not safe for concurrent use; the whole simulation runs in one
 // goroutine by design (see DESIGN.md §5).
 type Sim struct {
-	now    Time
-	seq    uint64
-	firing uint64  // seq of the executing event + 1, 0 when idle (see EventSeq)
-	pool   []event // slot-indexed event records
-	free   []int32 // recycled slots
-	order  []int32 // 4-ary min-heap of occupied slots, keyed by (at, seq)
-	nRun   uint64
-	halted bool
+	now      Time
+	seq      uint64
+	firing   uint64  // seq of the executing event + 1, 0 when idle (see EventSeq)
+	firingTa Time    // ta of the executing event, valid while firing != 0
+	pool     []event // slot-indexed event records
+	free     []int32 // recycled slots
+	order    []int32 // 4-ary min-heap of occupied slots, keyed by (at, seq)
+	nRun     uint64
+	halted   bool
 
 	// maxEvents, when nonzero, bounds the total number of events this Sim
 	// may execute; exceeding it panics with EventLimitError. It is the
@@ -124,7 +137,18 @@ type Sim struct {
 	// interrupted is the wall-clock watchdog flag, set from any goroutine
 	// via Interrupt and polled by RunUntil every interruptStride events.
 	interrupted atomic.Bool
+
+	// wheel, when non-nil, replaces the 4-ary heap with the hierarchical
+	// timer wheel backend (wheel.go). Selected by UseWheel before any
+	// event is scheduled; the pop order is identical — exact (time, seq) —
+	// so the backends are interchangeable per run (DESIGN.md §12.4).
+	wheel *wheel
 }
+
+// wheelIdx is the idx sentinel marking a pooled event as scheduled in the
+// wheel backend (the heap's idx is its heap position; the wheel needs
+// only "scheduled" vs "free/firing").
+const wheelIdx int32 = -2
 
 // interruptStride is how often (in events) RunUntil polls the interrupt
 // flag: a power of two so the check compiles to a mask, rare enough that
@@ -171,6 +195,25 @@ func (s *Sim) Interrupt() { s.interrupted.Store(true) }
 // New returns a new simulator with the clock at zero.
 func New() *Sim { return &Sim{} }
 
+// UseWheel switches the scheduling backend from the 4-ary heap to the
+// hierarchical timer wheel. It must be called before any event is
+// scheduled (the scenario layer calls it right after the topology is
+// built); switching with events pending panics. The firing order is
+// identical to the heap's — exact (time, seq) — only the cost profile
+// changes (O(1) schedule/cancel for dense-timer regimes).
+func (s *Sim) UseWheel() {
+	if s.wheel != nil {
+		return
+	}
+	if len(s.order) > 0 {
+		panic("sim: UseWheel with events already scheduled")
+	}
+	s.wheel = &wheel{}
+}
+
+// Wheel reports whether the wheel backend is active.
+func (s *Sim) Wheel() bool { return s.wheel != nil }
+
 // Now returns the current simulation time.
 func (s *Sim) Now() Time { return s.now }
 
@@ -178,7 +221,12 @@ func (s *Sim) Now() Time { return s.now }
 func (s *Sim) Processed() uint64 { return s.nRun }
 
 // Pending returns the number of events currently scheduled.
-func (s *Sim) Pending() int { return len(s.order) }
+func (s *Sim) Pending() int {
+	if s.wheel != nil {
+		return s.wheel.live
+	}
+	return len(s.order)
+}
 
 // EventSeq is the simulation's logical order point: the sequence number of
 // the event currently executing, or — when no event is executing — the next
@@ -199,13 +247,31 @@ func (s *Sim) EventSeq() uint64 {
 // event's position in the engine's total order.
 func (s *Sim) NextSeq() uint64 { return s.seq }
 
-// less orders slots by (time, sequence). Sequence numbers are unique, so
-// this is a strict total order and the pop sequence is independent of the
-// heap's internal layout.
+// EventTa is the scheduling instant (ta) of the event currently executing,
+// or Now when no event is executing. Because an event's seq is assigned at
+// its scheduling instant, two same-instant ops on one engine execute in the
+// order of their parent events' ta — EventTa exposes that parent instant so
+// the sharded engine can reproduce the tie order across shard boundaries
+// (see Handoff.Pa in shard.go).
+func (s *Sim) EventTa() Time {
+	if s.firing != 0 {
+		return s.firingTa
+	}
+	return s.now
+}
+
+// less orders slots by (time, scheduling instant, sequence). Sequence
+// numbers are unique, so this is a strict total order and the pop sequence
+// is independent of the heap's internal layout. On a single engine the ta
+// comparison never overrules seq (see the event doc); in sharded runs it
+// places barrier-injected handoffs by their true scheduling instant.
 func (s *Sim) less(a, b int32) bool {
 	ea, eb := &s.pool[a], &s.pool[b]
 	if ea.at != eb.at {
 		return ea.at < eb.at
+	}
+	if ea.ta != eb.ta {
+		return ea.ta < eb.ta
 	}
 	return ea.seq < eb.seq
 }
@@ -311,11 +377,18 @@ func (s *Sim) release(slot int32) {
 	s.free = append(s.free, slot)
 }
 
-// schedule grabs a pooled slot for an event at (t, next seq) and pushes it
-// onto the heap, returning the slot.
+// schedule grabs a pooled slot for an event at (t, now, next seq) and
+// pushes it onto the heap, returning the slot.
 //
 //pdq:hotpath
-func (s *Sim) schedule(t Time) int32 {
+func (s *Sim) schedule(t Time) int32 { return s.scheduleStamped(t, s.now) }
+
+// scheduleStamped is schedule with an explicit scheduling-instant stamp:
+// barrier injection (shard.go) backdates an injected handoff to the
+// enqueue instant that produced it on its source shard.
+//
+//pdq:hotpath
+func (s *Sim) scheduleStamped(t, ta Time) int32 {
 	if t < s.now {
 		s.panicPast(t)
 	}
@@ -328,12 +401,25 @@ func (s *Sim) schedule(t Time) int32 {
 		slot = int32(len(s.pool) - 1)
 	}
 	ev := &s.pool[slot]
-	ev.at, ev.seq = t, s.seq
+	ev.at, ev.ta, ev.seq = t, ta, s.seq
 	s.seq++
+	if s.wheel != nil {
+		ev.idx = wheelIdx
+		s.wheel.insert(wheelEntry{at: t, ta: ta, seq: ev.seq, slot: slot, gen: ev.gen})
+		s.wheel.live++
+		return slot
+	}
 	ev.idx = int32(len(s.order))
 	s.order = append(s.order, slot)
 	s.siftUp(len(s.order) - 1)
 	return slot
+}
+
+// atRunnerStamped is AtRunner with an explicit scheduling-instant stamp,
+// for barrier injection of handoffs.
+func (s *Sim) atRunnerStamped(t, ta Time, r Runner) {
+	slot := s.scheduleStamped(t, ta)
+	s.pool[slot].runner = r
 }
 
 // panicPast is schedule's cold failure path, kept out of the annotated
@@ -385,6 +471,16 @@ func (s *Sim) Cancel(r EventRef) bool {
 		return false
 	}
 	ev := &s.pool[slot]
+	if s.wheel != nil {
+		// Lazy cancellation: release the pool slot (the generation bump
+		// invalidates the wheel's entry copy, which is skipped at drain).
+		if ev.gen != r.gen || ev.idx != wheelIdx {
+			return false
+		}
+		s.release(slot)
+		s.wheel.live--
+		return true
+	}
 	if ev.gen != r.gen || ev.idx < 0 {
 		return false
 	}
@@ -412,6 +508,10 @@ func (s *Sim) Run() { s.RunUntil(MaxTime) }
 //     bookkeeping; advancing to an arbitrary horizon would make MaxTime
 //     overflow-prone (Run is RunUntil(MaxTime)).
 func (s *Sim) RunUntil(end Time) {
+	if s.wheel != nil {
+		s.runWheel(end)
+		return
+	}
 	s.halted = false
 	for len(s.order) > 0 && !s.halted {
 		if s.maxEvents != 0 && s.nRun >= s.maxEvents {
@@ -435,11 +535,59 @@ func (s *Sim) RunUntil(end Time) {
 //
 //pdq:hotpath
 func (s *Sim) fire(next *event) {
-	at, seq, fn, runner := next.at, next.seq, next.fn, next.runner
+	at, ta, seq, fn, runner := next.at, next.ta, next.seq, next.fn, next.runner
 	s.release(s.popMin())
 	s.now = at
 	s.nRun++
 	s.firing = seq + 1
+	s.firingTa = ta
+	if fn != nil {
+		fn()
+	} else {
+		runner.RunEvent()
+	}
+	s.firing = 0
+}
+
+// runWheel is RunUntil over the wheel backend: identical end-clock and
+// guard semantics, with peek/pop replacing the heap's root access.
+func (s *Sim) runWheel(end Time) {
+	s.halted = false
+	for !s.halted {
+		e, ok := s.wheel.peek(s.pool)
+		if !ok {
+			return
+		}
+		// Guard order matches the heap loop: budget and interrupt trip
+		// only while events remain, so the two backends panic (or not) at
+		// identical points of identical histories.
+		if s.maxEvents != 0 && s.nRun >= s.maxEvents {
+			panic(EventLimitError{Events: s.nRun, At: s.now})
+		}
+		if s.nRun&(interruptStride-1) == 0 && s.interrupted.Load() {
+			panic(InterruptError{Events: s.nRun, At: s.now})
+		}
+		if e.at > end {
+			s.now = end
+			return
+		}
+		s.fireWheel(e)
+	}
+}
+
+// fireWheel consumes and executes the entry peek returned, mirroring
+// fire's recycle-before-callback discipline.
+//
+//pdq:hotpath
+func (s *Sim) fireWheel(e wheelEntry) {
+	ev := &s.pool[e.slot]
+	fn, runner := ev.fn, ev.runner
+	s.wheel.pop()
+	s.release(e.slot)
+	s.now = e.at
+	s.nRun++
+	s.firing = e.seq + 1
+	s.firingTa = e.ta
 	if fn != nil {
 		fn()
 	} else {
@@ -451,6 +599,14 @@ func (s *Sim) fire(next *event) {
 // Step executes exactly one event if any is pending and reports whether an
 // event was executed.
 func (s *Sim) Step() bool {
+	if s.wheel != nil {
+		e, ok := s.wheel.peek(s.pool)
+		if !ok {
+			return false
+		}
+		s.fireWheel(e)
+		return true
+	}
 	if len(s.order) == 0 {
 		return false
 	}

@@ -1,0 +1,146 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestWheelDifferential drives the heap and wheel backends through
+// identical randomized schedule/cancel/run histories and asserts the
+// executed (time, seq) sequences are identical — the wheel's exactness
+// contract (DESIGN.md §12.4). Delays mix sub-slot, cross-slot,
+// cross-level and overflow magnitudes so cascades and the overflow spill
+// are all exercised.
+func TestWheelDifferential(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		rng := rand.New(rand.NewSource(int64(1000 + trial)))
+		heap := New()
+		wheel := New()
+		wheel.UseWheel()
+
+		type rec struct {
+			at  Time
+			seq uint64
+		}
+		var gotHeap, gotWheel []rec
+		// driver replays one identical random program against a backend.
+		driver := func(s *Sim, out *[]rec, rng *rand.Rand) {
+			var refs []EventRef
+			var fire func()
+			fire = func() {
+				*out = append(*out, rec{s.Now(), s.EventSeq()})
+				// Events reschedule with probability 1/2, sometimes at the
+				// exact current instant (same-slot insert below the cursor).
+				if rng.Intn(2) == 0 {
+					d := randDelay(rng)
+					refs = append(refs, s.After(d, fire))
+				}
+			}
+			for i := 0; i < 300; i++ {
+				refs = append(refs, s.At(Time(rng.Intn(1<<20)), fire))
+			}
+			// A few far-future events land in higher levels / overflow.
+			for i := 0; i < 10; i++ {
+				refs = append(refs, s.At(Time(1)<<uint(20+rng.Intn(25)), fire))
+			}
+			for i := 0; i < 100; i++ {
+				refs = append(refs, s.At(Time(rng.Intn(1<<28)), fire))
+			}
+			// Cancel a random third of everything scheduled so far.
+			for _, r := range refs {
+				if rng.Intn(3) == 0 {
+					s.Cancel(r)
+				}
+			}
+			// Run in a few horizon chunks, scheduling between chunks.
+			for _, end := range []Time{1 << 16, 1 << 22, 1 << 30, MaxTime} {
+				s.RunUntil(end)
+				refs = append(refs, s.At(s.Now()+Time(rng.Intn(1<<12)), fire))
+			}
+			s.Run()
+		}
+		driver(heap, &gotHeap, rand.New(rand.NewSource(int64(77*trial+5))))
+		driver(wheel, &gotWheel, rand.New(rand.NewSource(int64(77*trial+5))))
+		_ = rng
+
+		if len(gotHeap) != len(gotWheel) {
+			t.Fatalf("trial %d: heap fired %d events, wheel %d", trial, len(gotHeap), len(gotWheel))
+		}
+		for i := range gotHeap {
+			if gotHeap[i] != gotWheel[i] {
+				t.Fatalf("trial %d: event %d diverges: heap (t=%v seq=%d) wheel (t=%v seq=%d)",
+					trial, i, gotHeap[i].at, gotHeap[i].seq, gotWheel[i].at, gotWheel[i].seq)
+			}
+		}
+		if heap.Processed() != wheel.Processed() {
+			t.Fatalf("trial %d: processed count diverges: %d vs %d", trial, heap.Processed(), wheel.Processed())
+		}
+	}
+}
+
+func randDelay(rng *rand.Rand) Duration {
+	switch rng.Intn(4) {
+	case 0:
+		return Duration(rng.Intn(1 << 8)) // sub-slot, often 0
+	case 1:
+		return Duration(rng.Intn(1 << 14)) // within level 0
+	case 2:
+		return Duration(rng.Intn(1 << 22)) // level 1
+	default:
+		return Duration(rng.Intn(1 << 30)) // level 2+
+	}
+}
+
+// TestWheelCancelSemantics pins cancel behavior against the heap:
+// canceling fired, canceled, and foreign refs reports false; canceling a
+// pending event reports true and prevents firing, on both backends.
+func TestWheelCancelSemantics(t *testing.T) {
+	for _, useWheel := range []bool{false, true} {
+		s := New()
+		if useWheel {
+			s.UseWheel()
+		}
+		fired := map[string]bool{}
+		a := s.At(10, func() { fired["a"] = true })
+		b := s.At(20, func() { fired["b"] = true })
+		s.At(20, func() { fired["c"] = true })
+		if !s.Cancel(b) {
+			t.Fatalf("wheel=%v: first cancel must report true", useWheel)
+		}
+		if s.Cancel(b) {
+			t.Fatalf("wheel=%v: double cancel must report false", useWheel)
+		}
+		if s.Pending() != 2 {
+			t.Fatalf("wheel=%v: want 2 pending, got %d", useWheel, s.Pending())
+		}
+		s.Run()
+		if fired["b"] || !fired["a"] || !fired["c"] {
+			t.Fatalf("wheel=%v: wrong fire set: %v", useWheel, fired)
+		}
+		if s.Cancel(a) {
+			t.Fatalf("wheel=%v: canceling a fired event must report false", useWheel)
+		}
+		if s.Cancel(EventRef{}) {
+			t.Fatalf("wheel=%v: zero ref cancel must report false", useWheel)
+		}
+	}
+}
+
+// TestWheelEndClock pins RunUntil end-clock semantics on the wheel
+// backend to the heap's (TestRunUntilEndClock): with events beyond the
+// horizon the clock advances to exactly the horizon; with an emptied
+// queue it stays at the last executed event.
+func TestWheelEndClock(t *testing.T) {
+	s := New()
+	s.UseWheel()
+	s.At(5, func() {})
+	s.At(500, func() {})
+	s.RunUntil(100)
+	if s.Now() != 100 {
+		t.Fatalf("clock after horizon stop: want 100, got %v", s.Now())
+	}
+	s.RunUntil(1000)
+	if s.Now() != 500 {
+		t.Fatalf("clock after queue empty: want 500, got %v", s.Now())
+	}
+}

@@ -1,0 +1,114 @@
+package topo
+
+// The shard partitioner (DESIGN.md §12.2): assigns every node of a built
+// topology to one of n shards so that intra-rack traffic — the bulk of
+// the event volume under the paper's workloads — stays shard-local, and
+// only inter-pod hops cross the mailbox.
+//
+// The assignment exploits the builders' creation order: every builder
+// creates hosts rack by rack (and pod by pod), so contiguous host-index
+// blocks are rack- and pod-aligned whenever the shard count divides the
+// pod count. Switches inherit shards from what they attach to: an edge
+// switch joins its rack's shard, an aggregation switch its pod's, and
+// spine nodes touching many shards (fat-tree cores, BCube upper levels)
+// are spread round-robin so no single shard owns the whole core layer.
+
+import (
+	"pdq/internal/sim"
+)
+
+// Partition assigns every node of t to one of n shards and returns the
+// assignment indexed by NodeID. The result is deterministic: it depends
+// only on the topology's construction order.
+func Partition(t *Topology, n int) []int32 {
+	nodes := t.Net.NumNodes()
+	shardOf := make([]int32, nodes)
+	for i := range shardOf {
+		shardOf[i] = -1
+	}
+	// Hosts: contiguous index blocks. Builders create hosts rack by rack,
+	// so blocks are rack-aligned; equal block sizes balance the endpoint
+	// (and timer) load.
+	nh := len(t.Hosts)
+	for i, h := range t.Hosts {
+		shardOf[h.ID()] = int32(i * n / nh)
+	}
+	// Switches with directly attached hosts (edge/ToR, every BCube level)
+	// join the shard of their lowest-index attached host.
+	hostIdx := make([]int, nodes)
+	for i := range hostIdx {
+		hostIdx[i] = -1
+	}
+	for i, h := range t.Hosts {
+		hostIdx[h.ID()] = i
+	}
+	for _, sw := range t.Switches {
+		best := -1
+		for _, l := range t.Adjacent(sw.ID()) {
+			if hi := hostIdx[l.To.ID()]; hi >= 0 && (best < 0 || hi < best) {
+				best = hi
+			}
+		}
+		if best >= 0 {
+			shardOf[sw.ID()] = int32(best * n / nh)
+		}
+	}
+	// Remaining switches (aggregation, core) inherit by relaxation over
+	// assigned neighbors, in creation order: a switch whose assigned
+	// neighbors agree joins them (aggregation → its pod); one whose
+	// neighbors span several shards is a spine node and is spread
+	// round-robin (fat-tree cores).
+	spin := 0
+	for changed := true; changed; {
+		changed = false
+		for _, sw := range t.Switches {
+			if shardOf[sw.ID()] >= 0 {
+				continue
+			}
+			first, mixed := int32(-1), false
+			for _, l := range t.Adjacent(sw.ID()) {
+				s := shardOf[l.To.ID()]
+				if s < 0 {
+					continue
+				}
+				if first < 0 {
+					first = s
+				} else if s != first {
+					mixed = true
+				}
+			}
+			if first < 0 {
+				continue // no assigned neighbor yet; next pass
+			}
+			if mixed {
+				shardOf[sw.ID()] = int32(spin % n)
+				spin++
+			} else {
+				shardOf[sw.ID()] = first
+			}
+			changed = true
+		}
+	}
+	// Disconnected leftovers (none in the built-in topologies).
+	for i := range shardOf {
+		if shardOf[i] < 0 {
+			shardOf[i] = 0
+		}
+	}
+	return shardOf
+}
+
+// MinLinkDelay returns the smallest propagation+processing delay over all
+// links — the shard group's lookahead: no packet handed to a link can be
+// delivered less than this after its enqueue, so it bounds every mailbox
+// handoff's delay. Zero (an empty or zero-delay topology) means the
+// topology cannot be sharded.
+func MinLinkDelay(t *Topology) sim.Duration {
+	min := sim.Duration(0)
+	for _, l := range t.Net.Links() {
+		if d := l.PropDelay + l.ProcDelay; min == 0 || d < min {
+			min = d
+		}
+	}
+	return min
+}

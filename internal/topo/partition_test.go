@@ -1,0 +1,108 @@
+package topo
+
+import (
+	"reflect"
+	"testing"
+
+	"pdq/internal/netsim"
+	"pdq/internal/sim"
+)
+
+// TestPartitionFatTree checks the locality properties the sharded engine
+// relies on: hosts form contiguous equal blocks, every edge switch lands
+// on its own rack's shard, aggregation switches on their pod's shard, and
+// the cores — whose neighbors span all pods — are spread across shards.
+func TestPartitionFatTree(t *testing.T) {
+	const k = 4 // 16 hosts, 4 pods, 4 cores
+	top := FatTree(k, 1)
+	const n = 4
+	shardOf := Partition(top, n)
+	for i := range shardOf {
+		if shardOf[i] < 0 || shardOf[i] >= n {
+			t.Fatalf("node %d assigned to shard %d (out of range)", i, shardOf[i])
+		}
+	}
+	// Hosts: contiguous blocks of 4, one per pod at n=4.
+	for i, h := range top.Hosts {
+		want := int32(i * n / len(top.Hosts))
+		if shardOf[h.ID()] != want {
+			t.Fatalf("host %d on shard %d, want %d", i, shardOf[h.ID()], want)
+		}
+	}
+	// Edge and aggregation switches follow their pod. Creation order is
+	// cores first ((k/2)² of them), then per pod: k/2 aggs, then k/2 edges
+	// (each followed by its hosts).
+	cores := (k / 2) * (k / 2)
+	perPod := k // k/2 aggs + k/2 edges
+	for p := 0; p < k; p++ {
+		podShard := shardOf[top.Hosts[p*k*k/4].ID()]
+		for j := 0; j < perPod; j++ {
+			sw := top.Switches[cores+p*perPod+j]
+			if shardOf[sw.ID()] != podShard {
+				t.Fatalf("pod %d switch %d on shard %d, want pod shard %d",
+					p, j, shardOf[sw.ID()], podShard)
+			}
+		}
+	}
+	// Cores spread round-robin: all n shards own at least one core.
+	seen := make(map[int32]bool)
+	for c := 0; c < cores; c++ {
+		seen[shardOf[top.Switches[c].ID()]] = true
+	}
+	if len(seen) != n {
+		t.Fatalf("cores cover %d shards, want %d", len(seen), n)
+	}
+	// Determinism: a rebuild partitions identically.
+	again := Partition(FatTree(k, 1), n)
+	if !reflect.DeepEqual(shardOf, again) {
+		t.Fatal("partition is not deterministic across rebuilds")
+	}
+}
+
+// TestPartitionCoversAllTopologies checks every builder yields a total,
+// in-range assignment at several shard counts, including counts that do
+// not divide the host count.
+func TestPartitionCoversAllTopologies(t *testing.T) {
+	builds := []struct {
+		name string
+		mk   func() *Topology
+	}{
+		{"fattree", func() *Topology { return FatTree(4, 1) }},
+		{"bottleneck", func() *Topology { return SingleBottleneck(8, 1) }},
+		{"tree", func() *Topology { return SingleRootedTree(4, 3, 1) }},
+		{"bcube", func() *Topology { return BCube(2, 1, 1) }},
+		{"jellyfish", func() *Topology { return Jellyfish(8, 4, 2, 42) }},
+	}
+	for _, b := range builds {
+		for _, n := range []int{1, 2, 3, 8} {
+			top := b.mk()
+			shardOf := Partition(top, n)
+			if len(shardOf) != top.Net.NumNodes() {
+				t.Fatalf("%s n=%d: partition covers %d of %d nodes",
+					b.name, n, len(shardOf), top.Net.NumNodes())
+			}
+			for i, s := range shardOf {
+				if s < 0 || int(s) >= n {
+					t.Fatalf("%s n=%d: node %d on shard %d", b.name, n, i, s)
+				}
+			}
+			if n == 1 {
+				for i, s := range shardOf {
+					if s != 0 {
+						t.Fatalf("%s n=1: node %d on shard %d, want 0", b.name, i, s)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestMinLinkDelay pins the lookahead derivation against the default link
+// parameters.
+func TestMinLinkDelay(t *testing.T) {
+	top := SingleBottleneck(4, 1)
+	want := sim.Duration(netsim.DefaultPropDelay + netsim.DefaultProcDelay)
+	if got := MinLinkDelay(top); got != want {
+		t.Fatalf("MinLinkDelay = %v, want %v", got, want)
+	}
+}

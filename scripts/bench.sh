@@ -1,6 +1,6 @@
 #!/usr/bin/env sh
 # bench.sh — run the tier-1 perf benchmarks with -benchmem and fold the
-# numbers into a JSON record (default bench/BENCH_pr7.json) via
+# numbers into a JSON record (default bench/BENCH_pr8.json) via
 # scripts/benchjson. Perf records live under bench/ so the repo root
 # stays clean as the record set grows (bench/BENCH_pr2.json is the PR-2
 # zero-alloc rewrite; bench/BENCH_pr4.json adds the telemetry-overhead
@@ -8,7 +8,10 @@
 # DCTCP's marking FIFO and pFabric's strict-priority scheduler path;
 # bench/BENCH_pr7.json guards the fault-injection hooks: present but
 # disabled, they must keep Fig3a within noise of the pr5 record and the
-# engine benches at 0 allocs/op).
+# engine benches at 0 allocs/op; bench/BENCH_pr8.json adds the sharded
+# fat-tree k=16 scaling matrix — note its shards>1 rows only show a
+# wall-clock win on multi-core machines, a GOMAXPROCS=1 recording
+# measures pure coordination overhead).
 #
 # Usage:
 #   scripts/bench.sh [record.json]
@@ -27,8 +30,8 @@
 set -eu
 cd "$(dirname "$0")/.."
 
-OUT="${1:-bench/BENCH_pr7.json}"
-PATTERN="${BENCH_PATTERN:-Fig3a\$|Fig10\$|AblationPDQVariants|EngineSchedule|FlowAllocators|TraceSinkOverhead|DCTCPIncast|PFabricWebsearch}"
+OUT="${1:-bench/BENCH_pr8.json}"
+PATTERN="${BENCH_PATTERN:-Fig3a\$|Fig10\$|AblationPDQVariants|EngineSchedule|FlowAllocators|TraceSinkOverhead|DCTCPIncast|PFabricWebsearch|ShardedFatTree}"
 TIME="${BENCH_TIME:-1s}"
 
 mkdir -p "$(dirname "$OUT")"

@@ -1,0 +1,147 @@
+// Command benchdiff compares two BENCH_*.json perf records (see
+// scripts/benchjson) and fails when the new record regresses the old
+// one. It is the CI bench-regression gate:
+//
+//	go run ./scripts/benchdiff -base bench/BENCH_pr7.json -new /tmp/bench_smoke.json
+//
+// Two checks run:
+//
+//  1. Zero-alloc invariants (machine-independent, exact): every benchmark
+//     recorded at 0 allocs/op in the base must still measure 0 allocs/op.
+//     The engine and allocator micro-benches live or die by this.
+//  2. Timing (-time-bench, default Fig3a): the new ns/op may exceed the
+//     base by at most -tol (default 5%). Records from different machines
+//     are made comparable by normalizing both sides with a calibration
+//     benchmark (-calibrate, default EngineScheduleFire): the gate
+//     compares Fig3a ÷ calibration ratios, which cancels raw CPU speed.
+//     Pass -calibrate "" to compare raw ns/op (same-machine records).
+//
+// A record's newest slot wins: "after" when present, else "before".
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Metrics mirrors scripts/benchjson's per-benchmark record entry.
+type Metrics struct {
+	Iters    int64   `json:"iters"`
+	NsOp     float64 `json:"ns_op"`
+	BytesOp  int64   `json:"bytes_op"`
+	AllocsOp int64   `json:"allocs_op"`
+}
+
+// Record mirrors the BENCH_*.json document shape benchjson writes.
+type Record struct {
+	Cmd    string             `json:"cmd,omitempty"`
+	CPU    string             `json:"cpu,omitempty"`
+	Before map[string]Metrics `json:"before,omitempty"`
+	After  map[string]Metrics `json:"after,omitempty"`
+}
+
+// slot returns the record's newest filled slot.
+func (r *Record) slot() map[string]Metrics {
+	if len(r.After) > 0 {
+		return r.After
+	}
+	return r.Before
+}
+
+func load(path string) map[string]Metrics {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	rec := &Record{}
+	if err := json.Unmarshal(data, rec); err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %s: %v\n", path, err)
+		os.Exit(2)
+	}
+	s := rec.slot()
+	if len(s) == 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %s: empty record\n", path)
+		os.Exit(2)
+	}
+	return s
+}
+
+func main() {
+	basePath := flag.String("base", "", "base perf record (the floor to hold)")
+	newPath := flag.String("new", "", "new perf record to check")
+	timeBench := flag.String("time-bench", "Fig3a", "benchmark whose timing is gated (\"\" disables)")
+	calibrate := flag.String("calibrate", "EngineScheduleFire", "benchmark used to normalize cross-machine timings (\"\" compares raw ns/op)")
+	tol := flag.Float64("tol", 0.05, "allowed fractional timing regression")
+	flag.Parse()
+	if *basePath == "" || *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -base and -new are required")
+		os.Exit(2)
+	}
+
+	base, cur := load(*basePath), load(*newPath)
+	failed := false
+
+	// Zero-alloc invariants: exact and machine-independent.
+	names := make([]string, 0, len(base))
+	for name := range base {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if base[name].AllocsOp != 0 {
+			continue
+		}
+		m, ok := cur[name]
+		if !ok {
+			fmt.Printf("FAIL %s: zero-alloc benchmark missing from new record\n", name)
+			failed = true
+			continue
+		}
+		if m.AllocsOp != 0 {
+			fmt.Printf("FAIL %s: %d allocs/op, was 0 in base\n", name, m.AllocsOp)
+			failed = true
+		} else {
+			fmt.Printf("ok   %s: 0 allocs/op\n", name)
+		}
+	}
+
+	// Timing gate, normalized so the base record's machine need not match.
+	if *timeBench != "" {
+		b, okB := base[*timeBench]
+		n, okN := cur[*timeBench]
+		if !okB || !okN {
+			fmt.Printf("FAIL %s: missing from %s record\n", *timeBench,
+				map[bool]string{true: "new", false: "base"}[okB])
+			failed = true
+		} else {
+			bNs, nNs := b.NsOp, n.NsOp
+			unit := "ns/op"
+			if *calibrate != "" {
+				cb, okCB := base[*calibrate]
+				cn, okCN := cur[*calibrate]
+				if !okCB || !okCN || cb.NsOp == 0 || cn.NsOp == 0 {
+					fmt.Fprintf(os.Stderr, "benchdiff: calibration benchmark %s missing or zero\n", *calibrate)
+					os.Exit(2)
+				}
+				bNs, nNs = bNs/cb.NsOp, nNs/cn.NsOp
+				unit = "× " + *calibrate
+			}
+			ratio := nNs/bNs - 1
+			verdict := "ok  "
+			if ratio > *tol {
+				verdict = "FAIL"
+				failed = true
+			}
+			fmt.Printf("%s %s: %.4g vs %.4g %s (%+.1f%%, tol %+.0f%%)\n",
+				verdict, *timeBench, nNs, bNs, unit, 100*ratio, 100**tol)
+		}
+	}
+
+	if failed {
+		os.Exit(1)
+	}
+}
