@@ -13,6 +13,7 @@ import (
 	"pdq/internal/exp"
 	"pdq/internal/flowsim"
 	"pdq/internal/netsim"
+	"pdq/internal/obsv"
 	"pdq/internal/scenario"
 	"pdq/internal/sim"
 	"pdq/internal/topo"
@@ -259,6 +260,34 @@ func BenchmarkTraceSinkOverhead(b *testing.B) {
 				o := exp.Opts{Quick: true, Seed: int64(i + 1)}
 				if mode.traced {
 					o.Trace = trace.New(true, false)
+				}
+				sink = exp.Figures["fig3a"](o)
+			}
+			if sink == nil || len(sink.Rows) == 0 {
+				b.Fatal("empty result table")
+			}
+		})
+	}
+}
+
+// BenchmarkObsvOverhead prices the observability plane the same way:
+// "off" is the default nil-Observer path, where every instrumentation
+// site reduces to a single nil check and the benchdiff gate holds Fig3a
+// within the ≤2% bound; "on" runs the same sweep with the full metrics
+// registry attached — engine counters, queue high-water tracking, the
+// sweep cell state machine and its wall-clocked duration histogram.
+func BenchmarkObsvOverhead(b *testing.B) {
+	for _, mode := range []struct {
+		name     string
+		observed bool
+	}{{"off", false}, {"on", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			var sink *exp.Table
+			for i := 0; i < b.N; i++ {
+				o := exp.Opts{Quick: true, Seed: int64(i + 1)}
+				if mode.observed {
+					o.Obs = obsv.New(obsv.WallClock)
 				}
 				sink = exp.Figures["fig3a"](o)
 			}

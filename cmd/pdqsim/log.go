@@ -1,0 +1,46 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"time"
+)
+
+// newLogger builds the command's structured logger: slog text records on
+// w at the chosen threshold, every record tagged run=<id> so output from
+// interleaved or archived invocations stays attributable. Tables still
+// go to stdout as plain text/JSON; the logger owns everything pdqsim
+// used to scribble on stderr ad hoc (cache report, partial-table
+// warnings, telemetry notices).
+func newLogger(w io.Writer, level, runID string) (*slog.Logger, error) {
+	var lv slog.Level
+	switch level {
+	case "debug":
+		lv = slog.LevelDebug
+	case "", "info":
+		lv = slog.LevelInfo
+	case "warn":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown -log-level %q (want debug, info, warn or error)", level)
+	}
+	h := slog.NewTextHandler(w, &slog.HandlerOptions{Level: lv})
+	return slog.New(h).With("run", runID), nil
+}
+
+// newRunID derives a short per-invocation tag. Reading the wall clock is
+// fine here: run IDs never enter a simulation (pdqlint keeps time out of
+// internal/; cmd/ is the designated shore).
+func newRunID() string {
+	return fmt.Sprintf("%08x", time.Now().UnixNano()&0xffffffff)
+}
+
+// fail logs a fatal error and exits 1.
+func fail(log *slog.Logger, err error) {
+	log.Error("fatal", "err", err)
+	os.Exit(1)
+}

@@ -11,6 +11,9 @@
 //	pdqsim -scenario examples/scenarios/incast.json -quick
 //	pdqsim -scenario examples/scenarios/incast.json -trace flows.jsonl -probe probes.csv
 //	pdqsim -exp all -quick -cache
+//	pdqsim -exp all -progress -metrics-out metrics.json
+//	pdqsim -exp fig3a -http :9090 -http-linger 30s
+//	pdqsim -exp all -quick -cpuprofile cpu.pprof -memprofile mem.pprof
 //	pdqsim -dump-scenario fig3a
 //	pdqsim -list-topologies -list-patterns -list-protocols -list-metrics -list-qdiscs
 //
@@ -33,6 +36,18 @@
 // sweep recomputes only cells whose inputs changed; hits reproduce the
 // recomputed output byte for byte. Tracing bypasses the cache.
 //
+// The observability plane (DESIGN.md §13) watches a run without
+// perturbing it: -progress renders a live stderr line (cells done/total,
+// failures, cache hits, throughput, ETA); -http serves Prometheus text
+// on /metrics, per-run sweep progress JSON on /runs and net/http/pprof
+// on /debug/pprof while the run executes (-http-linger holds the server
+// open afterwards for end-of-run scrapes); -metrics-out writes a JSON
+// snapshot of every counter when the run finishes. -cpuprofile and
+// -memprofile capture standard runtime profiles. Enabled or not, tables
+// are byte-identical — the engines only ever touch plain in-memory
+// counters, merged at quiescent points. Diagnostics go through log/slog
+// (-log-level), each record tagged with a per-invocation run ID.
+//
 // -scenario runs a JSON scenario spec (see README "Declarative
 // scenarios" for the schema): the paper's figures are such specs too, so
 // -dump-scenario prints any figure's spec as a starting template.
@@ -43,6 +58,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"time"
 
@@ -73,6 +89,13 @@ func main() {
 		cellTimeout = flag.Float64("cell-timeout-ms", 0, "per-cell wall-clock limit in ms (0 = none); a timed-out cell fails with a diagnostic")
 		cacheOn     = flag.Bool("cache", false, "memoize sweep cells under the default cache dir (~/.cache/pdqsim)")
 		cacheDir    = flag.String("cache-dir", "", "memoize sweep cells under this directory (implies -cache)")
+		progressOn  = flag.Bool("progress", false, "render a live progress line on stderr (cells done/total, failures, cache hits, ETA)")
+		httpAddr    = flag.String("http", "", "serve /metrics (Prometheus text), /runs (JSON sweep progress) and /debug/pprof on this address during the run")
+		httpLinger  = flag.Duration("http-linger", 0, "keep the -http server alive this long after the run finishes (end-of-run scrapes)")
+		metricsOut  = flag.String("metrics-out", "", "write an end-of-run JSON metrics snapshot to this file")
+		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile  = flag.String("memprofile", "", "write a heap profile to this file")
+		logLevel    = flag.String("log-level", "info", "structured-log threshold: debug, info, warn or error")
 		list        = flag.Bool("list", false, "list available experiments")
 		listTopo    = flag.Bool("list-topologies", false, "list registered topology builders")
 		listPat     = flag.Bool("list-patterns", false, "list registered sending patterns and size distributions")
@@ -81,6 +104,12 @@ func main() {
 		listQd      = flag.Bool("list-qdiscs", false, "list registered link queue disciplines")
 	)
 	flag.Parse()
+
+	logger, err := newLogger(os.Stderr, *logLevel, newRunID())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pdqsim: %v\n", err)
+		os.Exit(2)
+	}
 
 	if *listTopo || *listPat || *listPro || *listMet || *listQd {
 		// Every listing iterates a sorted registry (and params marshal
@@ -101,14 +130,22 @@ func main() {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(sf()); err != nil {
-			fmt.Fprintf(os.Stderr, "pdqsim: %v\n", err)
-			os.Exit(1)
+			fail(logger, err)
 		}
 		return
 	}
 
+	obs, finishObs := setupObsv(obsvConfig{
+		Progress:   *progressOn,
+		HTTPAddr:   *httpAddr,
+		HTTPLinger: *httpLinger,
+		MetricsOut: *metricsOut,
+		CPUProfile: *cpuProfile,
+		MemProfile: *memProfile,
+	}, logger)
+
 	opts := exp.Opts{Quick: *quick, Seed: *seed, Parallel: *parallel, Trials: *trials,
-		MaxEvents: *maxEvents, Shards: *shards, Sched: *sched}
+		MaxEvents: *maxEvents, Shards: *shards, Sched: *sched, Obs: obs}
 	if *cellTimeout > 0 {
 		// The engine never reads a wall clock (pdqlint enforces it); the
 		// watchdog factory injects one from out here. Each cell arms a
@@ -132,17 +169,15 @@ func main() {
 		if dir == "" {
 			var err error
 			if dir, err = trace.DefaultCacheDir(); err != nil {
-				fmt.Fprintf(os.Stderr, "pdqsim: %v\n", err)
-				os.Exit(1)
+				fail(logger, err)
 			}
 		}
 		var err error
 		if cache, err = trace.NewCache(dir); err != nil {
-			fmt.Fprintf(os.Stderr, "pdqsim: %v\n", err)
-			os.Exit(1)
+			fail(logger, err)
 		}
 		if tr != nil {
-			fmt.Fprintln(os.Stderr, "pdqsim: tracing bypasses the sweep cache (hits would skip the runs that emit records)")
+			logger.Warn("tracing bypasses the sweep cache (hits would skip the runs that emit records)")
 		}
 		opts.Cache = cache
 	}
@@ -150,24 +185,22 @@ func main() {
 	if *scenFile != "" {
 		data, err := os.ReadFile(*scenFile)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "pdqsim: %v\n", err)
-			os.Exit(1)
+			fail(logger, err)
 		}
 		spec, err := scenario.Load(data)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "pdqsim: %v\n", err)
-			os.Exit(1)
+			fail(logger, err)
 		}
 		start := time.Now()
 		table, err := scenario.Run(spec, opts)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "pdqsim: %v\n", err)
-			os.Exit(1)
+			fail(logger, err)
 		}
-		emit([]*exp.Table{table}, *jsonOut, spec.Name, start)
-		writeTelemetry(tr, *traceOut, *probeOut, *faultOut)
-		reportCache(cache)
-		exitPartial([]*exp.Table{table})
+		emit(logger, []*exp.Table{table}, *jsonOut, spec.Name, start)
+		writeTelemetry(logger, tr, *traceOut, *probeOut, *faultOut)
+		reportCache(logger, cache)
+		finishObs()
+		exitPartial(logger, []*exp.Table{table})
 		return
 	}
 
@@ -200,17 +233,19 @@ func main() {
 		fmt.Printf("(%s in %v)\n\n", n, time.Since(start).Round(time.Millisecond))
 	}
 	if *jsonOut {
-		writeJSON(tables)
+		writeJSON(logger, tables)
 	}
-	writeTelemetry(tr, *traceOut, *probeOut, *faultOut)
-	reportCache(cache)
-	exitPartial(tables)
+	writeTelemetry(logger, tr, *traceOut, *probeOut, *faultOut)
+	reportCache(logger, cache)
+	finishObs()
+	exitPartial(logger, tables)
 }
 
 // exitPartial exits with status 3 when any table carries failed cells.
-// It runs after every table and telemetry file is emitted, so the
-// partial results are on disk and CI can both upload and flag them.
-func exitPartial(tables []*exp.Table) {
+// It runs after every table, telemetry file and metrics snapshot is
+// emitted, so the partial results are on disk and CI can both upload
+// and flag them.
+func exitPartial(log *slog.Logger, tables []*exp.Table) {
 	n := 0
 	for _, t := range tables {
 		n += len(t.Errors)
@@ -218,13 +253,13 @@ func exitPartial(tables []*exp.Table) {
 	if n == 0 {
 		return
 	}
-	fmt.Fprintf(os.Stderr, "pdqsim: WARNING: %d cell replicate(s) failed; tables are partial (failed cells are NaN)\n", n)
+	log.Warn("cell replicates failed; tables are partial (failed cells are NaN)", "failed", n)
 	os.Exit(3)
 }
 
 // writeTelemetry exports the captured flow records, probe series and
 // fault transitions.
-func writeTelemetry(tr *trace.Trace, traceOut, probeOut, faultOut string) {
+func writeTelemetry(log *slog.Logger, tr *trace.Trace, traceOut, probeOut, faultOut string) {
 	if tr == nil {
 		return
 	}
@@ -234,18 +269,16 @@ func writeTelemetry(tr *trace.Trace, traceOut, probeOut, faultOut string) {
 		}
 		f, err := os.Create(path)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "pdqsim: %v\n", err)
-			os.Exit(1)
+			fail(log, err)
 		}
 		err = emit(f)
 		if cerr := f.Close(); err == nil {
 			err = cerr
 		}
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "pdqsim: writing %s: %v\n", path, err)
-			os.Exit(1)
+			fail(log, fmt.Errorf("writing %s: %w", path, err))
 		}
-		fmt.Fprintf(os.Stderr, "pdqsim: wrote %d %s to %s\n", n, what, path)
+		log.Info("wrote telemetry", "kind", what, "records", n, "path", path)
 	}
 	flows, samples, faults := 0, 0, 0
 	var dropped uint64
@@ -260,29 +293,30 @@ func writeTelemetry(tr *trace.Trace, traceOut, probeOut, faultOut string) {
 		faults += len(ct.Faults)
 	}
 	if dropped > 0 {
-		fmt.Fprintf(os.Stderr, "pdqsim: WARNING: %d flow records overwritten by ring wraparound (oldest-first); raise the per-cell ring capacity or trace a smaller run\n", dropped)
+		log.Warn("flow records overwritten by ring wraparound (oldest-first); raise the per-cell ring capacity or trace a smaller run",
+			"dropped", dropped)
 	}
 	write(traceOut, tr.WriteFlows, "flow records", flows)
 	write(probeOut, tr.WriteProbes, "probe samples", samples)
 	write(faultOut, tr.WriteFaults, "fault transitions", faults)
 }
 
-// reportCache prints the cache's hit/miss balance for the run.
-func reportCache(c *trace.Cache) {
+// reportCache logs the cache's hit/miss balance for the run.
+func reportCache(log *slog.Logger, c *trace.Cache) {
 	if c == nil {
 		return
 	}
-	fmt.Fprintf(os.Stderr, "pdqsim: cache %s: %d hits, %d misses", c.Dir(), c.Hits(), c.Misses())
+	args := []any{"dir", c.Dir(), "hits", c.Hits(), "misses", c.Misses()}
 	if e := c.Errors(); e > 0 {
-		fmt.Fprintf(os.Stderr, ", %d corrupt entries recomputed", e)
+		args = append(args, "recomputed", e)
 	}
-	fmt.Fprintln(os.Stderr)
+	log.Info("cache report", args...)
 }
 
 // emit prints one scenario result in the selected format.
-func emit(tables []*exp.Table, asJSON bool, name string, start time.Time) {
+func emit(log *slog.Logger, tables []*exp.Table, asJSON bool, name string, start time.Time) {
 	if asJSON {
-		writeJSON(tables)
+		writeJSON(log, tables)
 		return
 	}
 	for _, t := range tables {
@@ -291,12 +325,11 @@ func emit(tables []*exp.Table, asJSON bool, name string, start time.Time) {
 	fmt.Printf("(%s in %v)\n", name, time.Since(start).Round(time.Millisecond))
 }
 
-func writeJSON(tables []*exp.Table) {
+func writeJSON(log *slog.Logger, tables []*exp.Table) {
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(tables); err != nil {
-		fmt.Fprintf(os.Stderr, "pdqsim: %v\n", err)
-		os.Exit(1)
+		fail(log, err)
 	}
 }
 

@@ -1,0 +1,82 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"log/slog"
+	"strings"
+	"testing"
+
+	"pdq/internal/trace"
+)
+
+// goldenLogger is the production text handler with the volatile time
+// attribute stripped and a fixed run ID, so log output can be compared
+// byte for byte.
+func goldenLogger(w io.Writer) *slog.Logger {
+	h := slog.NewTextHandler(w, &slog.HandlerOptions{
+		ReplaceAttr: func(groups []string, a slog.Attr) slog.Attr {
+			if a.Key == slog.TimeKey && len(groups) == 0 {
+				return slog.Attr{}
+			}
+			return a
+		},
+	})
+	return slog.New(h).With("run", "test")
+}
+
+// TestReportCacheGolden pins the structured cache report: one hit, one
+// miss, no corrupt-entry attr when the error counter is zero.
+func TestReportCacheGolden(t *testing.T) {
+	dir := t.TempDir()
+	c, err := trace.NewCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := trace.Key([]byte("report-cache-golden"))
+	if _, ok := c.GetFloat(key); ok {
+		t.Fatal("unexpected hit on an empty cache")
+	}
+	c.PutFloat(key, 1.5)
+	if v, ok := c.GetFloat(key); !ok || v != 1.5 {
+		t.Fatalf("GetFloat after Put = %v, %v", v, ok)
+	}
+	var buf bytes.Buffer
+	reportCache(goldenLogger(&buf), c)
+	want := `level=INFO msg="cache report" run=test dir=` + dir + " hits=1 misses=1\n"
+	if buf.String() != want {
+		t.Errorf("cache report:\n got %q\nwant %q", buf.String(), want)
+	}
+}
+
+// TestReportCacheNil pins that a cacheless run logs nothing.
+func TestReportCacheNil(t *testing.T) {
+	var buf bytes.Buffer
+	reportCache(goldenLogger(&buf), nil)
+	if buf.Len() != 0 {
+		t.Errorf("nil cache logged %q", buf.String())
+	}
+}
+
+// TestNewLoggerLevels pins the -log-level contract: the threshold
+// filters records, every record carries the run tag, and an unknown
+// level is a usage error.
+func TestNewLoggerLevels(t *testing.T) {
+	var buf bytes.Buffer
+	log, err := newLogger(&buf, "warn", "abc123")
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.Info("suppressed")
+	log.Warn("kept")
+	out := buf.String()
+	if strings.Contains(out, "suppressed") {
+		t.Errorf("info record passed a warn threshold: %q", out)
+	}
+	if !strings.Contains(out, "kept") || !strings.Contains(out, "run=abc123") {
+		t.Errorf("warn record missing or untagged: %q", out)
+	}
+	if _, err := newLogger(&buf, "loud", "x"); err == nil {
+		t.Error("unknown level accepted")
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"pdq/internal/obsv"
 )
 
 // TestDumpAllFigures renders every figure at Quick scale to the directory
@@ -16,6 +18,10 @@ import (
 //	# ...refactor...
 //	PDQ_DUMP_DIR=/tmp/after  go test ./internal/exp -run TestDumpAllFigures
 //	diff -r /tmp/before /tmp/after
+//
+// With PDQ_DUMP_OBS=1 every figure additionally runs with the
+// observability plane attached (DESIGN.md §13), so the same diff proves
+// that enabling instrumentation changes no figure byte.
 func TestDumpAllFigures(t *testing.T) {
 	dir := os.Getenv("PDQ_DUMP_DIR")
 	if dir == "" {
@@ -25,7 +31,11 @@ func TestDumpAllFigures(t *testing.T) {
 		t.Fatal(err)
 	}
 	for name, fn := range Figures {
-		out := fn(Opts{Quick: true, Seed: 7}).String()
+		o := Opts{Quick: true, Seed: 7}
+		if os.Getenv("PDQ_DUMP_OBS") != "" {
+			o.Obs = obsv.New(obsv.WallClock)
+		}
+		out := fn(o).String()
 		if err := os.WriteFile(filepath.Join(dir, name+".txt"), []byte(out), 0o644); err != nil {
 			t.Fatal(err)
 		}

@@ -27,6 +27,13 @@ import (
 //     rand.New, rand.NewSource and rand.NewZipf stay legal because they
 //     are how those instances are made.
 //
+// One package is whitelisted for the wall clock: internal/obsv, the
+// observability plane's clock seam (DESIGN.md §13). obsv.WallClock is
+// the injected-Clock default that cmd/ hands to the Observer; nothing
+// obsv measures can feed back into event order, so time.Now is legal
+// there — and only there — while the global-rand and map-iteration
+// rules still apply in full.
+//
 // Map iteration: `for ... range m` over a map is flagged when the loop
 // body feeds an ordering-sensitive sink — it appends to a slice that is
 // not subsequently sorted in the same function, calls into fmt, or
@@ -58,6 +65,9 @@ func runNoDeterm(pass *Pass) error {
 	if !hasSegment(pass.Pkg.Path, "internal") {
 		return nil
 	}
+	// internal/obsv is the whitelisted wall-clock shore (see the doc
+	// comment above); everything else it does stays under the rules.
+	allowTime := hasSegment(pass.Pkg.Path, "obsv")
 	for _, file := range pass.Pkg.Files {
 		// Walk function by function so map-range analysis can see the
 		// whole enclosing body (the "sorted later" check).
@@ -65,7 +75,7 @@ func runNoDeterm(pass *Pass) error {
 			switch fn := n.(type) {
 			case *ast.FuncDecl:
 				if fn.Body != nil {
-					checkFuncDeterm(pass, fn.Body)
+					checkFuncDeterm(pass, fn.Body, allowTime)
 				}
 				return false
 			}
@@ -79,12 +89,12 @@ func runNoDeterm(pass *Pass) error {
 // and map ranges against the sink heuristic with body as the sort
 // horizon. Nested function literals are part of the body and are
 // checked in the same walk.
-func checkFuncDeterm(pass *Pass, body *ast.BlockStmt) {
+func checkFuncDeterm(pass *Pass, body *ast.BlockStmt, allowTime bool) {
 	info := pass.Pkg.Info
 	ast.Inspect(body, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.CallExpr:
-			checkForbiddenCall(pass, n)
+			checkForbiddenCall(pass, n, allowTime)
 		case *ast.RangeStmt:
 			if isMapType(typeOf(info, n.X)) {
 				checkMapRange(pass, n, body)
@@ -101,7 +111,7 @@ func typeOf(info *types.Info, e ast.Expr) types.Type {
 	return nil
 }
 
-func checkForbiddenCall(pass *Pass, call *ast.CallExpr) {
+func checkForbiddenCall(pass *Pass, call *ast.CallExpr, allowTime bool) {
 	f := calleeFunc(pass.Pkg.Info, call)
 	if f == nil || f.Pkg() == nil {
 		return
@@ -111,7 +121,7 @@ func checkForbiddenCall(pass *Pass, call *ast.CallExpr) {
 	}
 	switch f.Pkg().Path() {
 	case "time":
-		if forbiddenTime[f.Name()] {
+		if forbiddenTime[f.Name()] && !allowTime {
 			pass.Reportf(call.Pos(),
 				"time.%s reads the wall clock; simulations must use sim.Time from the event loop", f.Name())
 		}

@@ -1,0 +1,27 @@
+// Package obsv mirrors internal/obsv: the one internal package
+// whitelisted to read the wall clock (the observability plane's
+// injected-Clock seam). time.Now is legal here; the global-rand and
+// map-iteration rules still bite.
+package obsv
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// WallClock is the whitelisted wall-clock read: no diagnostic expected.
+func WallClock() int64 { return time.Now().UnixNano() }
+
+// Uptime exercises another forbiddenTime entry on the whitelisted path.
+func Uptime(start time.Time) float64 { return time.Since(start).Seconds() }
+
+func Jitter() int {
+	return rand.Intn(10) // want "rand.Intn draws from the process-global source"
+}
+
+func Dump(m map[string]int) {
+	for k, v := range m { // want "ordering-sensitive sink"
+		fmt.Println(k, v)
+	}
+}

@@ -399,13 +399,14 @@ func (l *Link) emitDelivery(pkt *Packet, now, done sim.Time) {
 		}
 		l.handoffCtr++
 		sh.Post(int(l.shard), sim.Handoff{
-			Due:  done + l.PropDelay + l.ProcDelay,
-			Ta:   now,
-			Pa:   l.ownSim.EventTa(),
-			Link: uint32(l.ID),
-			Ctr:  l.handoffCtr,
-			To:   l.toShard,
-			R:    pkt,
+			Due:   done + l.PropDelay + l.ProcDelay,
+			Ta:    now,
+			Pa:    l.ownSim.EventTa(),
+			Link:  uint32(l.ID),
+			Ctr:   l.handoffCtr,
+			To:    l.toShard,
+			Bytes: uint32(pkt.Wire),
+			R:     pkt,
 		})
 		return
 	}

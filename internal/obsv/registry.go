@@ -1,0 +1,166 @@
+package obsv
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Metric types, matching the Prometheus exposition TYPE line.
+const (
+	TypeCounter   = "counter"
+	TypeGauge     = "gauge"
+	TypeHistogram = "histogram"
+)
+
+// Label is one exposition label pair.
+type Label struct {
+	Key, Value string
+}
+
+// Metric describes one registered metric family. Collect is called at
+// scrape time with a writer positioned after the # HELP/# TYPE header;
+// it emits the family's sample lines (one per label set) and must be
+// safe to call concurrently with live simulation.
+type Metric struct {
+	Name    string
+	Help    string
+	Type    string
+	Collect func(w *promWriter)
+}
+
+// Registry holds metric families and renders them in registration
+// order (stable scrapes — nodeterm's map-iteration rule applies to
+// output paths, and registration order is deterministic anyway).
+type Registry struct {
+	mu      sync.Mutex
+	metrics []Metric
+	names   map[string]bool
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{names: make(map[string]bool)}
+}
+
+// Register adds one metric family. Duplicate names panic: families are
+// registered once at construction, so a duplicate is a programming
+// error, not a runtime condition.
+func (r *Registry) Register(m Metric) {
+	if m.Name == "" || m.Collect == nil {
+		panic("obsv: metric needs a name and a Collect func")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.names[m.Name] {
+		panic("obsv: duplicate metric " + m.Name)
+	}
+	r.names[m.Name] = true
+	r.metrics = append(r.metrics, m)
+}
+
+// WriteProm renders every family in the Prometheus text exposition
+// format, in registration order.
+func (r *Registry) WriteProm(w io.Writer) error {
+	r.mu.Lock()
+	metrics := make([]Metric, len(r.metrics))
+	copy(metrics, r.metrics)
+	r.mu.Unlock()
+
+	pw := &promWriter{}
+	for _, m := range metrics {
+		fmt.Fprintf(&pw.b, "# HELP %s %s\n", m.Name, m.Help)
+		fmt.Fprintf(&pw.b, "# TYPE %s %s\n", m.Name, m.Type)
+		m.Collect(pw)
+	}
+	_, err := io.WriteString(w, pw.b.String())
+	return err
+}
+
+// promWriter accumulates exposition sample lines. Collect callbacks
+// receive it and emit via Value/Histogram.
+type promWriter struct {
+	b strings.Builder
+}
+
+// Value emits one sample line: name{labels} value.
+func (w *promWriter) Value(name string, labels []Label, v float64) {
+	w.b.WriteString(name)
+	w.labels(labels)
+	w.b.WriteByte(' ')
+	w.b.WriteString(formatFloat(v))
+	w.b.WriteByte('\n')
+}
+
+// Histogram emits a full histogram family block for one label set:
+// cumulative _bucket{le=...} lines (including +Inf), _sum and _count.
+func (w *promWriter) Histogram(name string, labels []Label, h *Histogram) {
+	for i, ub := range h.Bounds() {
+		w.Value(name+"_bucket", append(labels[:len(labels):len(labels)], Label{"le", formatFloat(ub)}), float64(h.Cumulative(i)))
+	}
+	w.Value(name+"_bucket", append(labels[:len(labels):len(labels)], Label{"le", "+Inf"}), float64(h.Count()))
+	w.Value(name+"_sum", labels, h.Sum())
+	w.Value(name+"_count", labels, float64(h.Count()))
+}
+
+func (w *promWriter) labels(labels []Label) {
+	if len(labels) == 0 {
+		return
+	}
+	w.b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			w.b.WriteByte(',')
+		}
+		w.b.WriteString(l.Key)
+		w.b.WriteString(`="`)
+		w.b.WriteString(escapeLabel(l.Value))
+		w.b.WriteByte('"')
+	}
+	w.b.WriteByte('}')
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// formatFloat renders a sample value: integral values without an
+// exponent or trailing zeros, everything else in Go's shortest form.
+func formatFloat(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Names returns the registered family names, sorted, for tests.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.metrics))
+	for _, m := range r.metrics {
+		out = append(out, m.Name)
+	}
+	sort.Strings(out)
+	return out
+}

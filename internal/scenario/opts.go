@@ -9,6 +9,7 @@ package scenario
 import (
 	"runtime"
 
+	"pdq/internal/obsv"
 	"pdq/internal/trace"
 )
 
@@ -60,6 +61,18 @@ type Opts struct {
 	// Sched overrides the spec's timer backend when non-empty: "heap"
 	// (the default 4-ary heap) or "wheel" (the hierarchical timer wheel).
 	Sched string
+
+	// Obs, when non-nil, is the process observability plane (DESIGN.md
+	// §13): Run registers the scenario as a sweep run on it, cells report
+	// their state machine to it, and simulated engines merge event-loop
+	// counters into its Runtime aggregate. Metrics never feed back into
+	// results — tables are byte-identical with Obs set or nil.
+	Obs *obsv.Observer
+
+	// Progress is the sweep-run stats handle cells report to. Run derives
+	// it from Obs (one run per scenario); callers driving RunTrials or
+	// Gather directly may set it themselves. Nil disables cell tracking.
+	Progress *obsv.SweepStats
 }
 
 // BaseSeed resolves the Seed sentinel: 0 means DefaultSeed.

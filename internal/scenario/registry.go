@@ -6,6 +6,7 @@ import (
 
 	"pdq/internal/fault"
 	"pdq/internal/netsim"
+	"pdq/internal/obsv"
 	"pdq/internal/params"
 	"pdq/internal/sim"
 	"pdq/internal/topo"
@@ -47,6 +48,14 @@ type RunCtx struct {
 	// Sched is the resolved timer backend: "" or "heap" for the 4-ary
 	// heap, "wheel" for the hierarchical timer wheel.
 	Sched string
+
+	// Obs, when non-nil, is the shared runtime aggregate (DESIGN.md §13):
+	// packet-level runners attach per-engine instrument blocks and merge
+	// them into it when the cell finishes (or, sharded, at barriers).
+	// Clock is the observability plane's injected wall clock for shard
+	// phase timing; the engine never reads a real clock itself.
+	Obs   *obsv.Runtime
+	Clock obsv.Clock
 }
 
 // RunnerFunc runs one protocol over a set of flows on a freshly built

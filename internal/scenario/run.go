@@ -20,6 +20,7 @@ import (
 
 	"pdq/internal/fault"
 	"pdq/internal/netsim"
+	"pdq/internal/obsv"
 	"pdq/internal/params"
 	"pdq/internal/sim"
 	"pdq/internal/stats"
@@ -35,6 +36,13 @@ const cacheSalt = "pdqsim-cell-v1"
 
 // Run executes a spec and returns its result table.
 func Run(s *Spec, o Opts) (*Table, error) {
+	if o.Obs != nil && o.Progress == nil {
+		// One sweep run per scenario: drivers and the grid engine inherit
+		// the handle through Opts, and the run is stamped finished however
+		// the scenario exits.
+		o.Progress = o.Obs.StartRun(s.Name)
+		defer o.Progress.Finish()
+	}
 	if s.Driver != "" {
 		e, ok := drivers[s.Driver]
 		if !ok {
@@ -173,6 +181,8 @@ type engine struct {
 	watchdog  func(interrupt func()) (stop func())
 	shards    int    // resolved shard count (Opts overrides the spec)
 	sched     string // resolved timer backend: "" (heap) or "wheel"
+	obs       *obsv.Observer
+	progress  *obsv.SweepStats
 
 	// shareSims is set when the sweep axis is metric-only: every column
 	// runs the identical simulation and differs only in the metric
@@ -210,6 +220,8 @@ func compile(s *Spec, o Opts) (*engine, error) {
 		cache:     o.Cache,
 		maxEvents: o.MaxEvents,
 		watchdog:  o.Watchdog,
+		obs:       o.Obs,
+		progress:  o.Progress,
 	}
 	if e.trace != nil {
 		// A cache hit skips the simulation that would emit the records, so
@@ -751,6 +763,10 @@ func (e *engine) simulate(r *row, at int, col *column, build func() *topo.Topolo
 	rc := RunCtx{Horizon: e.horizon, Qdisc: r.qdisc, Faults: col.faults,
 		MaxEvents: e.maxEvents, Watchdog: e.watchdog,
 		Shards: e.shards, Sched: e.sched}
+	if e.obs != nil {
+		rc.Obs = e.obs.Runtime
+		rc.Clock = e.obs.Clock
+	}
 	if e.trace != nil {
 		rc.Cell = e.trace.OpenCell(trace.Cell{
 			Scenario: e.spec.Name, Row: r.label, Col: colLabel, Seed: seed, Run: run,
@@ -821,6 +837,7 @@ func (e *engine) cell(ri, ci int, seed int64) float64 {
 	}
 	key := e.cellKeyHash(ri, ci, seed)
 	if v, ok := e.cache.GetFloat(key); ok {
+		e.progress.CacheHit()
 		return v
 	}
 	v := e.compute(ri, ci, seed)

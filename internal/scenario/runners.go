@@ -7,6 +7,7 @@ import (
 	"pdq/internal/flowsim"
 	"pdq/internal/fluid"
 	"pdq/internal/netsim"
+	"pdq/internal/obsv"
 	"pdq/internal/protocol/d3"
 	"pdq/internal/protocol/dctcp"
 	"pdq/internal/protocol/pfabric"
@@ -154,6 +155,13 @@ func runEngine(s *sim.Sim, rc RunCtx) {
 	if rc.MaxEvents > 0 {
 		s.SetMaxEvents(rc.MaxEvents)
 	}
+	if rc.Obs != nil {
+		// The block is private to this cell's goroutine; the merge happens
+		// once, after the run — including a run cut short by a guard panic
+		// — so no synchronization touches the event loop.
+		s.SetStats(&obsv.EngineStats{})
+		defer func() { rc.Obs.MergeEngine(s.Stats()) }()
+	}
 	if rc.Watchdog != nil {
 		defer rc.Watchdog(s.Interrupt)()
 	}
@@ -166,6 +174,11 @@ func runEngine(s *sim.Sim, rc RunCtx) {
 func runShardGroup(g *sim.ShardGroup, rc RunCtx) {
 	if rc.MaxEvents > 0 {
 		g.SetMaxEvents(rc.MaxEvents)
+	}
+	if rc.Obs != nil {
+		// Per-shard blocks merged at the group's own barriers; phase wall
+		// time comes from the injected clock (nil just disables timing).
+		g.SetObserver(rc.Obs, rc.Clock)
 	}
 	if rc.Watchdog != nil {
 		defer rc.Watchdog(g.Interrupt)()

@@ -13,6 +13,8 @@ import (
 	"math"
 	"runtime"
 	"sync"
+
+	"pdq/internal/obsv"
 )
 
 // Trial is one independent sweep cell: given its base seed it builds a
@@ -97,13 +99,14 @@ func RunTrials(o Opts, trials []Trial) []Stat {
 // order regardless of which worker hit them.
 func RunTrialsErr(o Opts, trials []Trial) ([]Stat, []TrialError) {
 	k := o.trials()
+	o.Progress.AddTotal(len(trials) * k)
 	fns := make([]func() float64, 0, len(trials)*k)
 	slots := make([]TrialError, len(trials)*k) // Msg == "" marks success
 	for ti, tr := range trials {
 		for r := 0; r < k; r++ {
 			ti, r, tr, seed := ti, r, tr, o.seed()+int64(r)*TrialSeedStride
 			slot := &slots[len(fns)]
-			fns = append(fns, func() float64 { return runTrial(tr, seed, ti, r, slot) })
+			fns = append(fns, func() float64 { return runTrial(o.Progress, tr, seed, ti, r, slot) })
 		}
 	}
 	samples := Gather(o.workers(), fns)
@@ -121,13 +124,20 @@ func RunTrialsErr(o Opts, trials []Trial) ([]Stat, []TrialError) {
 }
 
 // runTrial executes one replicate, converting a panic into NaN plus a
-// diagnostic in slot.
-func runTrial(tr Trial, seed int64, ti, rep int, slot *TrialError) (v float64) {
+// diagnostic in slot. Each replicate is one cell of the progress state
+// machine: pending → running at entry, → done or failed at exit, so
+// done+failed always reaches the announced total even on a partial
+// table (p tolerates a nil receiver).
+func runTrial(p *obsv.SweepStats, tr Trial, seed int64, ti, rep int, slot *TrialError) (v float64) {
+	start := p.CellStart()
 	defer func() {
+		failed := false
 		if r := recover(); r != nil {
 			*slot = TrialError{Trial: ti, Rep: rep, Seed: seed, Msg: panicMsg(r)}
 			v = math.NaN()
+			failed = true
 		}
+		p.CellEnd(start, failed)
 	}()
 	return tr(seed)
 }

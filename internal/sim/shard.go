@@ -42,6 +42,8 @@ import (
 	"slices"
 	"sort"
 	"sync/atomic"
+
+	"pdq/internal/obsv"
 )
 
 // Handoff is one cross-window delivery: a Runner to fire at Due on shard
@@ -66,7 +68,11 @@ type Handoff struct {
 	Link uint32 // producing channel (the network's directed link ID)
 	Ctr  uint32 // per-channel monotone counter: (Link, Ctr) is unique
 	To   int32  // destination shard
-	R    Runner
+	// Bytes is the payload's wire size, carried for observability only
+	// (handoff volume accounting, DESIGN.md §13) — it never enters the
+	// injection order.
+	Bytes uint32
+	R     Runner
 }
 
 // ShardGroup runs N Sims in lockstep over conservative barrier windows of
@@ -97,6 +103,17 @@ type ShardGroup struct {
 	now    Time
 	runs   [][][]Handoff // per-destination merge scratch (see injectShard)
 	panics []any
+
+	// Observability (DESIGN.md §13), all optional. obs is the shared
+	// aggregate written only from the driver goroutine at barriers, when
+	// every worker is parked; clock is the injected wall clock for phase
+	// timing (nil disables it — nodeterm keeps real clocks out of this
+	// package). engPrev holds the per-shard merge baselines so barrier
+	// merges fold in deltas without double counting.
+	obs     *obsv.Runtime
+	clock   obsv.Clock
+	engPrev []obsv.EngineStats
+	started bool // a window has run; distinguishes idle skips from startup
 }
 
 // NewShardGroup creates n shards with the given lookahead (the barrier
@@ -144,6 +161,31 @@ func (g *ShardGroup) Lookahead() Duration { return g.look }
 func (g *ShardGroup) Post(from int, h Handoff) {
 	g.out[from] = append(g.out[from], h)
 	g.dirty[from] = true
+}
+
+// SetObserver attaches the shared runtime aggregate and an injected
+// wall clock (either may be nil) and gives every shard a private
+// EngineStats block. Call before RunUntil. Shard workers only bump
+// their own plain blocks; the driver folds deltas into rt at barriers
+// and times each phase with clock, so instrumentation adds no
+// synchronization to the window hot path (DESIGN.md §13.2).
+func (g *ShardGroup) SetObserver(rt *obsv.Runtime, clock obsv.Clock) {
+	g.obs = rt
+	g.clock = clock
+	g.engPrev = make([]obsv.EngineStats, len(g.sims))
+	for _, s := range g.sims {
+		s.SetStats(&obsv.EngineStats{})
+	}
+}
+
+// mergeEngineStats folds each shard's counter growth since the last
+// barrier into the shared aggregate. Driver-only, workers parked.
+func (g *ShardGroup) mergeEngineStats() {
+	for i, s := range g.sims {
+		if s.stats != nil {
+			g.obs.MergeEngineSince(s.stats, &g.engPrev[i])
+		}
+	}
 }
 
 // SetPreWindow installs a hook run on each shard's worker at the start of
@@ -353,13 +395,23 @@ func (g *ShardGroup) RunUntil(end Time) {
 
 	// dispatch fans one phase out to every worker and re-raises captured
 	// panics lowest shard first, so the surfaced panic is deterministic
-	// for deterministic causes.
+	// for deterministic causes. With an observer attached it also
+	// attributes the barrier's wall time to the phase — clock reads
+	// bracket the whole fan-out, on the driver goroutine only.
 	dispatch := func(j windowJob) {
+		var t0 int64
+		timed := g.obs != nil && g.clock != nil
+		if timed {
+			t0 = g.clock()
+		}
 		for i := range jobs {
 			jobs[i] <- j
 		}
 		for range jobs {
 			<-done
+		}
+		if timed {
+			g.obs.AddPhase(phaseIndex(j.kind), g.clock()-t0)
 		}
 		for i := range g.panics {
 			if g.panics[i] != nil {
@@ -384,6 +436,15 @@ func (g *ShardGroup) RunUntil(end Time) {
 				dispatch(windowJob{kind: jobSort})
 			}
 			dispatch(windowJob{kind: jobInject})
+			if g.obs != nil {
+				var bytes uint64
+				for i := range g.out {
+					for j := range g.out[i] {
+						bytes += uint64(g.out[i][j].Bytes)
+					}
+				}
+				g.obs.AddHandoffs(uint64(pending), bytes)
+			}
 			for i := range g.out {
 				g.out[i] = g.out[i][:0]
 			}
@@ -397,12 +458,18 @@ func (g *ShardGroup) RunUntil(end Time) {
 		if first == MaxTime {
 			// Drained: the clock keeps the last completed window, like a
 			// drained Sim keeps its last event's time.
+			if g.obs != nil {
+				g.mergeEngineStats()
+			}
 			return
 		}
 		if first > end {
 			// Events remain beyond the horizon: the clock advances to
 			// exactly end, like Sim.RunUntil.
 			g.now = end
+			if g.obs != nil {
+				g.mergeEngineStats()
+			}
 			return
 		}
 		if g.interrupted.Load() {
@@ -413,6 +480,17 @@ func (g *ShardGroup) RunUntil(end Time) {
 		if wEnd > end {
 			wEnd = end
 		}
+		if g.obs != nil {
+			// Windows fast-forwarded over: the grid jump from the end of
+			// the last window (or from time zero before any window ran).
+			prev := g.now + 1
+			if !g.started {
+				prev = 0
+			}
+			if wStart > prev {
+				g.obs.AddIdleSkips(uint64((wStart - prev) / g.look))
+			}
+		}
 		if g.preWindow != nil {
 			// The settle phase is its own barrier: every shard's pre-window
 			// hook must finish before any shard fires a window event, because
@@ -422,9 +500,28 @@ func (g *ShardGroup) RunUntil(end Time) {
 		}
 		dispatch(windowJob{kind: jobWindow, start: wStart, end: wEnd})
 		g.now = wEnd
+		g.started = true
+		if g.obs != nil {
+			g.obs.AddWindows(1)
+			g.mergeEngineStats()
+		}
 		if g.maxEvents != 0 && g.Processed() >= g.maxEvents {
 			panic(EventLimitError{Events: g.Processed(), At: g.now})
 		}
+	}
+}
+
+// phaseIndex maps a barrier job kind to its obsv phase slot.
+func phaseIndex(k jobKind) int {
+	switch k {
+	case jobSort:
+		return obsv.PhaseSort
+	case jobInject:
+		return obsv.PhaseInject
+	case jobSettle:
+		return obsv.PhaseSettle
+	default:
+		return obsv.PhaseWindow
 	}
 }
 

@@ -22,6 +22,8 @@ import (
 	"fmt"
 	"math"
 	"sync/atomic" //pdqlint:shardsafe-ok the watchdog interrupt flag predates sharding; Interrupt is its only cross-goroutine writer
+
+	"pdq/internal/obsv"
 )
 
 // Time is a simulation timestamp in nanoseconds since simulation start.
@@ -143,6 +145,13 @@ type Sim struct {
 	// event is scheduled; the pop order is identical — exact (time, seq) —
 	// so the backends are interchangeable per run (DESIGN.md §12.4).
 	wheel *wheel
+
+	// stats, when non-nil, receives event-loop counters (DESIGN.md §13).
+	// It is plain and owned by this Sim's goroutine: the shard driver
+	// merges it into the shared aggregate only at barriers, so enabling
+	// it adds one predictable branch per hot operation and no
+	// synchronization. Nil (the default) keeps the paths untouched.
+	stats *obsv.EngineStats
 }
 
 // wheelIdx is the idx sentinel marking a pooled event as scheduled in the
@@ -194,6 +203,15 @@ func (s *Sim) Interrupt() { s.interrupted.Store(true) }
 
 // New returns a new simulator with the clock at zero.
 func New() *Sim { return &Sim{} }
+
+// SetStats attaches an event-loop instrument block; nil detaches it.
+// The block must only be read while the Sim is quiescent (between
+// RunUntil calls, or at a shard barrier) — it is bumped with plain
+// writes from the simulation goroutine.
+func (s *Sim) SetStats(st *obsv.EngineStats) { s.stats = st }
+
+// Stats returns the attached instrument block, or nil.
+func (s *Sim) Stats() *obsv.EngineStats { return s.stats }
 
 // UseWheel switches the scheduling backend from the 4-ary heap to the
 // hierarchical timer wheel. It must be called before any event is
@@ -407,11 +425,19 @@ func (s *Sim) scheduleStamped(t, ta Time) int32 {
 		ev.idx = wheelIdx
 		s.wheel.insert(wheelEntry{at: t, ta: ta, seq: ev.seq, slot: slot, gen: ev.gen})
 		s.wheel.live++
+		if s.stats != nil {
+			s.stats.Scheduled.Inc()
+			s.stats.QueueHWM.Observe(int64(s.wheel.live))
+		}
 		return slot
 	}
 	ev.idx = int32(len(s.order))
 	s.order = append(s.order, slot)
 	s.siftUp(len(s.order) - 1)
+	if s.stats != nil {
+		s.stats.Scheduled.Inc()
+		s.stats.QueueHWM.Observe(int64(len(s.order)))
+	}
 	return slot
 }
 
@@ -479,6 +505,9 @@ func (s *Sim) Cancel(r EventRef) bool {
 		}
 		s.release(slot)
 		s.wheel.live--
+		if s.stats != nil {
+			s.stats.Cancelled.Inc()
+		}
 		return true
 	}
 	if ev.gen != r.gen || ev.idx < 0 {
@@ -486,6 +515,9 @@ func (s *Sim) Cancel(r EventRef) bool {
 	}
 	s.heapRemove(int(ev.idx))
 	s.release(slot)
+	if s.stats != nil {
+		s.stats.Cancelled.Inc()
+	}
 	return true
 }
 
@@ -539,6 +571,9 @@ func (s *Sim) fire(next *event) {
 	s.release(s.popMin())
 	s.now = at
 	s.nRun++
+	if s.stats != nil {
+		s.stats.Fired.Inc()
+	}
 	s.firing = seq + 1
 	s.firingTa = ta
 	if fn != nil {
@@ -586,6 +621,9 @@ func (s *Sim) fireWheel(e wheelEntry) {
 	s.release(e.slot)
 	s.now = e.at
 	s.nRun++
+	if s.stats != nil {
+		s.stats.Fired.Inc()
+	}
 	s.firing = e.seq + 1
 	s.firingTa = e.ta
 	if fn != nil {

@@ -11,7 +11,10 @@
 # engine benches at 0 allocs/op; bench/BENCH_pr8.json adds the sharded
 # fat-tree k=16 scaling matrix — note its shards>1 rows only show a
 # wall-clock win on multi-core machines, a GOMAXPROCS=1 recording
-# measures pure coordination overhead).
+# measures pure coordination overhead; bench/BENCH_pr9.json adds the
+# observability plane's ObsvOverhead pair — the "off" side is the
+# nil-Observer path every other benchmark now exercises, and must stay
+# within noise of Fig3a).
 #
 # Usage:
 #   scripts/bench.sh [record.json]
@@ -19,8 +22,9 @@
 # Environment:
 #   BENCH_PATTERN  bench regex        (default: the PR-2 acceptance set,
 #                                      the engine/allocator micro-benches,
-#                                      the PR-4 TraceSinkOverhead pair and
-#                                      the PR-5 DCTCP/pFabric figure benches)
+#                                      the PR-4 TraceSinkOverhead pair,
+#                                      the PR-5 DCTCP/pFabric figure benches
+#                                      and the PR-9 ObsvOverhead pair)
 #   BENCH_TIME     -benchtime value   (default 1s; CI smoke uses 10x)
 #   BENCH_LABEL    record slot        (before|after; default: before when the
 #                                      record is empty, after otherwise)
@@ -30,8 +34,8 @@
 set -eu
 cd "$(dirname "$0")/.."
 
-OUT="${1:-bench/BENCH_pr8.json}"
-PATTERN="${BENCH_PATTERN:-Fig3a\$|Fig10\$|AblationPDQVariants|EngineSchedule|FlowAllocators|TraceSinkOverhead|DCTCPIncast|PFabricWebsearch|ShardedFatTree}"
+OUT="${1:-bench/BENCH_pr9.json}"
+PATTERN="${BENCH_PATTERN:-Fig3a\$|Fig10\$|AblationPDQVariants|EngineSchedule|FlowAllocators|TraceSinkOverhead|DCTCPIncast|PFabricWebsearch|ShardedFatTree|ObsvOverhead}"
 TIME="${BENCH_TIME:-1s}"
 
 mkdir -p "$(dirname "$OUT")"

@@ -16,6 +16,10 @@
 //     compares Fig3a ÷ calibration ratios, which cancels raw CPU speed.
 //     Pass -calibrate "" to compare raw ns/op (same-machine records).
 //
+// Before the checks, a per-benchmark delta table prints every name in
+// either record with old/new ns/op and the percent change, so a CI log
+// shows where the time went even when the gate passes.
+//
 // A record's newest slot wins: "after" when present, else "before".
 package main
 
@@ -83,6 +87,7 @@ func main() {
 	}
 
 	base, cur := load(*basePath), load(*newPath)
+	printDelta(base, cur)
 	failed := false
 
 	// Zero-alloc invariants: exact and machine-independent.
@@ -144,4 +149,44 @@ func main() {
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// printDelta renders the old/new/Δ% table over the union of benchmark
+// names. Raw ns/op are shown uncalibrated — on differing machines the
+// deltas fold in CPU speed, which is why the gate below normalizes —
+// but the table is what makes a regression's shape legible.
+func printDelta(base, cur map[string]Metrics) {
+	names := make([]string, 0, len(base)+len(cur))
+	seen := map[string]bool{}
+	for name := range base {
+		names, seen[name] = append(names, name), true
+	}
+	for name := range cur {
+		if !seen[name] {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	fmt.Printf("%-40s %14s %14s %8s %s\n", "benchmark", "old ns/op", "new ns/op", "Δ%", "allocs/op")
+	for _, name := range names {
+		b, okB := base[name]
+		n, okN := cur[name]
+		switch {
+		case !okB:
+			fmt.Printf("%-40s %14s %14.0f %8s %d (new)\n", name, "-", n.NsOp, "-", n.AllocsOp)
+		case !okN:
+			fmt.Printf("%-40s %14.0f %14s %8s (dropped)\n", name, b.NsOp, "-", "-")
+		default:
+			delta := "-"
+			if b.NsOp > 0 {
+				delta = fmt.Sprintf("%+.1f", 100*(n.NsOp/b.NsOp-1))
+			}
+			allocs := fmt.Sprintf("%d", n.AllocsOp)
+			if n.AllocsOp != b.AllocsOp {
+				allocs = fmt.Sprintf("%d→%d", b.AllocsOp, n.AllocsOp)
+			}
+			fmt.Printf("%-40s %14.0f %14.0f %8s %s\n", name, b.NsOp, n.NsOp, delta, allocs)
+		}
+	}
+	fmt.Println()
 }
