@@ -192,6 +192,63 @@ func BenchmarkShardedFatTree(b *testing.B) {
 	}
 }
 
+// BenchmarkShardedPDQ prices the widened sharding eligibility (DESIGN.md
+// §14): PDQ(Full) on a fat-tree k=8 permutation at one and eight engine
+// shards, plus the eight-shard cell with telemetry attached (per-shard
+// probers, deferred flow records) and with per-link random loss (each
+// link's private RNG stream). Tables are byte-identical across shard
+// counts of the same variant — the shard golden tests pin that — so the
+// matrix prices pure coordination and telemetry overhead on the
+// flow-list protocol path.
+func BenchmarkShardedPDQ(b *testing.B) {
+	spec := func(lossy bool) *scenario.Spec {
+		s := &scenario.Spec{
+			Name:     "sharded-pdq-bench",
+			Topology: scenario.TopoSpec{Name: "fat-tree", Params: map[string]float64{"k": 8}},
+			Workload: scenario.WorkloadSpec{
+				Pattern: scenario.PatternSpec{Name: "permutation"},
+				Sizes:   scenario.DistSpec{Name: "uniform-mean", Params: map[string]float64{"mean_kb": 50}},
+				Count:   128,
+			},
+			Protocols: []scenario.ProtoSpec{{Runner: "PDQ(Full)"}},
+			Metric:    scenario.MetricSpec{Name: "mean-fct"},
+			HorizonMs: 500,
+		}
+		if lossy {
+			s.Topology.Loss = &scenario.LossSpec{Host: -1, Rate: 0.02}
+		}
+		return s
+	}
+	for _, v := range []struct {
+		name   string
+		shards int
+		traced bool
+		lossy  bool
+	}{
+		{"shards=1", 1, false, false},
+		{"shards=8", 8, false, false},
+		{"traced/shards=8", 8, true, false},
+		{"lossy/shards=8", 8, false, true},
+	} {
+		v := v
+		b.Run(v.name, func(b *testing.B) {
+			b.ReportAllocs()
+			s := spec(v.lossy)
+			var sink *exp.Table
+			for i := 0; i < b.N; i++ {
+				o := exp.Opts{Quick: true, Seed: 1, Parallel: 1, Shards: v.shards}
+				if v.traced {
+					o.Trace = trace.New(true, true)
+				}
+				sink = scenario.MustRun(s, o)
+			}
+			if sink == nil || len(sink.Rows) == 0 {
+				b.Fatal("empty result table")
+			}
+		})
+	}
+}
+
 // Parallel-vs-serial benches for the sweep executor (internal/exp/sweep.go):
 // the same figure grid at 1 worker and at one worker per core. The ratio
 // is the executor's wall-clock win on that figure's trial grid.

@@ -2,6 +2,7 @@ package core
 
 import (
 	"pdq/internal/netsim"
+	"pdq/internal/sim"
 	"pdq/internal/workload"
 )
 
@@ -10,6 +11,7 @@ import (
 // completion is detected on the union of bytes received over all paths.
 type recvFlow struct {
 	ag       *Agent
+	eng      *sim.Sim // destination host's owner engine
 	flow     workload.Flow
 	numPkts  int
 	got      []bool
@@ -18,9 +20,9 @@ type recvFlow struct {
 	revPaths map[int][]*netsim.Link // cached ACK path per subflow
 }
 
-func newRecvFlow(ag *Agent, f workload.Flow) *recvFlow {
+func newRecvFlow(ag *Agent, f workload.Flow, eng *sim.Sim) *recvFlow {
 	n := int((f.Size + netsim.MSS - 1) / netsim.MSS)
-	return &recvFlow{ag: ag, flow: f, numPkts: n, got: make([]bool, n), revPaths: map[int][]*netsim.Link{}}
+	return &recvFlow{ag: ag, eng: eng, flow: f, numPkts: n, got: make([]bool, n), revPaths: map[int][]*netsim.Link{}}
 }
 
 func (r *recvFlow) payload(i int) int {
@@ -46,7 +48,7 @@ func (r *recvFlow) onForward(pkt *netsim.Packet) {
 			r.gotBytes += int64(r.payload(idx))
 			if r.gotBytes >= r.flow.Size {
 				r.done = true
-				r.ag.sys.Collector.Finish(r.flow.ID, r.ag.sys.Sim.Now())
+				r.ag.sys.Collector.Finish(r.flow.ID, r.eng.Now())
 			}
 		}
 	}

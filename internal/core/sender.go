@@ -13,7 +13,8 @@ import (
 // the paused subflows to the sending ones" (see DESIGN.md §5).
 type flowShared struct {
 	flow    workload.Flow
-	rmax    int64 // R^max: sender NIC rate
+	eng     *sim.Sim // source host's owner engine; all sender timers live here
+	rmax    int64    // R^max: sender NIC rate
 	numPkts int
 	acked   []bool
 	sentAt  []sim.Time // last transmission time per packet; 0 = never
@@ -79,7 +80,7 @@ type sender struct {
 	sendFn, probeFn, synFn, rtoWakeFn func()
 }
 
-func (s *sender) sim() *sim.Sim { return s.ag.sys.Sim }
+func (s *sender) sim() *sim.Sim { return s.sh.eng }
 func (s *sender) cfg() *Config  { return &s.ag.sys.Cfg }
 func (s *sender) now() sim.Time { return s.sim().Now() }
 func (s *sender) key() flowKey  { return flowKey{netsim.FlowID(s.sh.flow.ID), s.sub} }
@@ -375,7 +376,7 @@ func (s *sender) checkEarlyTermination() bool {
 	pausedTooLate := s.rate == 0 && now+s.rttOrInit() > dl
 	if expired || hopeless || pausedTooLate {
 		s.ag.sys.Collector.SetBytesAcked(sh.flow.ID, sh.ackedB)
-		s.ag.sys.Collector.Terminate(sh.flow.ID)
+		s.ag.sys.Collector.Terminate(sh.flow.ID, now)
 		sh.shutdown(netsim.TERM)
 		return true
 	}

@@ -2,31 +2,47 @@ package core
 
 import (
 	"pdq/internal/netsim"
-	"pdq/internal/sim"
 )
 
 // SwitchLogic implements the PDQ flow controller (Algorithms 1 and 3) and
 // rate controller (§3.3.3) for every forwarding element of a network. One
 // instance is shared by all switches (and relaying hosts, in
 // server-centric topologies); per-link state is keyed by the egress link.
+//
+// The instance is shard-safe (DESIGN.md §14): every packet is processed
+// on the shard owning the forwarding node, which also owns the link
+// state the processing touches (the egress link starts at that node, and
+// reverse processing keys the ingress link's peer — same From node).
+// Clocks are read from the link's owner engine, the states table is
+// preallocated densely at Install so no shard ever reallocates it, and
+// each slot is written only by its owner shard.
 type SwitchLogic struct {
 	cfg *Config
-	now func() sim.Time
 	// states is indexed by the dense link ID — a flat table instead of a
 	// map, keeping the per-packet lookup on the hot path pointer-chase- and
 	// hash-free.
 	states []*linkState
 }
 
-// NewSwitchLogic returns switch logic for one experiment. cfg must already
-// have defaults applied (System does this).
-func NewSwitchLogic(cfg *Config, clock func() sim.Time) *SwitchLogic {
-	return &SwitchLogic{cfg: cfg, now: clock}
+// NewSwitchLogic returns switch logic for one experiment covering nLinks
+// directed links. cfg must already have defaults applied (System does
+// this). Per-link clocks come from the links themselves (Link.OwnerNow),
+// so the logic needs no clock of its own.
+func NewSwitchLogic(cfg *Config, nLinks int) *SwitchLogic {
+	return &SwitchLogic{cfg: cfg, states: make([]*linkState, nLinks)}
 }
 
-// state returns the PDQ state of a directed link, creating it on first use.
+// state returns the PDQ state of a directed link, creating it on first
+// use. The slot write is safe under sharding: only the link's owner shard
+// processes packets keyed to it, and the table itself was sized at
+// Install (the GrowTo is a single-engine-only fallback for hand-built
+// setups that add links after construction).
 func (l *SwitchLogic) state(link *netsim.Link) *linkState {
-	l.states = netsim.GrowTo(l.states, link.ID)
+	if link.ID >= len(l.states) {
+		// Never reached under sharding (the table is full-size from
+		// Install), so the slice-header write stays single-threaded.
+		l.states = netsim.GrowTo(l.states, link.ID)
+	}
 	st := l.states[link.ID]
 	if st == nil {
 		st = newLinkState(l.cfg, link.From.ID(), link)
@@ -90,7 +106,8 @@ func (l *SwitchLogic) Process(at netsim.Node, pkt *netsim.Packet, ingress, egres
 		return true
 	}
 	if ingress != nil && ingress.Peer != nil {
-		l.onReverse(l.state(ingress.Peer), pkt, hdr)
+		st := l.state(ingress.Peer)
+		l.onReverse(st, pkt, hdr)
 	}
 	return true
 }
@@ -98,7 +115,7 @@ func (l *SwitchLogic) Process(at netsim.Node, pkt *netsim.Packet, ingress, egres
 // onForward is Algorithm 1, run when a switch receives a SYN, DATA or
 // PROBE packet.
 func (l *SwitchLogic) onForward(st *linkState, pkt *netsim.Packet, h *netsim.SchedHeader) {
-	now := l.now()
+	now := st.link.OwnerNow()
 	st.maybeUpdateC(now)
 	key := keyOf(pkt)
 
@@ -169,7 +186,7 @@ func (l *SwitchLogic) onForward(st *linkState, pkt *netsim.Packet, h *netsim.Sch
 // the reverse path: it commits the path-wide accept/pause decision into
 // the link state and applies Suppressed Probing.
 func (l *SwitchLogic) onReverse(st *linkState, pkt *netsim.Packet, h *netsim.SchedHeader) {
-	now := l.now()
+	now := st.link.OwnerNow()
 	st.maybeUpdateC(now)
 	key := keyOf(pkt)
 

@@ -37,7 +37,7 @@ func Install(t *topo.Topology, cfg Config) *System {
 		Sim:       t.Sim(),
 		Collector: workload.NewCollector(),
 	}
-	s.Logic = NewSwitchLogic(&s.Cfg, s.Sim.Now)
+	s.Logic = NewSwitchLogic(&s.Cfg, len(t.Net.Links()))
 	for _, sw := range t.Switches {
 		sw.Logic = s.Logic
 	}
@@ -71,7 +71,9 @@ func (s *System) Name() string {
 	}
 }
 
-// Start registers flow f and schedules its transmission at f.Start.
+// Start registers flow f and schedules its transmission at f.Start. In a
+// sharded run the launch splits across the endpoints' owner engines
+// (startSharded); otherwise everything runs on the network's single Sim.
 func (s *System) Start(f workload.Flow) {
 	if f.Size <= 0 {
 		panic("core: flow size must be positive")
@@ -80,22 +82,55 @@ func (s *System) Start(f workload.Flow) {
 		panic("core: flow to self")
 	}
 	s.Collector.Register(f)
+	if s.net().Sharded() {
+		s.startSharded(f)
+		return
+	}
 	s.Sim.At(f.Start, func() { s.launch(f) })
 }
 
-func (s *System) launch(f workload.Flow) {
-	src, dst := s.agents[f.Src], s.agents[f.Dst]
-	dst.recvs[netsim.FlowID(f.ID)] = newRecvFlow(dst, f)
-
+// resolvePaths returns the flow's subflow paths. In sharded runs this
+// must happen at setup time: Topology.Path memoizes BFS distances, so
+// resolving lazily from two shard workers would race.
+func (s *System) resolvePaths(f workload.Flow) [][]*netsim.Link {
 	srcHost, dstHost := s.Topo.Hosts[f.Src], s.Topo.Hosts[f.Dst]
-	var paths [][]*netsim.Link
 	if s.Cfg.Subflows > 1 {
-		paths = s.Topo.Paths(srcHost, dstHost, s.Cfg.Subflows)
-	} else {
-		paths = [][]*netsim.Link{s.Topo.Path(srcHost, dstHost)}
+		return s.Topo.Paths(srcHost, dstHost, s.Cfg.Subflows)
 	}
+	return [][]*netsim.Link{s.Topo.Path(srcHost, dstHost)}
+}
 
-	sh := &flowShared{flow: f, rmax: srcHost.NICRate()}
+func (s *System) launch(f workload.Flow) {
+	dst := s.agents[f.Dst]
+	dst.recvs[netsim.FlowID(f.ID)] = newRecvFlow(dst, f, s.Sim)
+	s.launchSender(f, s.resolvePaths(f), s.Sim)
+}
+
+// startSharded schedules the receiver's creation on the destination
+// host's shard and the sender's on the source host's, both at f.Start.
+// The first SYN delivery is at least one lookahead after f.Start, so the
+// receiver exists before anything can reach it. All of a flow's sender
+// state (flowShared and its subflows) lives on the source shard; the
+// switch state its packets touch is per-link and shard-owned; the only
+// endpoint-shared structure, the collector, keeps per-endpoint fields
+// (DESIGN.md §14).
+func (s *System) startSharded(f workload.Flow) {
+	net := s.net()
+	paths := s.resolvePaths(f)
+	dst := s.agents[f.Dst]
+	dstSim := net.SimFor(s.Topo.Hosts[f.Dst].ID())
+	srcSim := net.SimFor(s.Topo.Hosts[f.Src].ID())
+	dstSim.At(f.Start, func() {
+		dst.recvs[netsim.FlowID(f.ID)] = newRecvFlow(dst, f, dstSim)
+	})
+	srcSim.At(f.Start, func() { s.launchSender(f, paths, srcSim) })
+}
+
+// launchSender builds the sender-side state of f on engine eng (the
+// source host's owner engine) and kicks off its subflows.
+func (s *System) launchSender(f workload.Flow, paths [][]*netsim.Link, eng *sim.Sim) {
+	src := s.agents[f.Src]
+	sh := &flowShared{flow: f, rmax: s.Topo.Hosts[f.Src].NICRate(), eng: eng}
 	sh.numPkts = int((f.Size + netsim.MSS - 1) / netsim.MSS)
 	sh.acked = make([]bool, sh.numPkts)
 	sh.sentAt = make([]sim.Time, sh.numPkts)

@@ -91,8 +91,9 @@ type Schedule struct {
 func (s *Schedule) Empty() bool { return s == nil || len(s.Events) == 0 }
 
 // HasRandomLoss reports whether the schedule injects stochastic loss
-// (Gilbert-Elliott bursts). Such a schedule draws coins from the
-// network-global RNG stream, so it pins the cell to the single engine.
+// (Gilbert-Elliott bursts). Loss coins draw from the owning link's
+// private stream (keyed by the network seed and link ID), so random
+// loss shards freely; the predicate remains for spec introspection.
 func (s *Schedule) HasRandomLoss() bool {
 	if s == nil {
 		return false
@@ -103,6 +104,38 @@ func (s *Schedule) HasRandomLoss() bool {
 		}
 	}
 	return false
+}
+
+// ShardBlocker returns the reason applying s to a sharded run of sys on
+// t would need cross-shard protocol callbacks — and therefore pins the
+// cell to the single engine — or "" when the schedule shards freely.
+// Two callbacks block: PathUpdater notifications (failover walks sender
+// state on every shard) are needed for any link-state transition, and a
+// SoftStateResetter switch crash wipes per-link state owned by several
+// shards in one atomic instant. Pure Gilbert-Elliott loss blocks
+// nothing. The scenario layer consults this before building a shard
+// group, so the panics in applySharded are assertions, not gates.
+func (s *Schedule) ShardBlocker(t *topo.Topology, sys any) string {
+	if s.Empty() {
+		return ""
+	}
+	_, pu := sys.(PathUpdater)
+	for _, ev := range s.Events {
+		switch ev.Kind {
+		case LinkDown:
+			if pu {
+				return "faults drive path updates"
+			}
+		case SwitchCrash:
+			if _, ok := t.Switches[ev.Switch].Logic.(SoftStateResetter); ok {
+				return "switch crash resets soft state"
+			}
+			if pu && ev.Restart > 0 {
+				return "faults drive path updates"
+			}
+		}
+	}
+	return ""
 }
 
 // hostIndex resolves a possibly-negative host index (negative counts from
@@ -193,7 +226,7 @@ func (s *Schedule) Apply(t *topo.Topology, sys any, ct *trace.CellTrace) {
 		return
 	}
 	if t.Net.Sharded() {
-		s.applySharded(t, sys)
+		s.applySharded(t, sys, ct)
 		return
 	}
 	pu, _ := sys.(PathUpdater)
@@ -283,11 +316,19 @@ func (s *Schedule) Apply(t *topo.Topology, sys any, ct *trace.CellTrace) {
 // on both sides (setup events carry lower seqs; downAt uses <=), so drops
 // match the single-engine run exactly.
 //
-// Tracing forces the legacy path (scenario falls back whenever a cell
-// trace is attached), so no fault records are emitted here. Protocols
-// needing link-state callbacks or soft-state resets are not shard-safe;
-// reaching this branch with one is a scenario-layer routing bug.
-func (s *Schedule) applySharded(t *topo.Topology, sys any) {
+// Protocols needing link-state callbacks or soft-state resets pin the
+// cell to the single engine (ShardBlocker); reaching this branch with
+// one is a scenario-layer routing bug, hence the panics. Gilbert-
+// Elliott processes install exactly as on the single engine: each chain
+// draws coins from its link's private stream on the owner shard.
+//
+// Fault records go into ct (nil-safe) at setup rather than from the
+// toggle events — the timeline is static, and recording from owner-
+// shard events would write the trace ring from several workers. Sorting
+// the records by time, spec order on ties, reproduces the single-engine
+// emission order; the one divergence is a transition scheduled beyond
+// the run horizon, recorded here but never fired there.
+func (s *Schedule) applySharded(t *topo.Topology, sys any, ct *trace.CellTrace) {
 	if _, ok := sys.(PathUpdater); ok {
 		panic("fault: sharded run with a path-updating protocol system")
 	}
@@ -303,28 +344,50 @@ func (s *Schedule) applySharded(t *topo.Topology, sys any) {
 			plans[l.Peer.ID] = append(plans[l.Peer.ID], assign{at, down})
 		}
 	}
+	var recs []trace.FaultRecord
+	record := func(kind, target string, at sim.Time, down bool) {
+		if ct != nil {
+			recs = append(recs, trace.FaultRecord{Kind: kind, Target: target, At: at, Down: down})
+		}
+	}
 	for _, ev := range s.Events {
 		switch ev.Kind {
 		case LinkDown:
-			link := t.Hosts[hostIndex(ev.Host, len(t.Hosts))].Access
+			h := hostIndex(ev.Host, len(t.Hosts))
+			link := t.Hosts[h].Access
 			addBoth(link, ev.Down, true)
 			addBoth(link, ev.Up, false)
+			target := fmt.Sprintf("host%d", h)
+			record(ev.Kind.String(), target, ev.Down, true)
+			record(ev.Kind.String(), target, ev.Up, false)
 		case SwitchCrash:
 			sw := t.Switches[ev.Switch]
 			if _, ok := sw.Logic.(SoftStateResetter); ok {
 				panic("fault: sharded switch-crash on a soft-state switch logic")
 			}
+			target := fmt.Sprintf("switch%d", ev.Switch)
+			record(ev.Kind.String(), target, ev.At, true)
 			if ev.Restart > 0 {
 				for _, l := range t.Adjacent(sw.ID()) {
 					addBoth(l, ev.At, true)
 					addBoth(l, ev.At+ev.Restart, false)
 				}
+				record(ev.Kind.String(), target, ev.At+ev.Restart, false)
 			}
 		case GilbertLoss:
-			// EnableSharding already rejects links with loss processes;
-			// the scenario layer routes loss schedules to the legacy path.
-			panic("fault: gilbert-loss under sharding")
+			// Installed for the whole run, like Apply: no event, no record
+			// (loss is an environment property, not a transition), and the
+			// chains draw from the owning link's private stream.
+			link := t.Hosts[hostIndex(ev.Host, len(t.Hosts))].Access
+			link.SetGE(&netsim.GilbertElliott{PGB: ev.PGB, PBG: ev.PBG, LossGood: ev.LossGood, LossBad: ev.LossBad})
+			if link.Peer != nil {
+				link.Peer.SetGE(&netsim.GilbertElliott{PGB: ev.PGB, PBG: ev.PBG, LossGood: ev.LossGood, LossBad: ev.LossBad})
+			}
 		}
+	}
+	sort.SliceStable(recs, func(i, j int) bool { return recs[i].At < recs[j].At })
+	for _, r := range recs {
+		ct.RecordFault(r)
 	}
 	// Per direction: collapse the assignments (stable by time, last spec
 	// event wins at equal instants, exactly the legacy flag's final state)

@@ -271,7 +271,7 @@ func (s *Sim) step() {
 				need := sim.Time(f.Remaining * 8 / nic * float64(sim.Second))
 				if s.now+need > f.AbsDeadline() {
 					s.Collector.SetBytesAcked(f.ID, f.Size-int64(f.Remaining))
-					s.Collector.Terminate(f.ID)
+					s.Collector.Terminate(f.ID, s.now)
 					continue
 				}
 			}

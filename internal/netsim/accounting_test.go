@@ -8,34 +8,46 @@ import (
 
 // TestQueueWaitingSerDoneBoundary pins the serializer's tie-breaking at
 // an exact serialization boundary: an observer firing at precisely the
-// instant a packet finishes serializing (and the next one starts) must
-// see the completed packet counted — and the successor in service — if
-// and only if the observer was scheduled after the packets were
-// enqueued, exactly as the old eager event-per-transition model ordered
-// it (DESIGN.md §3).
+// instant a packet finishes serializing (and the next one starts) sees
+// the completed packet counted — and the successor in service — if and
+// only if the observer's (scheduling instant, structural key) stamp
+// follows the enqueue's. The stamp, not the scheduling call order,
+// decides: that is what makes the answer identical on the single engine
+// and on every sharding (DESIGN.md §3, §14).
 func TestQueueWaitingSerDoneBoundary(t *testing.T) {
 	n, a, b, path := line(t)
 	l := path[0]
 	tx := sim.Time(12 * sim.Microsecond) // 1500 B at 1 Gbps
 
 	type obs struct{ qBytes, waiting int }
-	var early, late obs
-	// Scheduled BEFORE the packets exist: same firing time as p1's
-	// serialization completion, but an earlier seq — it must not see the
-	// completion, and p1 still counts as in service.
-	n.Sim.At(tx, func() { early = obs{l.QueueBytes(), l.QueueWaiting()} })
+	var before, after, later obs
+	// Scheduled at instant 0, before the packets exist: its (ta 0, tie 0)
+	// stamp precedes the enqueues' (ta 0, channel key), so the completion
+	// at tx is not yet visible and p1 still counts as in service.
+	n.Sim.At(tx, func() { before = obs{l.QueueBytes(), l.QueueWaiting()} })
 	n.Send(mkpkt(a, b, path, 1500)) // p1: serializes [0, 12µs)
 	n.Send(mkpkt(a, b, path, 1500)) // p2: serializes [12µs, 24µs)
-	// Scheduled AFTER the packets: later seq — it sees p1 done and p2
-	// (whose serStart ties at 12µs) in service.
-	n.Sim.At(tx, func() { late = obs{l.QueueBytes(), l.QueueWaiting()} })
+	// Also scheduled at instant 0, after the packets: an identical
+	// (ta, tie) stamp, so it must observe identical state — same-instant
+	// local timers order before channel transitions regardless of which
+	// call came first.
+	n.Sim.At(tx, func() { after = obs{l.QueueBytes(), l.QueueWaiting()} })
+	// Scheduled from a later instant: its ta (6µs) follows the enqueue
+	// instant, so it sees p1 done and p2 (whose serStart ties at 12µs) in
+	// service.
+	n.Sim.At(6*sim.Microsecond, func() {
+		n.Sim.At(tx, func() { later = obs{l.QueueBytes(), l.QueueWaiting()} })
+	})
 	n.Sim.Run()
 
-	if early.qBytes != 3000 || early.waiting != 1500 {
-		t.Errorf("early observer: queue %d waiting %d, want 3000/1500 (completion not yet visible)", early.qBytes, early.waiting)
+	if before.qBytes != 3000 || before.waiting != 1500 {
+		t.Errorf("instant-0 observer: queue %d waiting %d, want 3000/1500 (completion not yet visible)", before.qBytes, before.waiting)
 	}
-	if late.qBytes != 1500 || late.waiting != 0 {
-		t.Errorf("late observer: queue %d waiting %d, want 1500/0 (p1 done, p2 in service)", late.qBytes, late.waiting)
+	if after != before {
+		t.Errorf("same-stamp observers disagree: before %+v, after %+v", before, after)
+	}
+	if later.qBytes != 1500 || later.waiting != 0 {
+		t.Errorf("later-instant observer: queue %d waiting %d, want 1500/0 (p1 done, p2 in service)", later.qBytes, later.waiting)
 	}
 }
 

@@ -8,11 +8,12 @@ import "math/rand"
 // independent per-packet loss probabilities, and bursts arise because the
 // chain lingers in the bad state (mean burst length 1/PBG packets).
 //
-// The process draws from the owning Network's seeded RNG, so loss
-// sequences are deterministic for a given seed and packet order. Each link
-// direction installs its own GilbertElliott value (SetGE): the two
-// directions' chains evolve independently, but interleave their draws on
-// the single per-network stream just as LossRate coins do.
+// The process draws from the owning link's private loss stream (keyed by
+// network seed and link ID), so loss sequences are deterministic for a
+// given seed and that link's own packet order. Each link direction
+// installs its own GilbertElliott value (SetGE): the two directions'
+// chains evolve independently on disjoint streams, which keeps the draws
+// partition-independent under the sharded engine (DESIGN.md §14).
 type GilbertElliott struct {
 	PGB      float64 // per-packet transition probability good → bad
 	PBG      float64 // per-packet transition probability bad → good

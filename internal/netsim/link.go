@@ -2,6 +2,7 @@ package netsim
 
 import (
 	"fmt"
+	"math/rand"
 
 	"pdq/internal/sim"
 )
@@ -24,8 +25,9 @@ const (
 // pooled event (the Packet itself is the callback) — one event per packet
 // instead of the three (start/complete/deliver) a naive model schedules,
 // and no per-packet closures. Queue occupancy and the Tx counters are
-// settled lazily from the timestamps, ordered against the engine's (time,
-// seq) event order, so reads must go through the accessor methods.
+// settled lazily from the timestamps, ordered against the engine's
+// (at, ta, tie, seq) event order, so reads must go through the accessor
+// methods.
 type Link struct {
 	ID        int
 	From, To  Node
@@ -54,12 +56,16 @@ type Link struct {
 	ownSim *sim.Sim
 	// Sharded-run routing state, set by EnableSharding: the shards owning
 	// the From and To nodes, the To shard's engine (read-only use at
-	// delivery), and the per-link handoff counter making injection order
-	// canonical. dirty marks membership in the owner shard's settle list.
+	// delivery), and dirty marking membership in the owner shard's settle
+	// list.
 	shard, toShard int32
 	dstSim         *sim.Sim
-	handoffCtr     uint32
 	dirty          bool
+	// handoffCtr counts deliveries emitted by this link in every mode:
+	// (ID, handoffCtr) is the delivery's structural tie-break key, the
+	// canonical order for same-instant deliveries on the single engine and
+	// the injection order across shard barriers (DESIGN.md §14).
+	handoffCtr uint32
 	// downPlan is the static fault timeline (sorted down/up toggle times)
 	// in sharded runs: delivery-side down checks on the To shard read this
 	// immutable slice instead of the From-owned down flag.
@@ -85,6 +91,12 @@ type Link struct {
 	// cost one nil/false check on the fault-free hot path.
 	down bool
 	ge   *GilbertElliott
+	// rng is the link's private loss stream (LossRate coins and the GE
+	// chain), lazily seeded from (network seed, link ID). A per-link
+	// stream makes loss draws depend only on this link's own enqueue
+	// order, which is partition-independent — the property that lets
+	// lossy cells run sharded (DESIGN.md §14).
+	rng *rand.Rand
 
 	// Counters, settled as of the last advance; read via the methods below.
 	txPackets  uint64
@@ -169,19 +181,26 @@ func (l *Link) SetRate(bps int64) {
 	}
 }
 
-// advance settles the serializer up to the current (time, seq) order point:
-// every packet whose serialization-complete transition precedes it is
-// accounted (queue occupancy, Tx counters) and unlinked. The seq comparison
-// reproduces the eager model's tie-breaking exactly: a completion at time t
-// was an event scheduled when the packet was enqueued, so an observer event
-// also firing at t sees the completion if and only if the packet was
-// enqueued first.
+// advance settles the serializer up to the current (time, ta, tie) order
+// point: every packet whose serialization-complete transition precedes it
+// is accounted (queue occupancy, Tx counters) and unlinked. The stamp
+// comparison reproduces the eager model's tie-breaking exactly: a
+// completion at time t was an event scheduled when the packet was
+// enqueued, so an observer event also firing at t sees the completion if
+// and only if the completion's enqueue stamp precedes the observer — that
+// is, iff (enqTa, enqTie) precedes the observer's (ta, tie). Both halves
+// are partition-independent (virtual time and the producing channel's
+// identity — the same key the engine itself sorts same-instant events
+// by), so the answer is identical on the single engine and on every
+// sharding, even when the observer arrived as a barrier-injected handoff
+// (DESIGN.md §14).
 //
 //pdq:hotpath
 func (l *Link) advance() {
 	now := l.ownSim.Now()
-	seq := l.ownSim.EventSeq()
-	for p := l.qHead; p != nil && (p.serDone < now || (p.serDone == now && p.enqSeq <= seq)); p = l.qHead {
+	ta := l.ownSim.EventTa()
+	tie := l.ownSim.EventTie()
+	for p := l.qHead; p != nil && (p.serDone < now || (p.serDone == now && (p.enqTa < ta || (p.enqTa == ta && p.enqTie <= tie)))); p = l.qHead {
 		l.qBytes -= p.Wire
 		l.txPackets++
 		l.txBytes += uint64(p.Wire)
@@ -236,9 +255,11 @@ func (l *Link) QueueWaiting() int {
 	inService := 0
 	if h := l.qHead; h != nil {
 		now := l.ownSim.Now()
+		ta := l.ownSim.EventTa()
 		// serStart is stamped at enqueue (like the old eager start event),
 		// so a mid-run SetRate cannot misclassify the in-service packet.
-		if h.serStart < now || (h.serStart == now && h.enqSeq <= l.ownSim.EventSeq()) {
+		// Ties compare full (ta, tie) stamps, like advance.
+		if h.serStart < now || (h.serStart == now && (h.enqTa < ta || (h.enqTa == ta && h.enqTie <= l.ownSim.EventTie()))) {
 			inService = h.Wire
 		}
 	}
@@ -303,8 +324,34 @@ func (l *Link) Down() bool { return l.down }
 
 // SetGE installs (or, with nil, removes) a Gilbert-Elliott burst-loss
 // process on this direction of the link. Drops are counted in LossDrops,
-// like the Bernoulli LossRate coin.
+// like the Bernoulli LossRate coin, and the chain draws from the link's
+// private loss stream.
 func (l *Link) SetGE(g *GilbertElliott) { l.ge = g }
+
+// lossRand returns the link's private loss stream, created on first use.
+// The seed mixes the network's cell seed with the link ID (splitmix64
+// finalizer), so every link direction gets an independent, reproducible
+// stream regardless of what any other link draws. Deliberately not
+// //pdq:hotpath: it is only reached on lossy links, and the one-time
+// rand.New is amortized over the link's lifetime.
+func (l *Link) lossRand() *rand.Rand {
+	if l.rng == nil {
+		z := uint64(l.net.seed) + 0x9e3779b97f4a7c15*uint64(l.ID+1)
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		l.rng = rand.New(rand.NewSource(int64(z ^ (z >> 31))))
+	}
+	return l.rng
+}
+
+// OwnerNow returns the current virtual time of the engine owning this
+// link: the shard owning From in a sharded run, the network's single Sim
+// otherwise. Protocol switch logic processing a packet at From reads its
+// clock here — that processing always happens on the owner shard, so the
+// read is race-free and equals the processing event's own time.
+//
+//pdq:hotpath
+func (l *Link) OwnerNow() sim.Time { return l.ownSim.Now() }
 
 // TxTime returns the serialization delay of a packet of the given wire size.
 func (l *Link) TxTime(wire int) sim.Time {
@@ -332,11 +379,11 @@ func (l *Link) Enqueue(pkt *Packet) {
 		l.faultDrops++
 		return
 	}
-	if l.LossRate > 0 && l.net.Rand.Float64() < l.LossRate {
+	if l.LossRate > 0 && l.lossRand().Float64() < l.LossRate {
 		l.lossDrops++
 		return
 	}
-	if l.ge != nil && l.ge.Drop(l.net.Rand) {
+	if l.ge != nil && l.ge.Drop(l.lossRand()) {
 		l.lossDrops++
 		return
 	}
@@ -376,28 +423,29 @@ func (l *Link) Enqueue(pkt *Packet) {
 	l.qTail = pkt
 	// One pooled event delivers the packet after serialization plus the
 	// wire and processing delays; the packet itself is the callback
-	// (Packet.RunEvent), so nothing is allocated. The event's seq doubles
-	// as the packet's position in the engine's total event order.
+	// (Packet.RunEvent), so nothing is allocated. The event's channel key
+	// doubles as the packet's position in the engine's total event order.
 	l.emitDelivery(pkt, now, done)
 }
 
-// emitDelivery schedules pkt's delivery event. Single-engine runs
-// schedule it directly; sharded runs post it to the mailbox (even when
-// From and To share a shard — injection points must be
-// partition-independent) and enroll the link for barrier settling.
+// emitDelivery schedules pkt's delivery event, stamped with the link's
+// canonical channel key — (link ID, per-link counter), the structural tie
+// that orders same-(at, ta) deliveries identically on the single engine
+// and across shard barriers. Single-engine runs schedule the keyed event
+// directly; sharded runs post the same key to the mailbox (even when From
+// and To share a shard — injection points must be partition-independent)
+// and enroll the link for barrier settling.
 //
 //pdq:hotpath
 func (l *Link) emitDelivery(pkt *Packet, now, done sim.Time) {
+	l.handoffCtr++
+	pkt.enqTa = now
+	pkt.enqTie = uint64(l.ID+1)<<32 | uint64(l.handoffCtr)
 	if sh := l.net.shard; sh != nil {
-		// NextSeq without a scheduled event still totally orders the
-		// enqueue against the owner shard's observers: any event scheduled
-		// after this instant receives a seq >= this stamp.
-		pkt.enqSeq = l.ownSim.NextSeq()
 		if !l.dirty {
 			l.dirty = true
 			l.net.dirtyLinks[l.shard] = append(l.net.dirtyLinks[l.shard], l)
 		}
-		l.handoffCtr++
 		sh.Post(int(l.shard), sim.Handoff{
 			Due:   done + l.PropDelay + l.ProcDelay,
 			Ta:    now,
@@ -410,8 +458,7 @@ func (l *Link) emitDelivery(pkt *Packet, now, done sim.Time) {
 		})
 		return
 	}
-	pkt.enqSeq = l.ownSim.NextSeq() // the delivery event's seq, assigned next
-	l.ownSim.AtRunner(done+l.PropDelay+l.ProcDelay, pkt)
+	l.ownSim.AtRunnerKeyed(done+l.PropDelay+l.ProcDelay, pkt.enqTie, pkt)
 }
 
 // schedEnqueue is the reordering-discipline path: the qdisc buffers
@@ -448,12 +495,12 @@ func (l *Link) startService(pkt *Packet) {
 	pkt.qNext = nil
 	l.serving = pkt
 	l.busyUntil = done
-	// The ser-done event is scheduled first so it carries the earlier
-	// seq: at a (time, seq) tie — a link with zero propagation and
-	// processing delay — the packet is accounted as departed before its
-	// delivery fires, matching the fast path's enqSeq tie-break. It is
-	// link-local, so it stays on the owner shard in sharded runs; only
-	// the delivery crosses the mailbox.
+	// The ser-done event is link-local (tie 0), so at a full (at, ta)
+	// coincidence — a link with zero propagation and processing delay —
+	// it fires before the keyed delivery and the packet is accounted as
+	// departed first, matching the fast path's enqTie tie-break. It also
+	// stays on the owner shard in sharded runs; only the delivery crosses
+	// the mailbox.
 	l.ownSim.AtRunner(done, l)
 	l.emitDelivery(pkt, now, done)
 }

@@ -15,7 +15,6 @@ package netsim
 
 import (
 	"fmt"
-	"math/rand"
 
 	"pdq/internal/sim"
 )
@@ -131,12 +130,18 @@ type Packet struct {
 
 	// Serializer state, owned by the Link the packet currently occupies
 	// (DESIGN.md §3): the intrusive FIFO linkage, the times serialization
-	// onto that link starts and completes, and the seq of the packet's
-	// delivery event (its position in the engine's total event order).
+	// onto that link starts and completes, and the (instant, channel key)
+	// stamp of the enqueue — the packet's position in the engine's
+	// (at, ta, tie, seq) total event order. Exact-instant observers
+	// compare against this stamp: both halves are partition-independent
+	// (virtual time and the producing channel's identity), so lazy
+	// settling resolves exact-instant ties identically at any shard count
+	// (DESIGN.md §14).
 	qNext    *Packet
 	serStart sim.Time
 	serDone  sim.Time
-	enqSeq   uint64
+	enqTa    sim.Time
+	enqTie   uint64
 }
 
 // RunEvent implements sim.Runner: it fires when the packet has fully
@@ -181,7 +186,7 @@ type Node interface {
 // Network owns the simulation clock, nodes and links of one experiment.
 type Network struct {
 	Sim   *sim.Sim
-	Rand  *rand.Rand
+	seed  int64 // cell seed; per-link loss streams derive from it (Link.lossRand)
 	nodes []Node
 	links []*Link
 
@@ -195,9 +200,12 @@ type Network struct {
 }
 
 // NewNetwork creates an empty network driven by s, with deterministic
-// randomness derived from seed.
+// randomness derived from seed: each link's loss process draws from a
+// private stream keyed by (seed, link ID), so loss sequences depend only
+// on the seed and that link's own packet order — never on how draws from
+// other links interleave, and never on how the network is sharded.
 func NewNetwork(s *sim.Sim, seed int64) *Network {
-	return &Network{Sim: s, Rand: rand.New(rand.NewSource(seed))}
+	return &Network{Sim: s, seed: seed}
 }
 
 // AddNode registers n. Nodes must be registered in NodeID order; the helper
@@ -226,17 +234,15 @@ func (n *Network) Links() []*Link { return n.links }
 // and link deliveries flow through the group's mailbox. Call it after the
 // topology is built and before any event is scheduled. The group's
 // lookahead must lower-bound every link's propagation+processing delay —
-// the conservative window correctness condition — and random loss
-// (LossRate, Gilbert-Elliott) is rejected because it draws from the
-// network-global RNG stream.
+// the conservative window correctness condition. Random loss (LossRate,
+// Gilbert-Elliott) shards freely: every loss coin draws from the link's
+// private stream in the link's own enqueue order, both of which are
+// partition-independent (DESIGN.md §14).
 func (n *Network) EnableSharding(g *sim.ShardGroup, shardOf []int32) {
 	if len(shardOf) != len(n.nodes) {
 		panic(fmt.Sprintf("netsim: shard map covers %d of %d nodes", len(shardOf), len(n.nodes)))
 	}
 	for _, l := range n.links {
-		if l.LossRate > 0 || l.ge != nil {
-			panic(fmt.Sprintf("netsim: sharding with random loss on %v", l))
-		}
 		if l.PropDelay+l.ProcDelay < g.Lookahead() {
 			panic(fmt.Sprintf("netsim: %v delay %v below shard lookahead %v",
 				l, l.PropDelay+l.ProcDelay, g.Lookahead()))

@@ -143,6 +143,9 @@ func (o *Observer) registerStandard() {
 		func(s RuntimeSnapshot) uint64 { return s.Handoffs })
 	counter("pdq_shard_handoff_bytes_total", "Wire bytes carried by cross-shard handoffs.",
 		func(s RuntimeSnapshot) uint64 { return s.HandoffBytes })
+	r.Register(Metric{Name: "pdq_shards_active", Help: "Engines the most recently configured cell runs on (1 = single engine).", Type: TypeGauge, Collect: func(w *promWriter) {
+		w.Value("pdq_shards_active", nil, float64(rt.Snapshot().ShardsActive))
+	}})
 	r.Register(Metric{Name: "pdq_shard_phase_seconds_total", Help: "Wall time spent in each shard barrier phase.", Type: TypeCounter, Collect: func(w *promWriter) {
 		s := rt.Snapshot()
 		for i, name := range PhaseNames {

@@ -35,6 +35,8 @@ type Runtime struct {
 	handoffBytes atomic.Uint64 // wire bytes of those handoffs
 
 	phaseNs [numPhases]atomic.Int64 // wall ns per barrier phase
+
+	shardsActive atomic.Int64 // engines of the most recently configured cell; 1 = single engine
 }
 
 // MergeEngine folds an engine's private stats into the aggregate. The
@@ -100,6 +102,17 @@ func (r *Runtime) AddHandoffs(n, bytes uint64) {
 	}
 }
 
+// SetShardsActive records how many engines the most recently
+// configured cell runs on: the shard count when it built a group, 1
+// when it fell back to (or defaulted to) the single engine. Concurrent
+// sweep workers race benignly — the gauge answers "is sharding actually
+// engaging", not a per-cell ledger.
+func (r *Runtime) SetShardsActive(n int64) {
+	if r != nil {
+		r.shardsActive.Store(n)
+	}
+}
+
 // AddPhase attributes ns wall nanoseconds to barrier phase p.
 func (r *Runtime) AddPhase(p int, ns int64) {
 	if r != nil && p >= 0 && p < numPhases {
@@ -119,6 +132,7 @@ type RuntimeSnapshot struct {
 	IdleSkips    uint64             `json:"shard_idle_skips"`
 	Handoffs     uint64             `json:"shard_handoffs"`
 	HandoffBytes uint64             `json:"shard_handoff_bytes"`
+	ShardsActive int64              `json:"shards_active"`
 	PhaseNs      [numPhases]int64   `json:"-"`
 	PhaseSeconds map[string]float64 `json:"shard_phase_seconds,omitempty"`
 }
@@ -137,6 +151,7 @@ func (r *Runtime) Snapshot() RuntimeSnapshot {
 	s.IdleSkips = r.idleSkips.Load()
 	s.Handoffs = r.handoffs.Load()
 	s.HandoffBytes = r.handoffBytes.Load()
+	s.ShardsActive = r.shardsActive.Load()
 	var anyPhase bool
 	for i := range s.PhaseNs {
 		s.PhaseNs[i] = r.phaseNs[i].Load()

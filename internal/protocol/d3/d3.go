@@ -217,7 +217,7 @@ func (sd *sender) quench() bool {
 	now := sd.sys.Sim.Now()
 	if now > sd.Flow.AbsDeadline() {
 		sd.sys.Collector.SetBytesAcked(sd.Flow.ID, sd.Flow.Size-sd.Remaining())
-		sd.sys.Collector.Terminate(sd.Flow.ID)
+		sd.sys.Collector.Terminate(sd.Flow.ID, now)
 		sd.Stop(netsim.TERM)
 		return true
 	}

@@ -31,8 +31,10 @@ import (
 
 // cacheSalt versions the cell cache: bump it whenever a simulator or
 // metric changes semantics, so stale entries from older engines can
-// never be served as current results.
-const cacheSalt = "pdqsim-cell-v1"
+// never be served as current results. v2: loss coins moved from the
+// network-global RNG to per-link streams (DESIGN.md §14), so lossy
+// cells produce different (equally valid) samples for the same seed.
+const cacheSalt = "pdqsim-cell-v2"
 
 // Run executes a spec and returns its result table.
 func Run(s *Spec, o Opts) (*Table, error) {

@@ -2,6 +2,7 @@ package scenario
 
 import (
 	"fmt"
+	"log/slog"
 
 	"pdq/internal/core"
 	"pdq/internal/flowsim"
@@ -30,35 +31,118 @@ type protoSystem interface {
 
 // attachTelemetry hangs the cell's telemetry capture off one packet-level
 // run: the flow-record sink on the collector, and — when probing is on —
-// a fixed-stride prober sampling every link's queue depth and utilization
-// plus the active-flow count. With a nil cell this is a no-op and the
+// fixed-stride samples of every link's queue depth and utilization plus
+// the active-flow count. With a nil cell this is a no-op and the
 // simulation schedules exactly the events it always did.
-func attachTelemetry(ct *trace.CellTrace, t *topo.Topology, c *workload.Collector) {
+//
+// Flow-record emission is deferred to the collector's post-run flush on
+// every engine configuration: a record is a pure function of the merged
+// endpoint view — final counter totals, virtual completion order — so
+// the record stream is identical however the cell runs. (Eager emission
+// would cut a record at the first completion event and miss counters
+// that land after it, e.g. a pause reaching the sender after the
+// receiver finished — a physical-order artifact under sharding.)
+//
+// Probes split by engine. On the single engine one prober samples
+// everything. Under a shard group (DESIGN.md §14) each link's columns
+// sample on its owner shard's engine, and the active-flow series — a
+// global view — is cut at barriers, where every tick older than the
+// window is value-exact. The returned hook flushes the records (and the
+// sharded series tail); the caller runs it after the engines stop.
+func attachTelemetry(ct *trace.CellTrace, t *topo.Topology, c *workload.Collector, g *sim.ShardGroup, horizon sim.Time) func() {
 	if ct == nil {
-		return
+		return nil
 	}
 	c.Sink = ct.FlowSink()
-	if !ct.WantProbes() {
-		return
+	c.DeferEmission()
+	stride := ct.Stride()
+	secs := float64(stride) / float64(sim.Second)
+	if g == nil {
+		if !ct.WantProbes() {
+			return c.FlushTrace
+		}
+		s := t.Sim()
+		p := trace.NewProber(s, stride)
+		p.StopWhen = c.AllDone // don't sample idle links out to the horizon
+		p.Add("active-flows", func() float64 { return float64(c.ActiveAt(s.Now())) })
+		for _, l := range t.Net.Links() {
+			l := l
+			p.Add(fmt.Sprintf("qdepth:%s", l), func() float64 { return float64(l.QueueBytes()) })
+			var lastTx uint64
+			p.Add(fmt.Sprintf("util:%s", l), func() float64 {
+				cur := l.TxBytes()
+				d := cur - lastTx
+				lastTx = cur
+				return float64(d*8) / (float64(l.Rate) * secs) * 100
+			})
+		}
+		p.Start()
+		ct.Probes = p.Series()
+		return c.FlushTrace
 	}
-	s := t.Sim()
-	p := trace.NewProber(s, ct.Stride())
-	p.StopWhen = c.AllDone // don't sample idle links out to the horizon
-	p.Add("active-flows", func() float64 { return float64(c.ActiveAt(s.Now())) })
-	secs := float64(ct.Stride()) / float64(sim.Second)
+	if !ct.WantProbes() {
+		return c.FlushTrace
+	}
+	// One prober per shard that owns probed state; a link's columns go to
+	// its From node's owner engine, so every sample reads shard-local
+	// state only.
+	probers := make([]*trace.Prober, g.Shards())
+	shardIdx := make(map[*sim.Sim]int, g.Shards())
+	for i := 0; i < g.Shards(); i++ {
+		shardIdx[g.Shard(i)] = i
+	}
+	perLink := make([]*trace.Series, 0, 2*len(t.Net.Links()))
 	for _, l := range t.Net.Links() {
 		l := l
-		p.Add(fmt.Sprintf("qdepth:%s", l), func() float64 { return float64(l.QueueBytes()) })
+		i := shardIdx[t.Net.SimFor(l.From.ID())]
+		if probers[i] == nil {
+			probers[i] = trace.NewProber(g.Shard(i), stride)
+		}
+		p := probers[i]
+		perLink = append(perLink, p.Add(fmt.Sprintf("qdepth:%s", l), func() float64 { return float64(l.QueueBytes()) }))
 		var lastTx uint64
-		p.Add(fmt.Sprintf("util:%s", l), func() float64 {
+		perLink = append(perLink, p.Add(fmt.Sprintf("util:%s", l), func() float64 {
 			cur := l.TxBytes()
 			d := cur - lastTx
 			lastTx = cur
 			return float64(d*8) / (float64(l.Rate) * secs) * 100
-		})
+		}))
 	}
-	p.Start()
-	ct.Probes = p.Series()
+	for _, p := range probers {
+		if p != nil {
+			p.Start()
+		}
+	}
+	// The active-flow count needs both endpoints of every flow, so it is
+	// sampled from the barrier hook: entering window [w, w+L) every event
+	// before w has fired, making ActiveAt(tick) exact for ticks < w. The
+	// same sweep evaluates the stop rule (every flow done by the tick) and
+	// parks the per-shard probers — a few samples later than the single
+	// engine's same-tick stop, but on the partition-independent window
+	// grid, so series are identical at any shard count.
+	active := &trace.Series{Name: "active-flows", Stride: stride}
+	next := sim.Time(stride)
+	stopped := false
+	cutTicks := func(limit sim.Time, strict bool) {
+		for !stopped && (next < limit || (!strict && next <= limit)) {
+			active.Vals = append(active.Vals, float64(c.ActiveAt(next)))
+			if c.AllDoneBy(next) {
+				stopped = true
+				for _, p := range probers {
+					if p != nil {
+						p.Stop()
+					}
+				}
+			}
+			next += sim.Time(stride)
+		}
+	}
+	g.SetBarrierHook(func(windowStart sim.Time) { cutTicks(windowStart, true) })
+	return func() {
+		cutTicks(horizon, false)
+		ct.Probes = append([]*trace.Series{active}, perLink...)
+		c.FlushTrace()
+	}
 }
 
 // mkPacket wraps a packet-level install function into a RunnerFunc on
@@ -91,7 +175,7 @@ func mkPacketLevel(install func(t *topo.Topology) protoSystem, shardSafe bool) R
 		// Sharding and the timer backend are decided before any event is
 		// scheduled: EnableSharding validates the topology against the
 		// lookahead, and UseWheel refuses a non-empty queue.
-		g := shardGroupFor(t, rc, shardSafe)
+		g := shardGroupFor(t, rc, sys, shardSafe)
 		if rc.Sched == "wheel" {
 			if g != nil {
 				for i := 0; i < g.Shards(); i++ {
@@ -105,7 +189,7 @@ func mkPacketLevel(install func(t *topo.Topology) protoSystem, shardSafe bool) R
 		// flow start — always the same code position, so fault event
 		// sequence numbers are deterministic (DESIGN.md §11).
 		rc.Faults.Apply(t, sys, rc.Cell)
-		attachTelemetry(rc.Cell, t, sys.FlowCollector())
+		fin := attachTelemetry(rc.Cell, t, sys.FlowCollector(), g, rc.Horizon)
 		for _, f := range flows {
 			sys.Start(f)
 		}
@@ -114,35 +198,57 @@ func mkPacketLevel(install func(t *topo.Topology) protoSystem, shardSafe bool) R
 		} else {
 			runEngine(t.Sim(), rc)
 		}
+		if fin != nil {
+			fin()
+		}
 		return sys.Results()
 	}
 }
 
-// shardGroupFor decides whether a cell shards and builds its group: the
-// runner must be shard-safe, the context must ask for more than one
-// shard, and the cell must be free of the features that need the single
-// engine — telemetry capture (probers and sinks schedule on one Sim) and
-// random loss (the loss coins draw from the network-global RNG stream).
-// The lookahead is the minimum link delay; a zero-delay topology cannot
-// shard. Every fallback runs the unmodified single-engine path.
-func shardGroupFor(t *topo.Topology, rc RunCtx, shardSafe bool) *sim.ShardGroup {
-	if !shardSafe || rc.Shards <= 1 || rc.Cell != nil {
+// Shard-fallback reasons: every gate that drops a multi-shard request to
+// the single engine names itself, on the debug log and in tests.
+const (
+	fallbackRunner    = "runner not shard-safe"
+	fallbackLookahead = "zero lookahead"
+)
+
+// shardFallback returns the reason a cell cannot shard, or "" when it
+// can: the runner must be shard-safe, the fault schedule must not need
+// cross-shard protocol callbacks (fault.Schedule.ShardBlocker — path
+// updates, soft-state resets), and the lookahead — the minimum link
+// delay — must be positive. Loss does not gate: coins draw from
+// per-link streams, partition-independent by construction (DESIGN.md
+// §14). Telemetry does not gate: traced sharded cells defer record
+// emission and probe per shard (attachTelemetry).
+func shardFallback(t *topo.Topology, rc RunCtx, sys protoSystem, shardSafe bool) string {
+	if !shardSafe {
+		return fallbackRunner
+	}
+	if r := rc.Faults.ShardBlocker(t, sys); r != "" {
+		return r
+	}
+	if topo.MinLinkDelay(t) <= 0 {
+		return fallbackLookahead
+	}
+	return ""
+}
+
+// shardGroupFor decides whether a cell shards and builds its group.
+// Every fallback runs the unmodified single-engine path, says why on
+// the debug log, and reports 1 on the shards_active gauge.
+func shardGroupFor(t *topo.Topology, rc RunCtx, sys protoSystem, shardSafe bool) *sim.ShardGroup {
+	if rc.Shards <= 1 {
+		rc.Obs.SetShardsActive(1)
 		return nil
 	}
-	if rc.Faults.HasRandomLoss() {
+	if reason := shardFallback(t, rc, sys, shardSafe); reason != "" {
+		slog.Debug("scenario: cell fell back to the single engine", "reason", reason, "shards", rc.Shards)
+		rc.Obs.SetShardsActive(1)
 		return nil
 	}
-	for _, l := range t.Net.Links() {
-		if l.LossRate > 0 {
-			return nil
-		}
-	}
-	look := topo.MinLinkDelay(t)
-	if look <= 0 {
-		return nil
-	}
-	g := sim.NewShardGroup(rc.Shards, look)
+	g := sim.NewShardGroup(rc.Shards, topo.MinLinkDelay(t))
 	t.Net.EnableSharding(g, topo.Partition(t, rc.Shards))
+	rc.Obs.SetShardsActive(int64(rc.Shards))
 	return g
 }
 
@@ -195,7 +301,7 @@ func pdqMake(cfg func() core.Config) func(p map[string]float64, seed int64) Runn
 	return func(p map[string]float64, _ int64) RunnerFunc {
 		c := cfg()
 		c.Subflows = int(p["subflows"])
-		return mkPacket(func(t *topo.Topology) protoSystem { return core.Install(t, c) })
+		return mkPacketShardable(func(t *topo.Topology) protoSystem { return core.Install(t, c) })
 	}
 }
 
@@ -231,19 +337,19 @@ func flowMake(alloc func(p map[string]float64, seed int64) flowsim.Allocator) fu
 
 func init() {
 	RegisterRunner(RunnerEntry{
-		Name: "PDQ(Full)", Doc: "PDQ with Early Start, Early Termination and Suppressed Probing", Level: "packet",
+		Name: "PDQ(Full)", Doc: "PDQ with Early Start, Early Termination and Suppressed Probing", Level: "packet", ShardSafe: true,
 		Params: pdqParams(), Make: pdqMake(core.Full),
 	})
 	RegisterRunner(RunnerEntry{
-		Name: "PDQ(ES+ET)", Doc: "PDQ with Early Start and Early Termination", Level: "packet",
+		Name: "PDQ(ES+ET)", Doc: "PDQ with Early Start and Early Termination", Level: "packet", ShardSafe: true,
 		Params: pdqParams(), Make: pdqMake(core.ESET),
 	})
 	RegisterRunner(RunnerEntry{
-		Name: "PDQ(ES)", Doc: "PDQ with Early Start only", Level: "packet",
+		Name: "PDQ(ES)", Doc: "PDQ with Early Start only", Level: "packet", ShardSafe: true,
 		Params: pdqParams(), Make: pdqMake(core.ES),
 	})
 	RegisterRunner(RunnerEntry{
-		Name: "PDQ(Basic)", Doc: "preemptive scheduling without the §4 optimizations", Level: "packet",
+		Name: "PDQ(Basic)", Doc: "preemptive scheduling without the §4 optimizations", Level: "packet", ShardSafe: true,
 		Params: pdqParams(), Make: pdqMake(core.Basic),
 	})
 	RegisterRunner(RunnerEntry{

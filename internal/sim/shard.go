@@ -97,6 +97,10 @@ type ShardGroup struct {
 	// settle lazy per-link accounting up to the window start.
 	preWindow func(shard int, windowStart Time)
 
+	// barrier, when set, runs on the driver goroutine at every window
+	// boundary with all workers parked (see SetBarrierHook).
+	barrier func(windowStart Time)
+
 	maxEvents   uint64
 	interrupted atomic.Bool
 
@@ -193,6 +197,15 @@ func (g *ShardGroup) mergeEngineStats() {
 // hook completes before any shard fires an event of the window, so a hook
 // may safely touch state that the window's events on other shards mutate.
 func (g *ShardGroup) SetPreWindow(fn func(shard int, windowStart Time)) { g.preWindow = fn }
+
+// SetBarrierHook installs fn, called on the driver goroutine before
+// each window [windowStart, windowStart+lookahead) dispatches, with
+// every worker parked: all events earlier than windowStart have fired
+// on every shard, and nothing runs concurrently with fn. The telemetry
+// plane uses it to cut value-exact samples at instants before the
+// window (DESIGN.md §14); keep hooks cheap — they serialize the
+// barrier. Call before RunUntil.
+func (g *ShardGroup) SetBarrierHook(fn func(windowStart Time)) { g.barrier = fn }
 
 // SetMaxEvents bounds the total number of events the group may execute,
 // checked at barriers: the run panics with EventLimitError at the first
@@ -344,11 +357,13 @@ func (g *ShardGroup) injectShard(d int) {
 		if h.Due <= g.now && g.now > 0 {
 			panic(fmt.Sprintf("sim: handoff due %v violates lookahead at barrier %v", h.Due, g.now))
 		}
-		// The handoff is backdated to its producing instant: the event's
-		// (at, ta, seq) key then orders it against the destination shard's
-		// local timers exactly where the single engine — which scheduled the
-		// delivery at that enqueue instant — would have placed it.
-		s.atRunnerStamped(h.Due, h.Ta, h.R)
+		// The handoff is backdated to its producing instant and stamped
+		// with its structural channel key: the event's (at, ta, tie, seq)
+		// key then orders it against the destination shard's local timers
+		// and same-instant deliveries exactly where the single engine —
+		// which scheduled the delivery at that enqueue instant with the
+		// same key — would have placed it.
+		s.atRunnerStamped(h.Due, h.Ta, uint64(h.Link+1)<<32|uint64(h.Ctr), h.R)
 		if runs[best] = runs[best][1:]; len(runs[best]) == 0 {
 			runs[best] = runs[len(runs)-1]
 			runs = runs[:len(runs)-1]
@@ -490,6 +505,9 @@ func (g *ShardGroup) RunUntil(end Time) {
 			if wStart > prev {
 				g.obs.AddIdleSkips(uint64((wStart - prev) / g.look))
 			}
+		}
+		if g.barrier != nil {
+			g.barrier(wStart)
 		}
 		if g.preWindow != nil {
 			// The settle phase is its own barrier: every shard's pre-window

@@ -84,18 +84,26 @@ type Runner interface {
 // Exactly one of fn and runner is set.
 //
 // ta is the scheduling instant: the simulation time at which the event was
-// scheduled. The full event order is (at, ta, seq). On a single engine the
-// ta comparison is provably redundant — seq is assigned in op order, op
-// order is monotone in simulation time, so seq order refines ta order —
-// and the pop sequence is identical to the classic (at, seq) order. Its
-// purpose is sharded runs (shard.go): a handoff injected at a barrier
-// carries the ta of the enqueue that produced it, so it sorts against the
-// destination shard's local timers exactly where the single engine — which
-// assigned the delivery's seq at that same enqueue instant — would have
-// placed it.
+// scheduled. tie is the structural tie-break key: 0 for locally scheduled
+// events (timers), and a nonzero channel key — (link+1)<<32 | per-link
+// counter for netsim deliveries — for channel events. The full event order
+// is (at, ta, tie, seq).
+//
+// ta and tie exist for the sharded engine (shard.go, DESIGN.md §14): the
+// order of two events must not depend on how the simulation is
+// partitioned, so same-at events order first by their producing instants
+// (ta — virtual time, partition-independent), and same-(at, ta)
+// coincidences order by the structural key (tie — the producing channel's
+// identity and its private counter, also partition-independent). Locally
+// scheduled events carry tie 0, so at a full (at, ta) coincidence local
+// timers fire before channel deliveries. seq — assigned at schedule time,
+// partition-dependent for barrier-injected handoffs — is only reached by
+// events of one object's own making, whose relative seq order a shard
+// reproduces at any partitioning.
 type event struct {
 	at     Time
-	ta     Time // scheduling instant; orders same-at events before seq
+	ta     Time // scheduling instant; orders same-at events before tie
+	tie    uint64
 	seq    uint64
 	fn     func()
 	runner Runner
@@ -122,15 +130,16 @@ func (r EventRef) Valid() bool { return r.slot != 0 }
 // Sim is not safe for concurrent use; the whole simulation runs in one
 // goroutine by design (see DESIGN.md §5).
 type Sim struct {
-	now      Time
-	seq      uint64
-	firing   uint64  // seq of the executing event + 1, 0 when idle (see EventSeq)
-	firingTa Time    // ta of the executing event, valid while firing != 0
-	pool     []event // slot-indexed event records
-	free     []int32 // recycled slots
-	order    []int32 // 4-ary min-heap of occupied slots, keyed by (at, seq)
-	nRun     uint64
-	halted   bool
+	now       Time
+	seq       uint64
+	firing    uint64  // seq of the executing event + 1, 0 when idle (see EventSeq)
+	firingTa  Time    // ta of the executing event, valid while firing != 0
+	firingTie uint64  // tie of the executing event, valid while firing != 0
+	pool      []event // slot-indexed event records
+	free      []int32 // recycled slots
+	order     []int32 // 4-ary min-heap of occupied slots, keyed by (at, seq)
+	nRun      uint64
+	halted    bool
 
 	// maxEvents, when nonzero, bounds the total number of events this Sim
 	// may execute; exceeding it panics with EventLimitError. It is the
@@ -278,11 +287,27 @@ func (s *Sim) EventTa() Time {
 	return s.now
 }
 
-// less orders slots by (time, scheduling instant, sequence). Sequence
-// numbers are unique, so this is a strict total order and the pop sequence
-// is independent of the heap's internal layout. On a single engine the ta
-// comparison never overrules seq (see the event doc); in sharded runs it
-// places barrier-injected handoffs by their true scheduling instant.
+// EventTie is the structural tie-break key of the event currently
+// executing (0 for local timers, the producing channel key for
+// deliveries), or the maximal key when no event is executing — an idle
+// observer orders after every same-instant transition, like EventSeq's
+// idle value. Together with Now and EventTa it totally orders any
+// observation against the (at, ta, tie, seq) event order; netsim's lazy
+// link accounting settles exact-instant ties with it (DESIGN.md §3, §14).
+func (s *Sim) EventTie() uint64 {
+	if s.firing != 0 {
+		return s.firingTie
+	}
+	return ^uint64(0)
+}
+
+// less orders slots by (time, scheduling instant, structural key,
+// sequence). Sequence numbers are unique, so this is a strict total order
+// and the pop sequence is independent of the heap's internal layout. The
+// ta and tie comparisons make the order partition-independent (see the
+// event doc): same-instant channel deliveries order by their canonical
+// channel key on the single engine exactly as barrier injection orders
+// them in sharded runs.
 func (s *Sim) less(a, b int32) bool {
 	ea, eb := &s.pool[a], &s.pool[b]
 	if ea.at != eb.at {
@@ -290,6 +315,9 @@ func (s *Sim) less(a, b int32) bool {
 	}
 	if ea.ta != eb.ta {
 		return ea.ta < eb.ta
+	}
+	if ea.tie != eb.tie {
+		return ea.tie < eb.tie
 	}
 	return ea.seq < eb.seq
 }
@@ -395,18 +423,20 @@ func (s *Sim) release(slot int32) {
 	s.free = append(s.free, slot)
 }
 
-// schedule grabs a pooled slot for an event at (t, now, next seq) and
-// pushes it onto the heap, returning the slot.
+// schedule grabs a pooled slot for an event at (t, now, tie 0, next seq)
+// and pushes it onto the heap, returning the slot.
 //
 //pdq:hotpath
-func (s *Sim) schedule(t Time) int32 { return s.scheduleStamped(t, s.now) }
+func (s *Sim) schedule(t Time) int32 { return s.scheduleStamped(t, s.now, 0) }
 
-// scheduleStamped is schedule with an explicit scheduling-instant stamp:
-// barrier injection (shard.go) backdates an injected handoff to the
-// enqueue instant that produced it on its source shard.
+// scheduleStamped is schedule with explicit scheduling-instant and
+// structural-key stamps: channel producers (netsim links) stamp their
+// canonical channel key, and barrier injection (shard.go) backdates an
+// injected handoff to the enqueue instant that produced it on its source
+// shard.
 //
 //pdq:hotpath
-func (s *Sim) scheduleStamped(t, ta Time) int32 {
+func (s *Sim) scheduleStamped(t, ta Time, tie uint64) int32 {
 	if t < s.now {
 		s.panicPast(t)
 	}
@@ -419,11 +449,11 @@ func (s *Sim) scheduleStamped(t, ta Time) int32 {
 		slot = int32(len(s.pool) - 1)
 	}
 	ev := &s.pool[slot]
-	ev.at, ev.ta, ev.seq = t, ta, s.seq
+	ev.at, ev.ta, ev.tie, ev.seq = t, ta, tie, s.seq
 	s.seq++
 	if s.wheel != nil {
 		ev.idx = wheelIdx
-		s.wheel.insert(wheelEntry{at: t, ta: ta, seq: ev.seq, slot: slot, gen: ev.gen})
+		s.wheel.insert(wheelEntry{at: t, ta: ta, tie: tie, seq: ev.seq, slot: slot, gen: ev.gen})
 		s.wheel.live++
 		if s.stats != nil {
 			s.stats.Scheduled.Inc()
@@ -441,11 +471,27 @@ func (s *Sim) scheduleStamped(t, ta Time) int32 {
 	return slot
 }
 
-// atRunnerStamped is AtRunner with an explicit scheduling-instant stamp,
-// for barrier injection of handoffs.
-func (s *Sim) atRunnerStamped(t, ta Time, r Runner) {
-	slot := s.scheduleStamped(t, ta)
+// atRunnerStamped is AtRunner with explicit scheduling-instant and
+// structural-key stamps, for barrier injection of handoffs.
+func (s *Sim) atRunnerStamped(t, ta Time, tie uint64, r Runner) {
+	slot := s.scheduleStamped(t, ta, tie)
 	s.pool[slot].runner = r
+}
+
+// AtRunnerKeyed is AtRunner with an explicit structural tie-break key.
+// Channel producers (netsim links) stamp each delivery with their canonical
+// channel key so that same-(at, ta) deliveries order identically on the
+// single engine and across shard barriers (see the event doc).
+//
+//pdq:hotpath
+func (s *Sim) AtRunnerKeyed(t Time, tie uint64, r Runner) EventRef {
+	if r == nil {
+		panic("sim: scheduling nil runner")
+	}
+	slot := s.scheduleStamped(t, s.now, tie)
+	ev := &s.pool[slot]
+	ev.runner = r
+	return EventRef{slot: slot + 1, gen: ev.gen}
 }
 
 // panicPast is schedule's cold failure path, kept out of the annotated
@@ -567,7 +613,7 @@ func (s *Sim) RunUntil(end Time) {
 //
 //pdq:hotpath
 func (s *Sim) fire(next *event) {
-	at, ta, seq, fn, runner := next.at, next.ta, next.seq, next.fn, next.runner
+	at, ta, tie, seq, fn, runner := next.at, next.ta, next.tie, next.seq, next.fn, next.runner
 	s.release(s.popMin())
 	s.now = at
 	s.nRun++
@@ -576,6 +622,7 @@ func (s *Sim) fire(next *event) {
 	}
 	s.firing = seq + 1
 	s.firingTa = ta
+	s.firingTie = tie
 	if fn != nil {
 		fn()
 	} else {
@@ -626,6 +673,7 @@ func (s *Sim) fireWheel(e wheelEntry) {
 	}
 	s.firing = e.seq + 1
 	s.firingTa = e.ta
+	s.firingTie = e.tie
 	if fn != nil {
 		fn()
 	} else {

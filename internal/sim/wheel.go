@@ -16,14 +16,14 @@ package sim
 // indexing of the classic hashed hierarchical wheel, so cascading an
 // entry never changes its firing time, only its resolution.
 //
-// Determinism contract: firing order is exactly (at, seq), byte-for-byte
-// the heap's order. Within one level-0 slot (which spans many distinct
-// nanosecond timestamps) entries are sorted by (at, seq) when the cursor
-// reaches the slot; entries scheduled below the cursor (always >= Now)
-// are merged into the sorted drain buffer at their ordered position. The
-// randomized differential test in wheel_test.go drives both backends
-// through identical schedule/cancel/fire histories and asserts identical
-// (time, seq) pop sequences.
+// Determinism contract: firing order is exactly (at, ta, tie, seq),
+// byte-for-byte the heap's order. Within one level-0 slot (which spans
+// many distinct nanosecond timestamps) entries are sorted by that key
+// when the cursor reaches the slot; entries scheduled below the cursor
+// (always >= Now) are merged into the sorted drain buffer at their
+// ordered position. The randomized differential test in wheel_test.go
+// drives both backends through identical schedule/cancel/fire histories
+// and asserts identical (time, seq) pop sequences.
 //
 // Cancellation is lazy: Cancel releases the pool slot (bumping its
 // generation) and the wheel entry is skipped when its bucket drains,
@@ -40,12 +40,13 @@ const (
 )
 
 // wheelEntry is one scheduled event's position in a bucket: enough to
-// order it exactly ((at, ta, seq), the heap's key) and to detect lazy
-// cancellation ((slot, gen) against the event pool, the EventRef
+// order it exactly ((at, ta, tie, seq), the heap's key) and to detect
+// lazy cancellation ((slot, gen) against the event pool, the EventRef
 // staleness rule).
 type wheelEntry struct {
 	at   Time
-	ta   Time // scheduling instant; see event.ta
+	ta   Time   // scheduling instant; see event.ta
+	tie  uint64 // structural tie-break key; see event.tie
 	seq  uint64
 	slot int32
 	gen  uint32
@@ -225,7 +226,7 @@ func (w *wheel) distributeCurrent(pool []event) {
 }
 
 // drainSlot moves level-0 bucket idx into the buffer, dropping lazily
-// canceled entries, and sorts it by (at, seq).
+// canceled entries, and sorts it by (at, ta, tie, seq).
 func (w *wheel) drainSlot(l, idx int, pool []event) {
 	for _, e := range w.takeBucket(l, idx) {
 		if pool[e.slot].gen == e.gen && pool[e.slot].idx == wheelIdx {
@@ -271,7 +272,7 @@ func (w *wheel) spillOverflow() {
 	}
 }
 
-// sortEntries orders entries by (at, ta, seq) without allocating:
+// sortEntries orders entries by (at, ta, tie, seq) without allocating:
 // insertion sort below a small threshold, otherwise an in-place heapsort.
 func sortEntries(es []wheelEntry) {
 	if len(es) <= 24 {
@@ -319,6 +320,9 @@ func entryLess(a, b *wheelEntry) bool {
 	}
 	if a.ta != b.ta {
 		return a.ta < b.ta
+	}
+	if a.tie != b.tie {
+		return a.tie < b.tie
 	}
 	return a.seq < b.seq
 }

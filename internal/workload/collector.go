@@ -1,6 +1,8 @@
 package workload
 
 import (
+	"sort"
+
 	"pdq/internal/sim"
 	"pdq/internal/trace"
 )
@@ -9,23 +11,52 @@ import (
 // agents report completions and terminations into a collector shared across
 // all hosts of one experiment.
 //
+// Completion accounting is split by endpoint (DESIGN.md §14): the
+// receiver's Finish and the sender's Terminate/SetBytesAcked write
+// disjoint per-flow fields, and the winner — the earlier virtual
+// instant, finish on a tie — is resolved only when a result is read
+// (Get, Results, ActiveAt). Under the sharded engine a flow's two
+// endpoints live on different shards; per-endpoint fields mean neither
+// shard ever writes state the other endpoint writes, and the merge is a
+// pure function of virtual timestamps, so results are byte-identical at
+// any shard count.
+//
 // A collector is also the simulators' telemetry emission point: when Sink
 // is non-nil, every completion or termination additionally cuts a
 // trace.FlowRecord (by value — no allocation). With the default nil Sink
 // the only telemetry cost is one nil check per flow *completion*, so the
 // packet/event hot paths are untouched (DESIGN.md §8).
 type Collector struct {
-	byID  map[uint64]*Result
+	byID  map[uint64]*cell
 	order []uint64
 
 	// Sink receives one trace.FlowRecord per completion or termination;
 	// nil (the default) disables record assembly entirely.
 	Sink trace.Sink
+
+	// deferEmit postpones record emission to FlushTrace. Traced
+	// packet-level runs set it (DeferEmission) so a record is a pure
+	// function of the merged post-run view — final counter totals, virtual
+	// completion order — rather than a snapshot cut at whichever
+	// completion event happens to fire first, which under sharding would
+	// write the ring in physical, not virtual, order.
+	deferEmit bool
+}
+
+// cell is one flow's raw accounting: the sender-side counters in res
+// plus the two endpoints' completion stamps. res.Finish, res.Terminated
+// and res.BytesAcked are only materialized by merged().
+type cell struct {
+	res      Result   // Flow + sender-side counters
+	finishAt sim.Time // receiver endpoint: first Finish instant, -1 = never
+	termAt   sim.Time // sender endpoint: first Terminate instant, -1 = never
+	termB    int64    // sender endpoint: SetBytesAcked value
+	termBSet bool
 }
 
 // NewCollector returns an empty collector.
 func NewCollector() *Collector {
-	return &Collector{byID: map[uint64]*Result{}}
+	return &Collector{byID: map[uint64]*cell{}}
 }
 
 // Register records that flow f has been started. Finish is initialized to
@@ -34,36 +65,45 @@ func (c *Collector) Register(f Flow) {
 	if _, dup := c.byID[f.ID]; dup {
 		panic("workload: duplicate flow ID registered")
 	}
-	c.byID[f.ID] = &Result{Flow: f, Finish: -1}
+	c.byID[f.ID] = &cell{res: Result{Flow: f, Finish: -1}, finishAt: -1, termAt: -1}
 	c.order = append(c.order, f.ID)
 }
+
+// DeferEmission switches the collector to deferred record emission:
+// Finish and Terminate stop cutting records eagerly, and FlushTrace
+// emits them all after the run in virtual completion order. Traced
+// packet-level runs call it before any flow starts, on every engine
+// configuration, so sharded and single-engine record streams agree.
+func (c *Collector) DeferEmission() { c.deferEmit = true }
 
 // Finish records that the receiver got the flow's last byte at time t.
 // Later calls for the same flow are ignored (multipath subflows may race).
 func (c *Collector) Finish(id uint64, t sim.Time) {
-	r := c.byID[id]
-	if r == nil {
+	cl := c.byID[id]
+	if cl == nil {
 		panic("workload: Finish for unregistered flow")
 	}
-	if r.Finish < 0 {
-		r.Finish = t
-		if !r.Terminated {
-			r.BytesAcked = r.Size // every byte was delivered
-			c.emit(r)
+	if cl.finishAt < 0 {
+		cl.finishAt = t
+		if cl.termAt < 0 {
+			c.emit(cl)
 		}
 	}
 }
 
-// Terminate records that the flow gave up (Early Termination). A flow that
-// already finished stays finished.
-func (c *Collector) Terminate(id uint64) {
-	r := c.byID[id]
-	if r == nil {
+// Terminate records that the flow gave up (Early Termination) at time t.
+// A flow that finished at or before t stays finished — the merge in
+// merged() resolves the race by virtual instant, not call order.
+func (c *Collector) Terminate(id uint64, t sim.Time) {
+	cl := c.byID[id]
+	if cl == nil {
 		panic("workload: Terminate for unregistered flow")
 	}
-	if r.Finish < 0 && !r.Terminated {
-		r.Terminated = true
-		c.emit(r)
+	if cl.termAt < 0 {
+		cl.termAt = t
+		if cl.finishAt < 0 {
+			c.emit(cl)
+		}
 	}
 }
 
@@ -71,72 +111,134 @@ func (c *Collector) Terminate(id uint64) {
 // Unknown IDs are ignored: retransmit accounting is telemetry, not
 // protocol state.
 func (c *Collector) AddRetransmit(id uint64) {
-	if r := c.byID[id]; r != nil {
-		r.Retransmits++
+	if cl := c.byID[id]; cl != nil {
+		cl.res.Retransmits++
 	}
 }
 
 // AddPreemption counts one sending→paused transition against the flow.
 func (c *Collector) AddPreemption(id uint64) {
-	if r := c.byID[id]; r != nil {
-		r.Preemptions++
+	if cl := c.byID[id]; cl != nil {
+		cl.res.Preemptions++
 	}
 }
 
 // AddECNMark counts one ECN-marked acknowledgment (ECE echo) against
 // the flow — DCTCP's congestion signal.
 func (c *Collector) AddECNMark(id uint64) {
-	if r := c.byID[id]; r != nil {
-		r.ECNMarks++
+	if cl := c.byID[id]; cl != nil {
+		cl.res.ECNMarks++
 	}
 }
 
 // AddPrioPacket counts one data packet sent with an explicit priority
 // stamp against the flow — pFabric's remaining-size priorities.
 func (c *Collector) AddPrioPacket(id uint64) {
-	if r := c.byID[id]; r != nil {
-		r.PrioPackets++
+	if cl := c.byID[id]; cl != nil {
+		cl.res.PrioPackets++
 	}
 }
 
-// SetBytesAcked records the flow's acknowledged payload bytes. Emitters
-// call it just before Terminate so a terminated flow's record carries its
-// partial progress (Finish sets it to Size on its own).
+// SetBytesAcked records the flow's acknowledged payload bytes, as seen
+// by the sender. Emitters call it just before Terminate so a terminated
+// flow's record carries its partial progress; a flow that only finishes
+// reports its full size.
 func (c *Collector) SetBytesAcked(id uint64, n int64) {
-	if r := c.byID[id]; r != nil {
-		r.BytesAcked = n
+	if cl := c.byID[id]; cl != nil {
+		cl.termB, cl.termBSet = n, true
 	}
 }
 
 // ActiveAt counts flows that have started at or before now and neither
-// finished nor terminated — the probers' active-flow series.
+// finished nor terminated by now — the probers' active-flow series. The
+// bound is on virtual instants, so the count is exact at any now, not
+// just the caller's current clock.
 func (c *Collector) ActiveAt(now sim.Time) int {
 	n := 0
-	for _, r := range c.byID {
-		if r.Start <= now && r.Finish < 0 && !r.Terminated {
+	for _, cl := range c.byID {
+		if cl.res.Start <= now && !doneBy(cl.finishAt, now) && !doneBy(cl.termAt, now) {
 			n++
 		}
 	}
 	return n
 }
 
+// doneBy reports whether a completion stamp is set and at or before now.
+func doneBy(at, now sim.Time) bool { return at >= 0 && at <= now }
+
 // AllDone reports whether every registered flow has finished or
 // terminated — probers stop sampling once nothing remains in flight.
 func (c *Collector) AllDone() bool {
-	for _, r := range c.byID {
-		if r.Finish < 0 && !r.Terminated {
+	for _, cl := range c.byID {
+		if cl.finishAt < 0 && cl.termAt < 0 {
 			return false
 		}
 	}
 	return true
 }
 
+// AllDoneBy is the time-exact AllDone: every registered flow finished
+// or terminated at or before instant now. The sharded probers' stop
+// rule evaluates it at barriers for ticks the barrier has made final,
+// so the answer is independent of how the run is partitioned.
+func (c *Collector) AllDoneBy(now sim.Time) bool {
+	for _, cl := range c.byID {
+		d := cl.doneAt()
+		if d < 0 || d > now {
+			return false
+		}
+	}
+	return true
+}
+
+// merged materializes one flow's result from the endpoint stamps: the
+// finish time is the receiver's (recorded even for a terminated flow, as
+// the eager accounting always did); Terminated holds iff the sender gave
+// up strictly before the receiver finished (or the receiver never did);
+// BytesAcked is the sender's last report when it made one, else the full
+// size on a finish.
+func (cl *cell) merged() Result {
+	r := cl.res
+	r.Finish = cl.finishAt
+	fin, term := cl.finishAt >= 0, cl.termAt >= 0
+	r.Terminated = term && !(fin && cl.finishAt <= cl.termAt)
+	switch {
+	case cl.termBSet:
+		r.BytesAcked = cl.termB
+	case fin:
+		r.BytesAcked = r.Size
+	}
+	return r
+}
+
+// doneAt returns the virtual instant the flow's record was (or would
+// have been) cut: the winning endpoint's stamp. Negative means still
+// in flight.
+func (cl *cell) doneAt() sim.Time {
+	switch {
+	case cl.finishAt < 0:
+		return cl.termAt
+	case cl.termAt < 0:
+		return cl.finishAt
+	case cl.termAt < cl.finishAt:
+		return cl.termAt
+	}
+	return cl.finishAt
+}
+
 // emit cuts the flow's trace record. Called exactly once per flow, at its
-// first completion or termination.
-func (c *Collector) emit(r *Result) {
-	if c.Sink == nil {
+// first completion or termination — or from FlushTrace when emission is
+// deferred.
+func (c *Collector) emit(cl *cell) {
+	if c.Sink == nil || c.deferEmit {
 		return
 	}
+	c.record(cl)
+}
+
+// record assembles and sinks one flow record from the merged view.
+func (c *Collector) record(cl *cell) {
+	r := cl.merged()
 	cls := trace.ClassShort
 	if r.Size >= ShortFlowCutoff {
 		cls = trace.ClassLong
@@ -154,14 +256,35 @@ func (c *Collector) emit(r *Result) {
 	})
 }
 
+// FlushTrace emits the records a deferred-emission run accumulated: one
+// per completed or terminated flow, ordered by completion instant with
+// registration order breaking exact-instant ties. Called once, after the
+// shard group has drained — a quiescent point, like the obsv.EngineStats
+// merge (DESIGN.md §14).
+func (c *Collector) FlushTrace() {
+	if c.Sink == nil || !c.deferEmit {
+		return
+	}
+	done := make([]*cell, 0, len(c.order))
+	for _, id := range c.order {
+		if cl := c.byID[id]; cl.doneAt() >= 0 {
+			done = append(done, cl)
+		}
+	}
+	sort.SliceStable(done, func(i, j int) bool { return done[i].doneAt() < done[j].doneAt() })
+	for _, cl := range done {
+		c.record(cl)
+	}
+}
+
 // Get returns the current result for a flow.
-func (c *Collector) Get(id uint64) Result { return *c.byID[id] }
+func (c *Collector) Get(id uint64) Result { return c.byID[id].merged() }
 
 // Results returns a snapshot of all results in registration order.
 func (c *Collector) Results() []Result {
 	out := make([]Result, len(c.order))
 	for i, id := range c.order {
-		out[i] = *c.byID[id]
+		out[i] = c.byID[id].merged()
 	}
 	return out
 }

@@ -14,7 +14,10 @@
 # measures pure coordination overhead; bench/BENCH_pr9.json adds the
 # observability plane's ObsvOverhead pair — the "off" side is the
 # nil-Observer path every other benchmark now exercises, and must stay
-# within noise of Fig3a).
+# within noise of Fig3a; bench/BENCH_pr10.json adds the ShardedPDQ
+# matrix pricing the widened sharding eligibility — the flow-list
+# protocol, telemetry and per-link loss streams all running under the
+# sharded engine, byte-identical to the single-engine cell).
 #
 # Usage:
 #   scripts/bench.sh [record.json]
@@ -34,8 +37,8 @@
 set -eu
 cd "$(dirname "$0")/.."
 
-OUT="${1:-bench/BENCH_pr9.json}"
-PATTERN="${BENCH_PATTERN:-Fig3a\$|Fig10\$|AblationPDQVariants|EngineSchedule|FlowAllocators|TraceSinkOverhead|DCTCPIncast|PFabricWebsearch|ShardedFatTree|ObsvOverhead}"
+OUT="${1:-bench/BENCH_pr10.json}"
+PATTERN="${BENCH_PATTERN:-Fig3a\$|Fig10\$|AblationPDQVariants|EngineSchedule|FlowAllocators|TraceSinkOverhead|DCTCPIncast|PFabricWebsearch|ShardedFatTree|ShardedPDQ|ObsvOverhead}"
 TIME="${BENCH_TIME:-1s}"
 
 mkdir -p "$(dirname "$OUT")"
